@@ -1,0 +1,8 @@
+"""A1 (ablation) — the mergesort fan-out d: levels vs per-round overhead.
+
+Regenerates ablation A1 (see DESIGN.md section 6 and EXPERIMENTS.md).
+"""
+
+
+def test_a1_fanout_ablation(experiment):
+    experiment("a1")

@@ -1,0 +1,8 @@
+"""A2 (ablation) — the price of external pointer blocks where both schemes fit.
+
+Regenerates ablation A2 (see DESIGN.md section 6 and EXPERIMENTS.md).
+"""
+
+
+def test_a2_pointer_ablation(experiment):
+    experiment("a2")

@@ -1,0 +1,8 @@
+"""A3 (ablation) — column-major vs row-major layout for the direct SpMxV.
+
+Regenerates ablation A3 (see DESIGN.md section 6 and EXPERIMENTS.md).
+"""
+
+
+def test_a3_layout_ablation(experiment):
+    experiment("a3")

@@ -1,0 +1,9 @@
+"""E1 — AEM mergesort cost is Theta(omega n log_{omega m} n) (Sec. 3, Thm 3.2 + recurrence).
+
+Regenerates experiment E01 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e01_mergesort_scaling(experiment):
+    experiment("e1")

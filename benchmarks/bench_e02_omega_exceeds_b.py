@@ -1,0 +1,9 @@
+"""E2 — no omega < B assumption; the pointer-table baseline fails past omega ~ B (Sec. 3).
+
+Regenerates experiment E02 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e02_omega_exceeds_b(experiment):
+    experiment("e2")

@@ -1,0 +1,9 @@
+"""E3 — O(omega n log) reads vs only O(n log) writes (Thm 3.2).
+
+Regenerates experiment E03 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e03_read_write_split(experiment):
+    experiment("e3")

@@ -1,0 +1,9 @@
+"""E4 — the Sec. 3.1 merge costs O(omega(n+m)) reads / O(n+m) writes; Lemma 3.1 active <= m.
+
+Regenerates experiment E04 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e04_merge_primitive(experiment):
+    experiment("e4")

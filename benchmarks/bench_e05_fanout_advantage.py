@@ -1,0 +1,9 @@
+"""E5 — omega*m-way fan-out beats the classic m-way EM mergesort as omega grows.
+
+Regenerates experiment E05 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e05_fanout_advantage(experiment):
+    experiment("e5")

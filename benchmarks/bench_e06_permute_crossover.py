@@ -1,0 +1,9 @@
+"""E6 — permuting upper bound min{N + omega n, omega n log_{omega m} n}: the crossover in B (Thm 4.5).
+
+Regenerates experiment E06 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e06_permute_crossover(experiment):
+    experiment("e6")

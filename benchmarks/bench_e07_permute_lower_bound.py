@@ -1,0 +1,9 @@
+"""E7 — the Sec. 4.2 counting lower bound is sound below every measured cost and tight vs the shape (Thm 4.5).
+
+Regenerates experiment E07 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e07_permute_lower_bound(experiment):
+    experiment("e7")

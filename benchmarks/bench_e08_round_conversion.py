@@ -1,0 +1,9 @@
+"""E8 — Lemma 4.1: round-based conversion on 2M memory costs only a constant factor.
+
+Regenerates experiment E08 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e08_round_conversion(experiment):
+    experiment("e8")

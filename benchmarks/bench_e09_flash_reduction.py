@@ -1,0 +1,9 @@
+"""E9 — Lemma 4.3: flash-model simulation volume <= 2N + 2QB/omega; Corollary 4.4.
+
+Regenerates experiment E09 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e09_flash_reduction(experiment):
+    experiment("e9")

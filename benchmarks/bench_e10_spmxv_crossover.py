@@ -1,0 +1,9 @@
+"""E10 — SpMxV direct vs sorting-based: the winner flips with omega (Sec. 5 upper bounds).
+
+Regenerates experiment E10 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e10_spmxv_crossover(experiment):
+    experiment("e10")

@@ -1,0 +1,9 @@
+"""E11 — Theorem 5.1: the SpMxV lower bound is sound and shape-matching.
+
+Regenerates experiment E11 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e11_spmxv_lower_bound(experiment):
+    experiment("e11")

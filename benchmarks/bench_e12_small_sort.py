@@ -1,0 +1,9 @@
+"""E12 — the base case sorts N' <= omega M in O(omega n') reads / O(n') writes (Lemma 4.2 of Blelloch et al.).
+
+Regenerates experiment E12 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e12_small_sort(experiment):
+    experiment("e12")

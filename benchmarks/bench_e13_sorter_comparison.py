@@ -1,0 +1,9 @@
+"""E13 — mergesort, samplesort and heapsort all meet O(omega n log_{omega m} n).
+
+Regenerates experiment E13 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e13_sorter_comparison(experiment):
+    experiment("e13")

@@ -1,0 +1,9 @@
+"""E14 — the min of Thm 4.5 switches branches at B* ~ c omega log N / log(3 e omega m).
+
+Regenerates experiment E14 (see DESIGN.md's experiment index and
+EXPERIMENTS.md for the recorded outcome).
+"""
+
+
+def test_e14_regime_boundary(experiment):
+    experiment("e14")

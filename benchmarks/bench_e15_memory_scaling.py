@@ -1,0 +1,8 @@
+"""E15 — sorting cost vs internal memory M: the log-base effect.
+
+Regenerates experiment E15 (see DESIGN.md's experiment index).
+"""
+
+
+def test_e15_memory_scaling(experiment):
+    experiment("e15")

@@ -1,0 +1,8 @@
+"""E16 — write volume and wear across the sorters (the NVM endurance view).
+
+Regenerates experiment E16 (see DESIGN.md's experiment index).
+"""
+
+
+def test_e16_write_endurance(experiment):
+    experiment("e16")

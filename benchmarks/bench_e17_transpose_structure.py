@@ -1,0 +1,8 @@
+"""E17 — tiled transposition vs generic permuting: structure beats generality.
+
+Regenerates experiment E17 (see DESIGN.md's experiment index).
+"""
+
+
+def test_e17_transpose_structure(experiment):
+    experiment("e17")

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the algorithms at a fixed instance.
+
+Wall-time throughput of each sorter/permuter/SpMxV algorithm on one
+representative instance; ``extra_info`` carries the exact I/O counts, so a
+run doubles as a quick regression record of the cost constants.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom
+from repro.atoms.permutation import Permutation
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.permute.base import PERMUTERS
+from repro.sorting.base import SORTERS
+from repro.spmxv.matrix import load_matrix, load_vector
+from repro.spmxv.naive import spmxv_naive
+from repro.spmxv.sort_based import spmxv_sort_based
+from repro.workloads.generators import sort_input, spmxv_instance
+
+P = AEMParams(M=128, B=16, omega=8)
+N_SORT = 8_000
+N_PERM = 4_096
+
+
+@pytest.mark.parametrize("name", sorted(SORTERS))
+def test_sorter(benchmark, name):
+    if name == "pointer_mergesort":
+        pytest.skip("identical round structure to aem_mergesort; E2 covers it")
+    atoms = sort_input(N_SORT, "uniform", np.random.default_rng(0))
+
+    def body():
+        machine = AEMMachine.for_algorithm(P)
+        addrs = machine.load_input(atoms)
+        SORTERS[name](machine, addrs, P)
+        return machine
+
+    machine = benchmark.pedantic(body, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {"N": N_SORT, "Qr": machine.reads, "Qw": machine.writes, "Q": machine.cost}
+    )
+
+
+@pytest.mark.parametrize("name", sorted(PERMUTERS))
+def test_permuter(benchmark, name):
+    rng = np.random.default_rng(1)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N_PERM, N_PERM))]
+    perm = Permutation.random(N_PERM, rng)
+
+    def body():
+        machine = AEMMachine.for_algorithm(P)
+        addrs = machine.load_input(atoms)
+        PERMUTERS[name](machine, addrs, perm, P)
+        return machine
+
+    machine = benchmark.pedantic(body, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {"N": N_PERM, "Qr": machine.reads, "Qw": machine.writes, "Q": machine.cost}
+    )
+
+
+@pytest.mark.parametrize("algorithm", ["naive", "sort_based"])
+def test_spmxv(benchmark, algorithm):
+    conf, values, x = spmxv_instance(1_024, 4, "random", 2)
+    fn = {"naive": spmxv_naive, "sort_based": spmxv_sort_based}[algorithm]
+
+    def body():
+        machine = AEMMachine.for_algorithm(P)
+        ma = load_matrix(machine, conf, values)
+        xa = load_vector(machine, x)
+        fn(machine, ma, xa, conf, P)
+        return machine
+
+    machine = benchmark.pedantic(body, rounds=3, iterations=1)
+    benchmark.extra_info.update(
+        {"N": 1_024, "delta": 4, "Qr": machine.reads, "Qw": machine.writes,
+         "Q": machine.cost}
+    )

@@ -1,0 +1,59 @@
+"""Micro-benchmarks of the simulator's primitives.
+
+These time the *simulator* (not the model): block I/O dispatch, capacity
+ledger, trace recording — the per-I/O overhead every experiment pays. They
+guard against performance regressions that would make the larger sweeps
+impractical.
+"""
+
+import numpy as np
+
+from repro.atoms.atom import make_atoms
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.machine.streams import scan_copy
+
+P = AEMParams(M=256, B=16, omega=8)
+
+
+def _loaded_machine(n_atoms=4_096, record=False):
+    machine = AEMMachine.for_algorithm(P, record=record)
+    addrs = machine.load_input(make_atoms(range(n_atoms)))
+    return machine, addrs
+
+
+def test_read_release_throughput(benchmark):
+    machine, addrs = _loaded_machine()
+
+    def body():
+        for addr in addrs:
+            machine.release(machine.read(addr))
+
+    benchmark(body)
+    benchmark.extra_info["ios"] = len(addrs)
+
+
+def test_scan_copy_throughput(benchmark):
+    machine, addrs = _loaded_machine()
+    benchmark(scan_copy, machine, addrs)
+    benchmark.extra_info["blocks"] = len(addrs)
+
+
+def test_trace_recording_overhead(benchmark):
+    machine, addrs = _loaded_machine(record=True)
+
+    def body():
+        machine.trace.clear()
+        scan_copy(machine, addrs)
+
+    benchmark(body)
+    benchmark.extra_info["ops_per_run"] = 2 * len(addrs)
+
+
+def test_permutation_compose(benchmark):
+    rng = np.random.default_rng(0)
+    from repro.atoms.permutation import Permutation
+
+    a = Permutation.random(100_000, rng)
+    b = Permutation.random(100_000, rng)
+    benchmark(a.compose, b)

@@ -1,0 +1,41 @@
+"""Benchmark harness support.
+
+Each ``bench_eXX_*.py`` regenerates one experiment from DESIGN.md's index
+(the paper has no tables/figures; the experiments are their stand-ins).
+pytest-benchmark measures the simulator's wall time; the scientific payload
+— exact I/O counts, fitted constants, pass/fail checks — is attached to
+``benchmark.extra_info`` and printed, so ``pytest benchmarks/
+--benchmark-only`` yields both a timing table and the reproduction tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+def run_and_report(benchmark, eid: str, *, quick: bool = True):
+    """Run one experiment exactly once under the benchmark timer."""
+    result = benchmark.pedantic(
+        run_experiment, args=(eid,), kwargs={"quick": quick}, rounds=1, iterations=1
+    )
+    benchmark.extra_info["experiment"] = result.eid
+    benchmark.extra_info["title"] = result.title
+    benchmark.extra_info["checks"] = {k: bool(v) for k, v in result.checks.items()}
+    benchmark.extra_info["passed"] = result.passed
+    print()
+    print(result.render())
+    failing = [k for k, ok in result.checks.items() if not ok]
+    assert not failing, f"{eid} failing checks: {failing}"
+    return result
+
+
+@pytest.fixture
+def experiment(benchmark):
+    """Fixture form of :func:`run_and_report`."""
+
+    def _run(eid: str, *, quick: bool = True):
+        return run_and_report(benchmark, eid, quick=quick)
+
+    return _run

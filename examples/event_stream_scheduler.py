@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""An external-memory event scheduler on the AEM priority queue.
+
+A realistic priority-queue workload on an NVM-budgeted device: several
+sensor streams produce timestamped readings that exceed internal memory;
+a scheduler processes them in global time order, and ~10% of events
+schedule a follow-up (a retry at t + delay) — so pushes and pops
+interleave and the queue cannot simply sort once.
+
+The run demonstrates the :class:`repro.structures.ExternalPQ`:
+
+* buffered pushes spill into leveled external runs,
+* pops come from a delete buffer refilled by Section-3.1-style selection
+  rounds,
+* the machine ledger proves the whole dance stayed within memory, and the
+  counters show how few (expensive) writes the structure needed.
+
+Run:  python examples/event_stream_scheduler.py
+"""
+
+import numpy as np
+
+from repro import AEMMachine, AEMParams
+from repro.atoms.atom import Atom
+from repro.structures import ExternalPQ
+
+PARAMS = AEMParams(M=128, B=16, omega=8)
+STREAMS = 6
+EVENTS_PER_STREAM = 1_500
+RETRY_PROBABILITY = 0.1
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    machine = AEMMachine.for_algorithm(PARAMS)
+    pq = ExternalPQ(machine, PARAMS)
+
+    # Ingest: each stream's readings arrive in its own order; timestamps
+    # interleave across streams. Events are atoms keyed by timestamp.
+    uid = 0
+    for stream in range(STREAMS):
+        t = float(rng.random())
+        for _ in range(EVENTS_PER_STREAM):
+            t += float(rng.exponential(1.0))
+            pq.push_new(Atom(round(t, 6), uid, ("reading", stream)))
+            uid += 1
+    ingested = uid
+    print(f"ingested {ingested} events from {STREAMS} streams "
+          f"(internal memory {machine.params.M} atoms)")
+
+    # Process in time order; some events spawn retries.
+    processed = 0
+    retries = 0
+    last_t = float("-inf")
+    while len(pq):
+        event = pq.pop()
+        assert event.key >= last_t, "events left the queue out of order!"
+        last_t = event.key
+        processed += 1
+        kind, stream = event.value
+        if kind == "reading" and rng.random() < RETRY_PROBABILITY:
+            pq.push(Atom(round(event.key + 5.0, 6), uid, ("retry", stream)))
+            uid += 1
+            retries += 1
+        else:
+            machine.release(1)  # event fully handled
+    pq.close()
+
+    print(f"processed {processed} events in strict time order "
+          f"({retries} retries scheduled mid-flight)")
+    print(f"I/O: Qr={machine.reads}  Qw={machine.writes}  Q={machine.cost:,.0f}")
+    print(f"     {machine.writes / processed:.3f} write I/Os per event — the "
+          f"queue batches {PARAMS.B}-atom blocks and keeps writes scarce")
+    print(f"peak internal memory: {machine.mem.peak}/{machine.params.M} atoms; "
+          f"ledger after close: {machine.mem.occupancy} (exact)")
+    wear = machine.wear()
+    print(f"wear: hottest block written {wear.max_writes}x, "
+          f"mean {wear.mean_writes:.2f} — no hot spots to wear out")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Scenario: choosing a sort for an NVM-backed store with expensive writes.
+
+The paper's motivation: emerging non-volatile memories read cheaply but
+write expensively (and wear out). This example plays a storage engineer
+evaluating sorting strategies for an external sort on such a device, at
+several plausible write/read cost ratios omega:
+
+* the classic symmetric-EM mergesort (what you run today on SSD/disk),
+* the paper's AEM mergesort (Section 3),
+* the prior AEM mergesort that keeps merge pointers in memory — which
+  simply stops fitting once omega exceeds ~B.
+
+Besides total cost, the write count itself is reported: on real NVM it is
+endurance (device lifetime), not just time.
+
+Run:  python examples/nvm_write_aware_sorting.py
+"""
+
+import numpy as np
+
+from repro import AEMMachine, AEMParams
+from repro.analysis.tables import format_table
+from repro.machine.errors import CapacityError
+from repro.sorting import (
+    aem_mergesort,
+    em_mergesort,
+    pointer_mergesort,
+    verify_sorted_output,
+)
+from repro.workloads.generators import sort_input
+
+M, B = 32, 16  # a deliberately small machine: m = 2 internal blocks
+N = 16_384
+
+
+def run(sorter, params, atoms, slack=2.0):
+    machine = AEMMachine.for_algorithm(params, slack=slack)
+    addrs = machine.load_input(atoms)
+    out = sorter(machine, addrs, params)
+    verify_sorted_output(machine, atoms, out)
+    return machine
+
+
+def main() -> None:
+    atoms = sort_input(N, "uniform", np.random.default_rng(7))
+    rows = []
+    for omega in (1, 4, 16, 64):
+        params = AEMParams(M=M, B=B, omega=omega)
+        em = run(em_mergesort, params, atoms)
+        aem = run(aem_mergesort, params, atoms)
+        try:
+            ptr = run(pointer_mergesort, params, atoms)
+            ptr_cost = f"{ptr.cost:,.0f}"
+        except CapacityError:
+            ptr_cost = "does not fit"
+        rows.append(
+            [
+                omega,
+                f"{em.cost:,.0f}",
+                em.writes,
+                f"{aem.cost:,.0f}",
+                aem.writes,
+                aem.wear().max_writes,
+                ptr_cost,
+                f"{em.cost / aem.cost:.2f}x",
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "omega",
+                "EM msort Q",
+                "EM writes",
+                "AEM msort Q",
+                "AEM writes",
+                "AEM max wear",
+                "pointer msort Q",
+                "AEM advantage",
+            ],
+            rows,
+            title=(
+                f"Sorting N={N} on M={M}, B={B} under different write costs\n"
+            ),
+        )
+    )
+    print()
+    print("Reading the table:")
+    print(" * at omega=1 (symmetric disk) the classic mergesort is the right")
+    print("   tool — the AEM algorithm's round bookkeeping costs extra reads;")
+    print(" * as omega grows, the AEM mergesort pulls ahead on total cost AND")
+    print("   performs several times fewer writes (device endurance);")
+    print(" * the pointer-table variant silently stops fitting in memory once")
+    print("   omega*m pointers exceed internal memory (omega >~ B) — the exact")
+    print("   assumption the paper's Section 3 removes;")
+    print(" * max wear (writes to the hottest block) stays tiny: every")
+    print("   algorithm here writes fresh output regions rather than in place,")
+    print("   so endurance budgets are set by total writes, not hot spots.")
+
+
+if __name__ == "__main__":
+    main()

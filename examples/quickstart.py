@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: sort and permute on a simulated (M, B, omega)-AEM.
+
+This walks the package's core loop in ~40 lines of user code:
+
+1. pick model parameters (internal memory M, block size B, write cost omega),
+2. place atoms in the simulated external memory,
+3. run the paper's mergesort (Section 3) and read off exact I/O counts,
+4. compare against the closed-form upper bound and the Section 4 lower
+   bound.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import AEMMachine, AEMParams, Permutation, make_atoms
+from repro.core.bounds import sort_upper_shape
+from repro.core.counting import counting_lower_bound_general
+from repro.permute import permute_adaptive, verify_permutation_output
+from repro.sorting import aem_mergesort, verify_sorted_output
+
+
+def main() -> None:
+    # An AEM with 256-atom internal memory, 16-atom blocks, and writes 8x
+    # as expensive as reads (a plausible NVM ratio).
+    params = AEMParams(M=256, B=16, omega=8)
+    print(f"model: {params.describe()}\n")
+
+    # ---------------- Sorting ----------------
+    rng = np.random.default_rng(42)
+    N = 20_000
+    atoms = make_atoms(rng.integers(0, 10**9, N).tolist())
+
+    machine = AEMMachine.for_algorithm(params)
+    input_blocks = machine.load_input(atoms)
+    output_blocks = aem_mergesort(machine, input_blocks, params)
+    verify_sorted_output(machine, atoms, output_blocks)
+
+    shape = sort_upper_shape(N, params)
+    print(f"sorted N={N} atoms:")
+    print(f"  read I/Os   Qr = {machine.reads}")
+    print(f"  write I/Os  Qw = {machine.writes}")
+    print(f"  total cost  Q  = {machine.cost:g}   (reads + omega * writes)")
+    print(f"  theory shape omega*n*log_(omega m) n = {shape:g}")
+    print(f"  fitted constant Q/shape = {machine.cost / shape:.2f}")
+    print(f"  peak internal memory = {machine.mem.peak} atoms "
+          f"(machine capacity {machine.params.M})\n")
+
+    # ---------------- Permuting ----------------
+    N = 8_192
+    atoms = make_atoms(rng.integers(0, 10**9, N).tolist())
+    perm = Permutation.random(N, rng)
+
+    machine = AEMMachine.for_algorithm(params)
+    input_blocks = machine.load_input(atoms)
+    output_blocks = permute_adaptive(machine, input_blocks, perm, params)
+    verify_permutation_output(machine, atoms, output_blocks, perm)
+
+    lb = counting_lower_bound_general(N, params)
+    print(f"permuted N={N} atoms (adaptive strategy):")
+    print(f"  total cost Q = {machine.cost:g}")
+    print(f"  Section 4.2 counting lower bound (any program) = {lb:g}")
+    print(f"  the measured cost is {machine.cost / max(lb, 1):.1f}x the bound —")
+    print("  soundness holds; Theorem 4.5 says the gap is a constant in the")
+    print("  sorting regime (see experiment E7).")
+
+
+if __name__ == "__main__":
+    main()

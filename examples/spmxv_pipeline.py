@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""SpMxV on the AEM: pick the right algorithm for the matrix and the device.
+
+A small pipeline in the style of a graph/ML kernel author targeting an
+NVM-backed machine: multiply sparse matrices of different structure
+(random, banded, strided) by dense vectors, over different semirings
+(numeric (+,*) and the (max,+) tropical semiring used for shortest paths),
+choosing between the paper's two algorithms by their cost shapes, and
+verifying every product against a dense reference.
+
+Run:  python examples/spmxv_pipeline.py
+"""
+
+import numpy as np
+
+from repro import AEMMachine, AEMParams
+from repro.analysis.tables import format_table
+from repro.spmxv import (
+    MAX_PLUS,
+    REAL,
+    Conformation,
+    load_matrix,
+    load_vector,
+    reference_product,
+    spmxv_naive,
+    spmxv_naive_shape,
+    spmxv_sort_based,
+    spmxv_sort_shape,
+    theorem_5_1_exact,
+)
+
+N, DELTA = 1_024, 4
+PARAMS = AEMParams(M=256, B=16, omega=8)
+
+
+def choose(params) -> str:
+    """Pick the predicted-cheaper algorithm from the Section 5 shapes."""
+    naive = spmxv_naive_shape(N, DELTA, params)
+    sort = 3.0 * spmxv_sort_shape(N, DELTA, params)  # calibrated constant
+    return "direct" if naive <= sort else "sort"
+
+
+def multiply(conf, values, x, semiring, algorithm):
+    machine = AEMMachine.for_algorithm(PARAMS)
+    ma = load_matrix(machine, conf, values)
+    xa = load_vector(machine, x)
+    fn = spmxv_naive if algorithm == "direct" else spmxv_sort_based
+    out = fn(machine, ma, xa, conf, PARAMS, semiring)
+    return machine, machine.collect_output(out)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    matrices = {
+        "random": Conformation.random(N, DELTA, rng),
+        "banded": Conformation.banded(N, DELTA),
+        "strided": Conformation.transpose_like(N, DELTA),
+    }
+    x = rng.standard_normal(N).tolist()
+    chosen = choose(PARAMS)
+    print(f"model: {PARAMS.describe()}; shapes pick the '{chosen}' algorithm\n")
+
+    rows = []
+    for name, conf in matrices.items():
+        values = rng.standard_normal(conf.H).tolist()
+        for algorithm in ("direct", "sort"):
+            machine, y = multiply(conf, values, x, REAL, algorithm)
+            ref = reference_product(conf, values, x)
+            err = max(abs(a - b) for a, b in zip(y, ref))
+            rows.append(
+                [name, algorithm, machine.reads, machine.writes,
+                 f"{machine.cost:,.0f}", f"{err:.1e}"]
+            )
+    print(
+        format_table(
+            ["matrix", "algorithm", "Qr", "Qw", "Q", "max err vs dense"],
+            rows,
+            title=f"Real semiring, N={N}, delta={DELTA}\n",
+        )
+    )
+
+    # Tropical semiring: one relaxation round of shortest paths, y_i =
+    # max_j (A_ij + x_j) under (max,+). Same algorithms, different algebra.
+    conf = matrices["random"]
+    weights = (-rng.random(conf.H)).tolist()
+    machine, y = multiply(conf, weights, x, MAX_PLUS, chosen)
+    ref = reference_product(conf, weights, x, MAX_PLUS)
+    assert y == ref
+    print(f"\n(max,+) semiring relaxation: Q = {machine.cost:,.0f}, "
+          f"output verified against the dense reference")
+
+    lb = theorem_5_1_exact(N, DELTA, PARAMS)
+    if lb.cost > 0:
+        print(f"\nTheorem 5.1 exact lower bound at this instance: {lb.cost:,.0f};")
+        print("every measured cost above respects it (soundness, experiment E11).")
+    else:
+        at_scale = theorem_5_1_exact(1 << 18, DELTA, PARAMS)
+        print(f"\nTheorem 5.1's exact display is trivial (0) at this small N;")
+        print(f"at N = 2^18 with the same delta it already demands "
+              f"{at_scale.cost:,.0f} I/O cost (soundness swept in experiment E11).")
+
+
+if __name__ == "__main__":
+    main()

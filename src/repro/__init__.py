@@ -1,0 +1,78 @@
+"""repro — reproduction of *Lower Bounds in the Asymmetric External Memory
+Model* (Jacob & Sitchinava, SPAA 2017).
+
+The package provides:
+
+* :mod:`repro.machine` — an exact (M, B, omega)-AEM cost simulator, plus
+  the symmetric EM model, the ARAM, and the unit-cost flash model;
+* :mod:`repro.atoms` — indivisible atoms and permutations;
+* :mod:`repro.trace` — straight-line programs, recording, replay, and the
+  liveness/usefulness analyses behind the Section 4 machinery;
+* :mod:`repro.sorting` — the paper's Section 3 AEM mergesort and the
+  comparator algorithms (sample sort, heapsort, EM mergesort, the
+  pointer-in-memory mergesort that needs omega < B);
+* :mod:`repro.permute` — permuting algorithms realizing the upper bound
+  ``min{N + omega*n, omega*n*log_{omega m} n}``;
+* :mod:`repro.rounds` — the Lemma 4.1 round-based conversion;
+* :mod:`repro.flashred` — the Lemma 4.3 reduction to the unit-cost flash
+  model and Corollary 4.4;
+* :mod:`repro.core` — closed-form bounds, the exact Section 4.2 counting
+  lower bound, and regime analysis;
+* :mod:`repro.spmxv` — sparse-matrix dense-vector multiplication: layouts,
+  the direct and sorting-based algorithms, and the Theorem 5.1 bound;
+* :mod:`repro.workloads`, :mod:`repro.analysis` — generators, curve
+  fitting, sweeps and tables for the experiment suite.
+
+Quickstart::
+
+    from repro import AEMParams, AEMMachine, make_atoms, aem_mergesort
+
+    p = AEMParams(M=64, B=8, omega=8)
+    machine = AEMMachine.for_algorithm(p)
+    addrs = machine.load_input(make_atoms(keys))
+    out = aem_mergesort(machine, addrs, p)
+    print(machine.cost, machine.reads, machine.writes)
+"""
+
+from .atoms import Atom, Permutation, make_atoms
+from .core import (
+    AEMParams,
+    counting_lower_bound,
+    counting_lower_bound_general,
+    permute_lower_shape,
+    permute_upper_shape,
+    sort_upper_shape,
+)
+from .machine import (
+    AEMMachine,
+    CapacityError,
+    FlashMachine,
+    aram_machine,
+    em_machine,
+)
+from .structures import ExternalPQ
+from .trace import Program, Recorder, capture
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AEMMachine",
+    "AEMParams",
+    "Atom",
+    "CapacityError",
+    "ExternalPQ",
+    "FlashMachine",
+    "Permutation",
+    "Program",
+    "Recorder",
+    "__version__",
+    "aram_machine",
+    "capture",
+    "counting_lower_bound",
+    "counting_lower_bound_general",
+    "em_machine",
+    "make_atoms",
+    "permute_lower_shape",
+    "permute_upper_shape",
+    "sort_upper_shape",
+]

@@ -1,0 +1,15 @@
+"""Measurement analysis: curve fitting, sweeps, and text tables."""
+
+from .fit import FitResult, fit_constant, growth_exponent
+from .sweep import column, grid, sweep
+from .tables import format_table
+
+__all__ = [
+    "FitResult",
+    "column",
+    "fit_constant",
+    "format_table",
+    "grid",
+    "growth_exponent",
+    "sweep",
+]

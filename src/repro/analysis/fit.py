@@ -1,0 +1,73 @@
+"""Fitting measured costs to theoretical shapes.
+
+The paper's bounds are asymptotic; "the measurement matches the bound"
+means the ratio measured/shape is a stable constant across a sweep. A
+:class:`FitResult` captures that: the fitted constant (median ratio) and
+the spread (max/min ratio) — a spread close to 1 over a decade of N is the
+empirical signature of a matching growth rate.
+
+:func:`growth_exponent` fits a log-log slope, used to verify polynomial
+factors (e.g. permuting's naive branch growing linearly in N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FitResult:
+    """Ratios of measured values to theoretical shapes."""
+
+    constant: float  # median ratio
+    min_ratio: float
+    max_ratio: float
+    ratios: tuple[float, ...]
+
+    @property
+    def spread(self) -> float:
+        """max/min ratio: 1.0 means the shape tracks the data exactly."""
+        if self.min_ratio <= 0:
+            return float("inf")
+        return self.max_ratio / self.min_ratio
+
+    def describe(self) -> str:
+        return (
+            f"constant={self.constant:.3g} "
+            f"ratio in [{self.min_ratio:.3g}, {self.max_ratio:.3g}] "
+            f"(spread {self.spread:.2f}x)"
+        )
+
+
+def fit_constant(measured: Sequence[float], shapes: Sequence[float]) -> FitResult:
+    """Fit ``measured ~= c * shape``; raises on length mismatch or
+    non-positive shapes."""
+    if len(measured) != len(shapes):
+        raise ValueError("measured and shapes must align")
+    if not measured:
+        raise ValueError("cannot fit an empty series")
+    if any(s <= 0 for s in shapes):
+        raise ValueError("shapes must be positive")
+    ratios = tuple(m / s for m, s in zip(measured, shapes))
+    return FitResult(
+        constant=float(np.median(ratios)),
+        min_ratio=min(ratios),
+        max_ratio=max(ratios),
+        ratios=ratios,
+    )
+
+
+def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """The log-log slope of y against x (least squares).
+
+    An exponent near 1.0 means linear growth, near 2.0 quadratic, etc.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two aligned points")
+    lx = np.log(np.asarray(xs, dtype=float))
+    ly = np.log(np.asarray(ys, dtype=float))
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)

@@ -1,0 +1,40 @@
+"""Parameter-sweep harness.
+
+A sweep runs a measurement function over a grid of configurations and
+collects flat record dicts, which the table renderer and the fitters
+consume directly. Deliberately minimal: deterministic order, no
+parallelism (the simulator's costs are exact counters, and runs are
+seconds, not hours).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, Mapping, Sequence
+
+
+def grid(**axes: Sequence) -> Iterator[Dict]:
+    """Cartesian product of named axes as dicts, in axis order."""
+    names = list(axes)
+    for combo in itertools.product(*(axes[n] for n in names)):
+        yield dict(zip(names, combo))
+
+
+def sweep(
+    measure: Callable[..., Mapping],
+    configs: Iterable[Mapping],
+) -> list[Dict]:
+    """Run ``measure(**config)`` for each config; each record is the config
+    merged with the measurement dict (measurement keys win on clashes)."""
+    records: list[Dict] = []
+    for config in configs:
+        result = measure(**config)
+        rec = dict(config)
+        rec.update(result)
+        records.append(rec)
+    return records
+
+
+def column(records: Sequence[Mapping], key: str) -> list:
+    """Extract one column from sweep records."""
+    return [r[key] for r in records]

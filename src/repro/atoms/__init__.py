@@ -1,0 +1,22 @@
+"""Indivisible atoms and permutations — the objects the lower bounds count."""
+
+from .atom import (
+    Atom,
+    is_sorted,
+    keys_of,
+    make_atoms,
+    same_atom_multiset,
+    uids_of,
+)
+from .permutation import Permutation, verify_permuted
+
+__all__ = [
+    "Atom",
+    "Permutation",
+    "is_sorted",
+    "keys_of",
+    "make_atoms",
+    "same_atom_multiset",
+    "uids_of",
+    "verify_permuted",
+]

@@ -1,0 +1,219 @@
+"""Command-line interface.
+
+Regenerate any experiment, run individual algorithms with cost readouts,
+or print the bound formulas for a parameter point::
+
+    repro-aem exp e1                  # one experiment (quick mode)
+    repro-aem exp all --full          # the whole suite, full-size sweeps
+    repro-aem sort --sorter aem_mergesort --n 8000 --m 128 --b 16 --omega 8
+    repro-aem permute --permuter adaptive --n 4096 --m 64 --b 8 --omega 4
+    repro-aem spmxv --algorithm sort_based --n 1024 --delta 4
+    repro-aem bounds --n 65536 --m 256 --b 16 --omega 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.bounds import (
+    permute_lower_shape,
+    permute_naive_shape,
+    sort_upper_shape,
+)
+from .core.counting import (
+    counting_lower_bound,
+    counting_lower_bound_general,
+    simplified_cost_bound,
+)
+from .core.params import AEMParams
+from .core.regimes import boundary_B, classify, min_branch
+from .experiments import REGISTRY, run_all, run_experiment
+from .experiments.common import measure_permute, measure_sort, measure_spmxv
+from .permute.base import PERMUTERS
+from .sorting.base import SORTERS
+
+
+def _params(args) -> AEMParams:
+    return AEMParams(M=args.m, B=args.b, omega=args.omega)
+
+
+def _add_machine_args(sub) -> None:
+    sub.add_argument("--m", type=int, default=128, help="internal memory M (atoms)")
+    sub.add_argument("--b", type=int, default=16, help="block size B (atoms)")
+    sub.add_argument("--omega", type=float, default=8, help="write/read cost ratio")
+    sub.add_argument("--seed", type=int, default=0)
+
+
+def cmd_exp(args) -> int:
+    quick = not args.full
+    if args.id.lower() == "all":
+        results = run_all(quick=quick)
+    else:
+        results = [run_experiment(args.id, quick=quick)]
+    failed = 0
+    for r in results:
+        print(r.render())
+        print()
+        failed += 0 if r.passed else 1
+    if failed:
+        print(f"{failed} experiment(s) had failing checks", file=sys.stderr)
+    return 1 if failed else 0
+
+
+def cmd_sort(args) -> int:
+    p = _params(args)
+    rec = measure_sort(
+        args.sorter, args.n, p, distribution=args.distribution, seed=args.seed
+    )
+    print(f"{args.sorter} on N={args.n} {args.distribution} keys, {p.describe()}")
+    print(
+        f"  Qr={rec['Qr']}  Qw={rec['Qw']}  Q={rec['Q']:g}  "
+        f"T={rec['T']}  peak-mem={rec['peak_mem']}"
+    )
+    print(f"  shape omega*n*log_(omega m) n = {sort_upper_shape(args.n, p):g}")
+    return 0
+
+
+def cmd_permute(args) -> int:
+    p = _params(args)
+    rec = measure_permute(
+        args.permuter, args.n, p, family=args.family, seed=args.seed
+    )
+    print(
+        f"{args.permuter} permuting N={args.n} ({args.family}), {p.describe()}"
+    )
+    print(f"  Qr={rec['Qr']}  Qw={rec['Qw']}  Q={rec['Q']:g}")
+    print(
+        f"  upper shapes: naive={permute_naive_shape(args.n, p):g}  "
+        f"sort={sort_upper_shape(args.n, p):g}"
+    )
+    print(f"  lower bound (general) = {counting_lower_bound_general(args.n, p):g}")
+    return 0
+
+
+def cmd_spmxv(args) -> int:
+    p = _params(args)
+    rec = measure_spmxv(
+        args.algorithm, args.n, args.delta, p, family=args.family, seed=args.seed
+    )
+    print(
+        f"spmxv {args.algorithm}: N={args.n}, delta={args.delta} "
+        f"({args.family}), {p.describe()}"
+    )
+    print(f"  Qr={rec['Qr']}  Qw={rec['Qw']}  Q={rec['Q']:g}")
+    return 0
+
+
+def cmd_inspect(args) -> int:
+    """Record a permuting program and render its trace."""
+    import numpy as np
+
+    from .atoms.atom import Atom
+    from .permute.base import PERMUTERS
+    from .trace.program import capture
+    from .trace.render import render_program
+    from .workloads.generators import permutation
+
+    p = _params(args)
+    rng = np.random.default_rng(args.seed)
+    atoms = [
+        Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * args.n, args.n))
+    ]
+    perm = permutation(args.n, args.family, rng)
+    program = capture(p, atoms, PERMUTERS[args.permuter], perm, p)
+    if args.round_based:
+        from .rounds.convert import to_round_based
+
+        program, report = to_round_based(program)
+        print(
+            f"(converted to round-based: {report.rounds} rounds, "
+            f"cost ratio {report.cost_ratio:.2f})\n"
+        )
+    print(render_program(program, timeline_limit=args.ops))
+    return 0
+
+
+def cmd_bounds(args) -> int:
+    p = _params(args)
+    N = args.n
+    cb = counting_lower_bound(N, p)
+    print(f"Bounds for permuting/sorting N={N} on {p.describe()}:")
+    print(f"  Theorem 4.5 shape  min{{N, w n log_wm n}} = {permute_lower_shape(N, p):g}")
+    print(f"  exact counting bound (round-based): rounds >= {cb.rounds}, cost >= {cb.cost:g}")
+    print(f"  exact counting bound (general programs): {counting_lower_bound_general(N, p):g}")
+    print(f"  paper's simplified closed form: {simplified_cost_bound(N, p):g}")
+    print(f"  upper bounds: naive permute = {permute_naive_shape(N, p):g}, "
+          f"mergesort = {sort_upper_shape(N, p):g}")
+    print(f"  regime: min takes the '{min_branch(N, p).value}' branch; "
+          f"case analysis says '{classify(N, p).value}' "
+          f"(boundary B* = {boundary_B(N, p):.1f}, actual B = {p.B})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    ap = argparse.ArgumentParser(
+        prog="repro-aem",
+        description=(
+            "Reproduction of 'Lower Bounds in the Asymmetric External "
+            "Memory Model' (Jacob & Sitchinava, SPAA 2017)"
+        ),
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    exp = sub.add_parser("exp", help="run experiments (e1..e14 or 'all')")
+    exp.add_argument("id", help=f"experiment id: {sorted(REGISTRY)} or 'all'")
+    exp.add_argument("--full", action="store_true", help="full-size sweeps")
+    exp.set_defaults(fn=cmd_exp)
+
+    srt = sub.add_parser("sort", help="run one sorter with cost readout")
+    srt.add_argument("--sorter", choices=sorted(SORTERS), default="aem_mergesort")
+    srt.add_argument("--n", type=int, default=8_000)
+    srt.add_argument("--distribution", default="uniform")
+    _add_machine_args(srt)
+    srt.set_defaults(fn=cmd_sort)
+
+    per = sub.add_parser("permute", help="run one permuter with cost readout")
+    per.add_argument("--permuter", choices=sorted(PERMUTERS), default="adaptive")
+    per.add_argument("--n", type=int, default=4_096)
+    per.add_argument("--family", default="random")
+    _add_machine_args(per)
+    per.set_defaults(fn=cmd_permute)
+
+    sp = sub.add_parser("spmxv", help="run one SpMxV algorithm")
+    sp.add_argument("--algorithm", choices=["naive", "sort_based"], default="sort_based")
+    sp.add_argument("--n", type=int, default=1_024)
+    sp.add_argument("--delta", type=int, default=4)
+    sp.add_argument("--family", default="random")
+    _add_machine_args(sp)
+    sp.set_defaults(fn=cmd_spmxv)
+
+    bd = sub.add_parser("bounds", help="print the bound formulas for a point")
+    bd.add_argument("--n", type=int, default=65_536)
+    _add_machine_args(bd)
+    bd.set_defaults(fn=cmd_bounds)
+
+    ins = sub.add_parser(
+        "inspect", help="record a permuting program and render its trace"
+    )
+    ins.add_argument("--permuter", choices=sorted(PERMUTERS), default="naive")
+    ins.add_argument("--n", type=int, default=512)
+    ins.add_argument("--family", default="random")
+    ins.add_argument("--ops", type=int, default=40, help="timeline ops to show")
+    ins.add_argument(
+        "--round-based",
+        action="store_true",
+        help="apply the Lemma 4.1 conversion before rendering",
+    )
+    _add_machine_args(ins)
+    ins.set_defaults(fn=cmd_inspect)
+    return ap
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Model parameters for the (M, B, omega)-Asymmetric External Memory model.
+
+The AEM model (Blelloch et al. [7], as used by Jacob & Sitchinava, SPAA'17)
+is a two-level memory hierarchy:
+
+* an *internal* (symmetric) memory holding at most ``M`` atoms,
+* an unbounded *external* (asymmetric) memory accessed in blocks of ``B``
+  atoms, where a write I/O costs ``omega`` times a read I/O.
+
+This module defines :class:`AEMParams`, the single source of truth for the
+derived quantities used throughout the paper and this code base::
+
+    m = ceil(M / B)          blocks that fit in internal memory
+    n = ceil(N / B)          blocks occupied by an input of N atoms
+    d = omega * m            the mergesort fan-out of Section 3
+
+Special cases of the model are expressed as constructors:
+
+* ``AEMParams.em(M, B)`` — the symmetric EM model of Aggarwal & Vitter
+  (``omega = 1``),
+* ``AEMParams.aram(M, omega)`` — the (M, omega)-ARAM of Blelloch et al.
+  (``B = 1``), which the paper notes is equivalent to the (M, 1, omega)-AEM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling of ``a / b`` for non-negative integers (``⌈a/b⌉``)."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b}")
+    if a < 0:
+        raise ValueError(f"dividend must be non-negative, got {a}")
+    return -(-a // b)
+
+
+@dataclass(frozen=True)
+class AEMParams:
+    """Parameters of an (M, B, omega)-AEM machine.
+
+    Attributes
+    ----------
+    M:
+        Internal memory capacity in atoms. Must satisfy ``M >= B``.
+    B:
+        Block size in atoms, ``B >= 1``.
+    omega:
+        Write-to-read cost ratio, ``omega >= 1``. Integers are typical but
+        any real ratio ``>= 1`` is accepted (costs stay exact because the
+        counters keep reads and writes separately).
+    """
+
+    M: int
+    B: int
+    omega: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.M, int) or self.M < 1:
+            raise ValueError(f"M must be a positive integer, got {self.M!r}")
+        if not isinstance(self.B, int) or self.B < 1:
+            raise ValueError(f"B must be a positive integer, got {self.B!r}")
+        if self.M < self.B:
+            raise ValueError(
+                f"internal memory must hold at least one block (M={self.M} < B={self.B})"
+            )
+        if not (isinstance(self.omega, (int, float)) and self.omega >= 1):
+            raise ValueError(f"omega must be a number >= 1, got {self.omega!r}")
+
+    # ------------------------------------------------------------------
+    # Constructors for the special cases discussed in the paper.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def em(M: int, B: int) -> "AEMParams":
+        """The symmetric EM model of Aggarwal & Vitter: ``omega = 1``."""
+        return AEMParams(M=M, B=B, omega=1.0)
+
+    @staticmethod
+    def aram(M: int, omega: float) -> "AEMParams":
+        """The (M, omega)-ARAM of Blelloch et al.: ``B = 1``."""
+        return AEMParams(M=M, B=1, omega=omega)
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        """Number of blocks fitting in internal memory, ``m = ceil(M/B)``."""
+        return ceil_div(self.M, self.B)
+
+    def n(self, N: int) -> int:
+        """Number of blocks occupied by ``N`` atoms, ``n = ceil(N/B)``."""
+        return ceil_div(N, self.B)
+
+    @property
+    def fanout(self) -> int:
+        """The Section 3 mergesort fan-out ``d = omega * m`` (at least 2)."""
+        return max(2, int(self.omega * self.m))
+
+    @property
+    def write_cost(self) -> float:
+        """Cost of one write I/O (``omega``); a read I/O costs 1."""
+        return float(self.omega)
+
+    def base_case_size(self) -> int:
+        """Largest input sorted by the small-array base case, ``omega * M``.
+
+        Section 3 sorts subarrays of ``N' <= omega * M`` elements directly
+        (via Blelloch et al. [7, Lemma 4.2]) in ``O(omega n')`` reads and
+        ``O(n')`` writes.
+        """
+        return max(self.M, int(self.omega * self.M))
+
+    def log_omega_m(self, x: float) -> float:
+        """``log`` of ``x`` in base ``omega * m`` (clamped to base >= 2)."""
+        base = max(2.0, self.omega * self.m)
+        if x <= 1:
+            return 0.0
+        return math.log(x) / math.log(base)
+
+    # ------------------------------------------------------------------
+    # Convenience.
+    # ------------------------------------------------------------------
+    def with_memory(self, M: int) -> "AEMParams":
+        """A copy of these parameters with a different internal memory size.
+
+        Used by the Lemma 4.1 round conversion, which runs the converted
+        program on a machine with doubled internal memory.
+        """
+        return replace(self, M=M)
+
+    def scaled_memory(self, factor: float) -> "AEMParams":
+        """A copy with ``M`` multiplied by ``factor`` (at least ``B``)."""
+        return replace(self, M=max(self.B, int(self.M * factor)))
+
+    def describe(self) -> str:
+        return (
+            f"(M={self.M}, B={self.B}, omega={self.omega:g})-AEM"
+            f" [m={self.m}, fanout={self.fanout}]"
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.describe()
+
+
+def param_grid(
+    Ms: list[int], Bs: list[int], omegas: list[float]
+) -> Iterator[AEMParams]:
+    """Yield every valid combination of the given parameter values.
+
+    Combinations with ``M < B`` are silently skipped, which makes it easy to
+    write exhaustive sweeps without guarding each tuple.
+    """
+    for M in Ms:
+        for B in Bs:
+            if M < B:
+                continue
+            for omega in omegas:
+                yield AEMParams(M=M, B=B, omega=omega)

@@ -1,0 +1,102 @@
+"""Regime analysis for the Theorem 4.5 bound ``min{N, omega*n*log_{omega m} n}``.
+
+The counting proof distinguishes two cases by which term of the denominator
+dominates:
+
+1. ``B >= c * omega * log N / log(3*e*omega*m)`` — the block term dominates
+   and the bound is ``Omega(omega * n * log_{omega m} n)`` (the *sorting
+   regime*: permuting is as hard as sorting);
+2. otherwise the bound is ``Omega(N)`` (the *naive regime*: moving atoms
+   one by one is already optimal).
+
+This module computes the predicted boundary, classifies instances, and
+locates the empirical crossover of the two *upper* bounds (direct vs
+sort-based permuting), which the experiments compare against the
+prediction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Callable, Optional, Sequence
+
+from .bounds import permute_naive_shape, sort_upper_shape
+from .params import AEMParams
+
+
+class Regime(Enum):
+    """Which branch of ``min{N, omega*n*log_{omega m} n}`` is active."""
+
+    NAIVE = "naive"  # the N branch: element-wise moving is optimal
+    SORTING = "sorting"  # the omega*n*log branch: permuting ~ sorting
+
+
+#: The constant ``c`` of the case distinction ``B >= c*omega*logN/log(3ewm)``.
+#: The proof takes any c with log(N^{1+1/w} 3^{1/w} e / (wm)) <= c log N;
+#: c = 2 suffices for omega >= 1 and N >= 3 e.
+CASE_CONSTANT = 2.0
+
+
+def boundary_B(N: int, p: AEMParams, c: float = CASE_CONSTANT) -> float:
+    """The predicted regime boundary ``B* = c*omega*log2(N)/log2(3*e*omega*m)``."""
+    if N < 2:
+        return 0.0
+    return c * p.omega * math.log2(N) / math.log2(3.0 * math.e * p.omega * p.m)
+
+
+def classify(N: int, p: AEMParams, c: float = CASE_CONSTANT) -> Regime:
+    """The proof's case for this instance (case 1 -> SORTING, 2 -> NAIVE)."""
+    return Regime.SORTING if p.B >= boundary_B(N, p, c) else Regime.NAIVE
+
+
+def min_branch(N: int, p: AEMParams) -> Regime:
+    """Which branch of the bound's ``min`` is actually smaller."""
+    n = p.n(N)
+    base = max(2.0, float(p.fanout))
+    log_term = max(1.0, math.log(max(n, 2)) / math.log(base))
+    return Regime.NAIVE if N <= p.omega * n * log_term else Regime.SORTING
+
+
+def upper_bound_winner(N: int, p: AEMParams) -> Regime:
+    """Which permuting *algorithm* is predicted cheaper on this instance."""
+    return (
+        Regime.NAIVE
+        if permute_naive_shape(N, p) <= sort_upper_shape(N, p)
+        else Regime.SORTING
+    )
+
+
+@dataclass(frozen=True)
+class Crossover:
+    """The location where a predicate flips along a swept parameter."""
+
+    parameter: str
+    values: tuple
+    flip_index: Optional[int]  # first index where predicate is True; None if never
+
+    @property
+    def before(self):
+        if self.flip_index is None or self.flip_index == 0:
+            return None
+        return self.values[self.flip_index - 1]
+
+    @property
+    def at(self):
+        if self.flip_index is None:
+            return None
+        return self.values[self.flip_index]
+
+
+def find_crossover(
+    values: Sequence, predicate: Callable[[object], bool], parameter: str = "x"
+) -> Crossover:
+    """First value (in sweep order) where ``predicate`` becomes true.
+
+    Used to locate e.g. the B at which sorting-based permuting starts to
+    beat direct permuting. The sweep need not be monotone in the predicate;
+    the *first* flip is reported, matching how the experiments present it.
+    """
+    flip = next((i for i, v in enumerate(values) if predicate(v)), None)
+    return Crossover(parameter=parameter, values=tuple(values), flip_index=flip)

@@ -1,0 +1,94 @@
+"""A3 (ablation) — how much is the column-major layout assumption worth?
+
+Theorem 5.1 fixes the matrix layout to column-major; that is what makes the
+direct algorithm's matrix accesses scattered (up to one read per entry).
+Stored row-major, the same algorithm scans the matrix in ``h`` sequential
+reads, leaving only the x accesses scattered. This ablation runs the direct
+algorithm on both layouts of the *same matrices* and measures the gap —
+the empirical content of "the layout is part of the problem".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from ..spmxv.layouts import load_matrix_row_major, spmxv_naive_row_major
+from ..spmxv.matrix import load_matrix, load_vector, reference_product
+from ..spmxv.naive import spmxv_naive
+from ..workloads.generators import spmxv_instance
+from .common import ExperimentResult, register
+
+
+def _measure(p, conf, values, x, *, layout):
+    machine = AEMMachine.for_algorithm(p)
+    if layout == "column":
+        ma = load_matrix(machine, conf, values)
+        fn = spmxv_naive
+    else:
+        ma = load_matrix_row_major(machine, conf, values)
+        fn = spmxv_naive_row_major
+    xa = load_vector(machine, x)
+    out = fn(machine, ma, xa, conf, p)
+    y = machine.collect_output(out)
+    ref = reference_product(conf, values, x)
+    assert max(abs(a - b) for a, b in zip(y, ref)) < 1e-9
+    return machine
+
+
+@register("a3")
+def run(*, quick: bool = True) -> ExperimentResult:
+    p = AEMParams(M=128, B=16, omega=8)
+    N = 1_024 if quick else 4_096
+    deltas = [2, 4, 8]
+    res = ExperimentResult(
+        eid="A3",
+        title="Ablation: column-major vs row-major layout for direct SpMxV",
+        claim=(
+            "the Section 5 hardness lives in the layout: row-major storage "
+            "turns the direct algorithm's scattered matrix reads into a scan"
+        ),
+    )
+    rows = []
+    gaps = []
+    for delta in deltas:
+        conf, values, x = spmxv_instance(N, delta, "random", delta)
+        col = _measure(p, conf, values, x, layout="column")
+        rowm = _measure(p, conf, values, x, layout="row")
+        gap = col.cost / rowm.cost
+        gaps.append(gap)
+        rows.append(
+            [delta, delta * N, col.reads, col.cost, rowm.reads, rowm.cost,
+             f"{gap:.2f}x"]
+        )
+        res.records.append(
+            {
+                "delta": delta,
+                "column_Q": col.cost,
+                "row_Q": rowm.cost,
+                "gap": gap,
+            }
+        )
+    res.tables.append(
+        format_table(
+            ["delta", "H", "col-major Qr", "col-major Q", "row-major Qr",
+             "row-major Q", "col/row"],
+            rows,
+            title=f"A3: direct SpMxV on both layouts, N={N}, {p.describe()}",
+        )
+    )
+    res.notes.append(
+        "the remaining row-major cost is dominated by the scattered x-vector "
+        "accesses, which no layout of A can remove"
+    )
+    res.check(
+        "column-major is strictly more expensive at every density",
+        all(g > 1.0 for g in gaps),
+    )
+    res.check(
+        "the gap is substantial somewhere (>= 1.3x)",
+        max(gaps) >= 1.3,
+    )
+    return res

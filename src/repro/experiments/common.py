@@ -1,0 +1,175 @@
+"""Shared infrastructure for the experiment suite (E1–E14).
+
+The paper has no tables or figures — its claims are theorems. Each
+experiment here is the empirical shadow of one claim, as indexed in
+DESIGN.md: it sweeps instances, measures exact I/O costs on the simulator,
+prints a table, and evaluates named *checks* (the shape assertions: who
+wins, what grows how fast, which inequalities hold). Benchmarks and the
+CLI both call :func:`run_experiment`; EXPERIMENTS.md embeds the rendered
+output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from ..atoms.atom import Atom
+from ..atoms.permutation import Permutation
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from ..machine.cost import CostSnapshot
+from ..permute.base import PERMUTERS, verify_permutation_output
+from ..sorting.base import SORTERS, verify_sorted_output
+from ..spmxv.matrix import Conformation, load_matrix, load_vector, reference_product
+from ..spmxv.naive import spmxv_naive
+from ..spmxv.sort_based import spmxv_sort_based
+from ..workloads.generators import permutation, sort_input, spmxv_instance
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's rendered tables plus its named checks."""
+
+    eid: str
+    title: str
+    claim: str
+    tables: list[str] = field(default_factory=list)
+    records: list[dict] = field(default_factory=list)
+    checks: Dict[str, bool] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(self.checks.values())
+
+    def check(self, name: str, ok: bool) -> None:
+        self.checks[name] = bool(ok)
+
+    def render(self) -> str:
+        lines = [f"## {self.eid}: {self.title}", "", f"Claim: {self.claim}", ""]
+        for t in self.tables:
+            lines.append(t)
+            lines.append("")
+        if self.notes:
+            lines.extend(f"note: {n}" for n in self.notes)
+            lines.append("")
+        lines.append("Checks:")
+        for name, ok in self.checks.items():
+            lines.append(f"  [{'PASS' if ok else 'FAIL'}] {name}")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Measurement helpers (verified runs returning flat cost dicts).
+# ----------------------------------------------------------------------
+def measure_sort(
+    sorter: str,
+    N: int,
+    params: AEMParams,
+    *,
+    distribution: str = "uniform",
+    seed: int = 0,
+    slack: float = 4.0,
+    verify: bool = True,
+) -> dict:
+    """Run a registered sorter on a fresh machine; returns cost fields."""
+    atoms = sort_input(N, distribution, np.random.default_rng(seed))
+    machine = AEMMachine.for_algorithm(params, slack=slack)
+    addrs = machine.load_input(atoms)
+    out = SORTERS[sorter](machine, addrs, params)
+    if verify:
+        verify_sorted_output(machine, atoms, out)
+    return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
+
+
+def measure_permute(
+    permuter: str,
+    N: int,
+    params: AEMParams,
+    *,
+    family: str = "random",
+    seed: int = 0,
+    slack: float = 4.0,
+    verify: bool = True,
+) -> dict:
+    """Run a registered permuter on a fresh machine; returns cost fields."""
+    rng = np.random.default_rng(seed)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
+    perm = permutation(N, family, rng)
+    machine = AEMMachine.for_algorithm(params, slack=slack)
+    addrs = machine.load_input(atoms)
+    out = PERMUTERS[permuter](machine, addrs, perm, params)
+    if verify:
+        verify_permutation_output(machine, atoms, out, perm)
+    return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
+
+
+def measure_spmxv(
+    algorithm: str,
+    N: int,
+    delta: int,
+    params: AEMParams,
+    *,
+    family: str = "random",
+    seed: int = 0,
+    slack: float = 4.0,
+    verify: bool = True,
+) -> dict:
+    """Run an SpMxV algorithm on a fresh machine; returns cost fields."""
+    conf, values, x = spmxv_instance(N, delta, family, np.random.default_rng(seed))
+    machine = AEMMachine.for_algorithm(params, slack=slack)
+    ma = load_matrix(machine, conf, values)
+    xa = load_vector(machine, x)
+    fn = {"naive": spmxv_naive, "sort_based": spmxv_sort_based}[algorithm]
+    out = fn(machine, ma, xa, conf, params)
+    if verify:
+        y = machine.collect_output(out)
+        ref = reference_product(conf, values, x)
+        err = max(
+            (abs(a - b) for a, b in zip(y, ref)), default=0.0
+        )
+        if len(y) != N or err > 1e-9 * max(1.0, conf.H):
+            raise AssertionError(
+                f"spmxv output mismatch: len={len(y)} vs {N}, err={err}"
+            )
+    return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
+
+
+def _cost_fields(snap: CostSnapshot, *, peak: int) -> dict:
+    return {
+        "Q": snap.Q,
+        "Qr": snap.reads,
+        "Qw": snap.writes,
+        "T": snap.touches,
+        "peak_mem": peak,
+    }
+
+
+# ----------------------------------------------------------------------
+# Registry (populated by repro.experiments.__init__).
+# ----------------------------------------------------------------------
+Runner = Callable[..., ExperimentResult]
+REGISTRY: Dict[str, Runner] = {}
+
+
+def register(eid: str) -> Callable[[Runner], Runner]:
+    def deco(fn: Runner) -> Runner:
+        REGISTRY[eid.lower()] = fn
+        return fn
+
+    return deco
+
+
+def run_experiment(eid: str, *, quick: bool = True) -> ExperimentResult:
+    """Run one experiment by id (``"e1"``..``"e14"``)."""
+    key = eid.lower()
+    if key not in REGISTRY:
+        raise KeyError(f"unknown experiment {eid!r}; available: {sorted(REGISTRY)}")
+    return REGISTRY[key](quick=quick)
+
+
+def run_all(*, quick: bool = True) -> list[ExperimentResult]:
+    return [REGISTRY[k](quick=quick) for k in sorted(REGISTRY)]

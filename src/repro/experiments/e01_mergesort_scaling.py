@@ -1,0 +1,71 @@
+"""E1 — AEM mergesort cost scales as Theta(omega * n * log_{omega m} n).
+
+Claim (Section 3, Theorem 3.2 + recurrence): the AEM mergesort sorts N
+atoms at total cost ``O(omega*n*log_{omega m} n)``. Empirically: over a
+sweep of N at fixed (M, B, omega), the ratio of measured cost to the shape
+``omega*n*levels(n)`` is a stable constant.
+"""
+
+from __future__ import annotations
+
+from ..analysis.fit import fit_constant, growth_exponent
+from ..analysis.tables import format_table
+from ..core.bounds import sort_read_shape, sort_upper_shape, sort_write_shape
+from ..core.params import AEMParams
+from .common import ExperimentResult, measure_sort, register
+
+
+@register("e1")
+def run(*, quick: bool = True) -> ExperimentResult:
+    p = AEMParams(M=256, B=16, omega=8)
+    # Start above the base-case size omega*M = 2048 so every point
+    # exercises real merge levels (the base case is E12's subject).
+    Ns = [4_000, 8_000, 16_000] if quick else [
+        4_000, 8_000, 16_000, 32_000, 64_000
+    ]
+    res = ExperimentResult(
+        eid="E1",
+        title="AEM mergesort scaling",
+        claim="Q(mergesort) = Theta(omega * n * log_{omega m} n)   [Sec. 3]",
+    )
+    rows = []
+    measured, shapes = [], []
+    measured_r, shapes_r = [], []
+    measured_w, shapes_w = [], []
+    for N in Ns:
+        rec = measure_sort("aem_mergesort", N, p, seed=N)
+        shape = sort_upper_shape(N, p)
+        rows.append(
+            [N, rec["Qr"], rec["Qw"], rec["Q"], shape, rec["Q"] / shape]
+        )
+        measured.append(rec["Q"])
+        shapes.append(shape)
+        measured_r.append(rec["Qr"])
+        shapes_r.append(sort_read_shape(N, p))
+        measured_w.append(rec["Qw"])
+        shapes_w.append(sort_write_shape(N, p))
+        rec.update({"N": N, "shape": shape})
+        res.records.append(rec)
+
+    fit = fit_constant(measured, shapes)
+    fit_r = fit_constant(measured_r, shapes_r)
+    fit_w = fit_constant(measured_w, shapes_w)
+    res.tables.append(
+        format_table(
+            ["N", "Qr", "Qw", "Q", "shape w*n*log", "Q/shape"],
+            rows,
+            title=f"E1: mergesort cost vs N on {p.describe()}",
+        )
+    )
+    res.notes.append(f"total-cost fit: {fit.describe()}")
+    res.notes.append(f"read fit: {fit_r.describe()}; write fit: {fit_w.describe()}")
+    exponent = growth_exponent(Ns, measured)
+    res.notes.append(f"log-log growth exponent of Q in N: {exponent:.3f}")
+
+    res.check("cost/shape ratio stable (spread < 2)", fit.spread < 2.0)
+    res.check("reads/shape ratio stable (spread < 2)", fit_r.spread < 2.0)
+    res.check("writes/shape ratio stable (spread < 2)", fit_w.spread < 2.0)
+    res.check(
+        "growth ~ n log n (exponent in (0.9, 1.25))", 0.9 < exponent < 1.25
+    )
+    return res

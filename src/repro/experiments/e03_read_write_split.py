@@ -1,0 +1,84 @@
+"""E3 — mergesort's read/write split: reads pay omega, writes do not.
+
+Claim (Theorem 3.2 / Section 3): the AEM mergesort performs
+``O(omega*n*log_{omega m} n)`` *reads* but only ``O(n*log_{omega m} n)``
+*writes* — the whole point of the asymmetric design is to trade many cheap
+reads for few expensive writes. Empirically: at fixed N, sweeping omega,
+the write count stays flat-to-falling (larger omega raises the fan-out and
+lowers the level count) while the read count grows roughly linearly in
+omega.
+"""
+
+from __future__ import annotations
+
+from ..analysis.fit import growth_exponent
+from ..analysis.tables import format_table
+from ..core.bounds import sort_levels
+from ..core.params import AEMParams
+from .common import ExperimentResult, measure_sort, register
+
+
+@register("e3")
+def run(*, quick: bool = True) -> ExperimentResult:
+    M, B = 128, 16
+    N = 8_000 if quick else 32_000
+    omegas = [1, 2, 4, 8, 16, 32]
+    res = ExperimentResult(
+        eid="E3",
+        title="Read/write split of the AEM mergesort",
+        claim=(
+            "Qr = O(omega n log_{omega m} n) but Qw = O(n log_{omega m} n): "
+            "write volume per level is one pass, independent of omega  [Thm 3.2]"
+        ),
+    )
+    rows = []
+    qrs, qws = [], []
+    for omega in omegas:
+        p = AEMParams(M=M, B=B, omega=omega)
+        rec = measure_sort("aem_mergesort", N, p, seed=23)
+        levels = sort_levels(N, p)
+        rows.append(
+            [
+                omega,
+                rec["Qr"],
+                rec["Qw"],
+                rec["Qr"] / rec["Qw"],
+                levels,
+                rec["Qw"] / (p.n(N) * levels),
+            ]
+        )
+        qrs.append(rec["Qr"])
+        qws.append(rec["Qw"])
+        res.records.append({"omega": omega, **rec, "levels": levels})
+    res.tables.append(
+        format_table(
+            ["omega", "Qr", "Qw", "Qr/Qw", "levels", "Qw/(n*levels)"],
+            rows,
+            title=f"E3: read/write split at N={N}, M={M}, B={B}",
+        )
+    )
+    read_growth = growth_exponent(omegas, qrs)
+    res.notes.append(
+        f"reads grow with exponent {read_growth:.2f} in omega; "
+        f"writes range [{min(qws)}, {max(qws)}]"
+    )
+    # Writes per level stay within a constant of one pass (n blocks).
+    per_level = [
+        r[5] for r in rows
+    ]
+    res.check(
+        "writes-per-level constant bounded (max < 3)", max(per_level) < 3.0
+    )
+    res.check(
+        "writes do not grow with omega (max/min <= 2)",
+        max(qws) / min(qws) <= 2.0,
+    )
+    res.check(
+        "reads grow roughly linearly in omega (exponent in (0.5, 1.2))",
+        0.5 < read_growth < 1.2,
+    )
+    res.check(
+        "read/write cost asymmetry pays off: Qr/Qw rises with omega",
+        rows[-1][3] > rows[0][3],
+    )
+    return res

@@ -1,0 +1,103 @@
+"""E4 — the Section 3.1 merge primitive: Theorem 3.2 and Lemma 3.1.
+
+Claims:
+* merging ``omega*m`` runs of N total atoms costs ``O(omega*(n+m))`` reads
+  and ``O(n+m)`` writes (Theorem 3.2);
+* after each round's initialization at most ``m`` runs remain *active*
+  (Lemma 3.1) — measured directly from the merge's instrumentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.fit import fit_constant
+from ..analysis.tables import format_table
+from ..atoms.atom import Atom
+from ..core.bounds import merge_read_shape, merge_write_shape
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from ..sorting.base import verify_sorted_output
+from ..sorting.merge import MergeStats, multiway_merge
+from ..sorting.runs import Run
+from .common import ExperimentResult, register
+
+
+def _build_runs(machine: AEMMachine, k: int, per_run: int, rng) -> tuple[list, list]:
+    runs, all_atoms = [], []
+    uid = 0
+    for _ in range(k):
+        keys = np.sort(rng.integers(0, 10**8, per_run))
+        atoms = [Atom(int(key), uid + t) for t, key in enumerate(keys)]
+        uid += per_run
+        all_atoms.extend(atoms)
+        runs.append(Run.of(machine.load_input(atoms), per_run))
+    return runs, all_atoms
+
+
+@register("e4")
+def run(*, quick: bool = True) -> ExperimentResult:
+    p = AEMParams(M=128, B=16, omega=4)
+    k = p.fanout  # omega * m runs
+    sizes = [250, 500, 1_000] if quick else [250, 500, 1_000, 2_000, 4_000]
+    res = ExperimentResult(
+        eid="E4",
+        title="The omega*m-way merge primitive",
+        claim=(
+            "merging omega*m runs costs O(omega*(n+m)) reads / O(n+m) writes "
+            "(Thm 3.2); at most m runs are active per round (Lemma 3.1)"
+        ),
+    )
+    rows = []
+    reads, read_shapes, writes, write_shapes = [], [], [], []
+    max_active_overall = 0
+    rng = np.random.default_rng(42)
+    for per_run in sizes:
+        machine = AEMMachine.for_algorithm(p)
+        runs, all_atoms = _build_runs(machine, k, per_run, rng)
+        stats = MergeStats()
+        out = multiway_merge(machine, runs, p, stats=stats)
+        verify_sorted_output(machine, all_atoms, out.addrs)
+        N = k * per_run
+        rows.append(
+            [
+                N,
+                machine.reads,
+                merge_read_shape(N, p),
+                machine.writes,
+                merge_write_shape(N, p),
+                stats.max_active,
+                p.m,
+            ]
+        )
+        reads.append(machine.reads)
+        read_shapes.append(merge_read_shape(N, p))
+        writes.append(machine.writes)
+        write_shapes.append(merge_write_shape(N, p))
+        max_active_overall = max(max_active_overall, stats.max_active)
+        res.records.append(
+            {
+                "N": N,
+                "reads": machine.reads,
+                "writes": machine.writes,
+                "max_active": stats.max_active,
+                "rounds": len(stats.rounds),
+            }
+        )
+    fit_r = fit_constant(reads, read_shapes)
+    fit_w = fit_constant(writes, write_shapes)
+    res.tables.append(
+        format_table(
+            ["N", "reads", "w(n+m)", "writes", "(n+m)", "max active", "m"],
+            rows,
+            title=f"E4: merging k={k} runs on {p.describe()}",
+        )
+    )
+    res.notes.append(f"read fit: {fit_r.describe()}; write fit: {fit_w.describe()}")
+
+    res.check("Lemma 3.1: active runs never exceed m", max_active_overall <= p.m)
+    res.check("read constant stable (spread < 2)", fit_r.spread < 2.0)
+    res.check("write constant stable (spread < 2)", fit_w.spread < 2.0)
+    res.check("read constant bounded (< 12)", fit_r.max_ratio < 12.0)
+    res.check("write constant bounded (< 4)", fit_w.max_ratio < 4.0)
+    return res

@@ -1,0 +1,82 @@
+"""E5 — the omega*m-way fan-out beats the classic m-way mergesort.
+
+Claim (Section 1/3): the AEM mergesort's recursion has fan-out
+``omega*m``, so its level count is ``log_{omega m} n`` against the
+Aggarwal–Vitter mergesort's ``log_m n`` — and each EM level pays
+``omega`` on a full write pass. Empirically: the EM baseline's cost
+exceeds the AEM mergesort's, increasingly so as omega grows, tracking the
+predicted ratio within a constant.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..core.bounds import em_sort_shape, sort_upper_shape
+from ..core.params import AEMParams
+from .common import ExperimentResult, measure_sort, register
+
+
+@register("e5")
+def run(*, quick: bool = True) -> ExperimentResult:
+    # A small m makes the log-base gap dominate the constants: with m = 2
+    # the EM mergesort is a binary merge (log_2 levels) while the AEM
+    # fan-out omega*m collapses the tree to 2 levels for omega >= 16.
+    M, B = 32, 16
+    N = 8_192 if quick else 16_384
+    omegas = [1, 4, 16, 32]
+    res = ExperimentResult(
+        eid="E5",
+        title="Fan-out advantage: omega*m-way vs m-way",
+        claim=(
+            "AEM mergesort costs O(omega n log_{omega m} n); the classic "
+            "m-way mergesort on the same machine costs "
+            "O((1+omega) n log_m n) — a growing disadvantage in omega"
+        ),
+    )
+    rows = []
+    advantages = []
+    for omega in omegas:
+        p = AEMParams(M=M, B=B, omega=omega)
+        ours = measure_sort("aem_mergesort", N, p, seed=5)
+        baseline = measure_sort("em_mergesort", N, p, seed=5)
+        predicted = em_sort_shape(N, p) / sort_upper_shape(N, p)
+        measured = baseline["Q"] / ours["Q"]
+        advantages.append(measured)
+        rows.append([omega, ours["Q"], baseline["Q"], measured, predicted])
+        res.records.append(
+            {
+                "omega": omega,
+                "aem_Q": ours["Q"],
+                "em_Q": baseline["Q"],
+                "measured_ratio": measured,
+                "predicted_ratio": predicted,
+            }
+        )
+    res.tables.append(
+        format_table(
+            ["omega", "AEM msort Q", "EM msort Q", "EM/AEM measured", "predicted"],
+            rows,
+            title=f"E5: N={N}, M={M}, B={B}",
+        )
+    )
+    res.check(
+        "AEM mergesort wins for omega >= 16",
+        all(a > 1.0 for a, o in zip(advantages, omegas) if o >= 16),
+    )
+    res.check(
+        "EM mergesort wins at omega = 1 (it is the right symmetric algorithm)",
+        advantages[0] < 1.0,
+    )
+    res.check(
+        "advantage grows with omega",
+        all(advantages[i] < advantages[i + 1] for i in range(len(advantages) - 1)),
+    )
+    res.check(
+        "advantage within 4x of predicted shape ratio",
+        all(
+            0.25 < row[3] / max(row[4], 1e-9) < 4.0
+            for row in rows
+            if row[0] >= 16
+        ),
+    )
+    return res

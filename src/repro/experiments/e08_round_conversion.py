@@ -1,0 +1,116 @@
+"""E8 — Lemma 4.1: round-based conversion costs only a constant factor.
+
+Claim: any AEM program of cost Q converts to a round-based program on a
+(2M, B, omega)-AEM with cost O(Q). Empirically: converting the recorded
+traces of real algorithms (both permuters, across instances) yields cost
+ratios bounded well below the budgeted constant 6, rounds within the
+2*omega*m + m cost cap, empty memory at every boundary (checked via the
+liveness analysis), peak residency within 2M, and bit-identical outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..atoms.atom import Atom
+from ..atoms.permutation import Permutation
+from ..core.counting import LEMMA_4_1_CONSTANT
+from ..core.params import AEMParams
+from ..permute.naive import permute_naive
+from ..permute.sort_based import permute_sort_based
+from ..trace.program import capture
+from ..rounds.convert import to_round_based
+from ..rounds.verify import verify_round_based
+from .common import ExperimentResult, register
+
+
+@register("e8")
+def run(*, quick: bool = True) -> ExperimentResult:
+    configs = [
+        ("naive", permute_naive, 800, AEMParams(M=64, B=8, omega=4)),
+        ("sort_based", permute_sort_based, 800, AEMParams(M=64, B=8, omega=4)),
+        ("naive", permute_naive, 1_600, AEMParams(M=128, B=16, omega=8)),
+        ("sort_based", permute_sort_based, 1_600, AEMParams(M=128, B=16, omega=8)),
+    ]
+    if not quick:
+        configs += [
+            ("naive", permute_naive, 6_400, AEMParams(M=256, B=16, omega=2)),
+            ("sort_based", permute_sort_based, 6_400, AEMParams(M=256, B=16, omega=2)),
+        ]
+    res = ExperimentResult(
+        eid="E8",
+        title="Lemma 4.1 round-based conversion",
+        claim=(
+            "any program of cost Q becomes a round-based program on 2M "
+            "memory with cost O(Q): measured ratios stay below the "
+            f"budgeted constant {LEMMA_4_1_CONSTANT:g}"
+        ),
+    )
+    rows = []
+    ratios = []
+    all_valid = True
+    for name, fn, N, p in configs:
+        rng = np.random.default_rng(N + p.B)
+        atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
+        perm = Permutation.random(N, rng)
+        prog = capture(p, atoms, fn, perm, p)
+        conv, report = to_round_based(prog)
+        try:
+            rb = verify_round_based(conv, reference=prog)
+            valid = True
+        except Exception:
+            valid = False
+            all_valid = False
+            rb = None
+        ratios.append(report.cost_ratio)
+        rows.append(
+            [
+                name,
+                N,
+                f"{p.M}/{p.B}/{p.omega:g}",
+                prog.cost,
+                conv.cost,
+                report.cost_ratio,
+                report.rounds,
+                report.max_round_cost,
+                rb.peak_live if rb else "-",
+                "ok" if valid else "INVALID",
+            ]
+        )
+        res.records.append(
+            {
+                "algorithm": name,
+                "N": N,
+                "Q": prog.cost,
+                "Q_converted": conv.cost,
+                "ratio": report.cost_ratio,
+                "rounds": report.rounds,
+                "valid": valid,
+            }
+        )
+    res.tables.append(
+        format_table(
+            [
+                "program",
+                "N",
+                "M/B/w",
+                "Q",
+                "Q'",
+                "Q'/Q",
+                "rounds",
+                "max round cost",
+                "peak live",
+                "round-based?",
+            ],
+            rows,
+            title="E8: converting real program traces (Lemma 4.1)",
+        )
+    )
+    res.check("every converted program verifies as round-based", all_valid)
+    res.check(
+        f"cost ratio below the budgeted constant {LEMMA_4_1_CONSTANT:g}",
+        max(ratios) <= LEMMA_4_1_CONSTANT,
+    )
+    res.check("cost ratio above 1 (conversion is not free)", min(ratios) >= 1.0)
+    return res

@@ -1,0 +1,83 @@
+"""E12 — the small-array base case (Blelloch et al. Lemma 4.2).
+
+Claim: an array of ``N' <= omega*M`` atoms sorts in ``O(omega*n')`` reads
+and ``O(n')`` writes. Empirically: reads track ``ceil(N'/M) * n'``
+(selection passes times scan cost, <= omega*n') and writes stay within a
+whisker of one output pass ``n'``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.fit import fit_constant
+from ..analysis.tables import format_table
+from ..core.params import AEMParams, ceil_div
+from ..machine.aem import AEMMachine
+from ..sorting.base import verify_sorted_output
+from ..sorting.runs import run_of_input
+from ..sorting.small import small_sort
+from ..workloads.generators import sort_input
+from .common import ExperimentResult, register
+
+
+@register("e12")
+def run(*, quick: bool = True) -> ExperimentResult:
+    p = AEMParams(M=128, B=16, omega=8)
+    cap = p.base_case_size()  # omega * M
+    fractions = [0.1, 0.25, 0.5, 0.75, 1.0]
+    res = ExperimentResult(
+        eid="E12",
+        title="Small-array sort (the Section 3 base case)",
+        claim=(
+            "N' <= omega*M sorts in O(omega n') reads and O(n') writes "
+            "[Blelloch et al., Lemma 4.2, used by Sec. 3]"
+        ),
+    )
+    rows = []
+    reads, read_shapes, writes, write_shapes = [], [], [], []
+    for frac in fractions:
+        N = max(p.B, int(cap * frac))
+        atoms = sort_input(N, "uniform", np.random.default_rng(N))
+        machine = AEMMachine.for_algorithm(p)
+        addrs = machine.load_input(atoms)
+        out = small_sort(machine, run_of_input(machine, addrs), p)
+        verify_sorted_output(machine, atoms, out.addrs)
+        n_prime = p.n(N)
+        passes = ceil_div(N, p.M)
+        rows.append(
+            [
+                N,
+                passes,
+                machine.reads,
+                passes * n_prime,
+                machine.writes,
+                n_prime,
+                p.omega * n_prime,
+            ]
+        )
+        reads.append(machine.reads)
+        read_shapes.append(passes * n_prime)
+        writes.append(machine.writes)
+        write_shapes.append(n_prime)
+        res.records.append(
+            {"N": N, "reads": machine.reads, "writes": machine.writes,
+             "passes": passes}
+        )
+    fit_r = fit_constant(reads, read_shapes)
+    fit_w = fit_constant(writes, write_shapes)
+    res.tables.append(
+        format_table(
+            ["N'", "passes", "reads", "passes*n'", "writes", "n'", "w*n' cap"],
+            rows,
+            title=f"E12: small sort up to omega*M = {cap} on {p.describe()}",
+        )
+    )
+    res.notes.append(f"read fit: {fit_r.describe()}; write fit: {fit_w.describe()}")
+    res.check("reads = passes * n' exactly (constant 1.0)",
+              all(r == s for r, s in zip(reads, read_shapes)))
+    res.check("reads <= omega * n' (the lemma's cap)",
+              all(row[2] <= row[6] for row in rows))
+    res.check("writes within one block of n'",
+              all(abs(w - s) <= 1 for w, s in zip(writes, write_shapes)))
+    return res

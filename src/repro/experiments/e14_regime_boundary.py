@@ -1,0 +1,103 @@
+"""E14 — where Theorem 4.5's min switches branches.
+
+Claim (Section 4.2 case analysis): the bound
+``min{N, omega*n*log_{omega m} n}`` takes the ``omega*n*log`` branch when
+``B >= c*omega*log N / log(3*e*omega*m)`` and the ``N`` branch otherwise.
+Empirically: sweeping B at fixed N and omega, (a) the min's actual branch
+flips where the bound terms cross, (b) the proof's predicted boundary B*
+lands within a small factor of the observed flip, and (c) the exact
+counting bound's value tracks the active branch's shape.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..analysis.tables import format_table
+from ..core.counting import counting_lower_bound, theorem_4_5_shape
+from ..core.params import AEMParams
+from ..core.regimes import Regime, boundary_B, min_branch
+from .common import ExperimentResult, register
+
+
+@register("e14")
+def run(*, quick: bool = True) -> ExperimentResult:
+    N = 1 << 16 if quick else 1 << 20
+    omega = 8
+    Bs = [2, 4, 8, 16, 32, 64, 128] if quick else [2, 4, 8, 16, 32, 64, 128, 256]
+    m_blocks = 8  # keep m fixed: M = m * B
+    res = ExperimentResult(
+        eid="E14",
+        title="Regime boundary of the permutation bound",
+        claim=(
+            "the min switches from the N branch to the sorting branch "
+            "around B* = c*omega*logN/log(3e*omega*m)   [Sec. 4.2 cases]"
+        ),
+    )
+    rows = []
+    branches = []
+    predicted = None
+    for B in Bs:
+        p = AEMParams(M=m_blocks * B, B=B, omega=omega)
+        if predicted is None:
+            predicted = boundary_B(N, p)
+        branch = min_branch(N, p)
+        branches.append(branch)
+        shape = theorem_4_5_shape(N, p)
+        exact = counting_lower_bound(N, p)
+        n = p.n(N)
+        sort_term = p.omega * n * max(
+            1.0, math.log(max(n, 2)) / math.log(p.fanout)
+        )
+        rows.append(
+            [B, branch.value, N, sort_term, shape, exact.cost, exact.rounds]
+        )
+        res.records.append(
+            {
+                "B": B,
+                "branch": branch.value,
+                "shape": shape,
+                "exact_cost": exact.cost,
+                "rounds": exact.rounds,
+            }
+        )
+    res.tables.append(
+        format_table(
+            ["B", "min branch", "N term", "w*n*log term", "min shape",
+             "exact LB", "rounds"],
+            rows,
+            title=f"E14: sweep B at N={N}, omega={omega}, m={m_blocks}",
+        )
+    )
+    flip = next(
+        (Bs[i] for i, b in enumerate(branches) if b == Regime.SORTING), None
+    )
+    res.notes.append(
+        f"predicted boundary B* ~= {predicted:.1f}; "
+        f"observed sorting branch from B = {flip}"
+    )
+    # Small B makes omega*n*log = (omega*N/B)*log huge, so the N branch
+    # of the min is active; the sorting branch takes over past B*.
+    res.check(
+        "N branch active at the smallest B",
+        branches[0] == Regime.NAIVE,
+    )
+    res.check(
+        "sorting branch active at the largest B",
+        branches[-1] == Regime.SORTING,
+    )
+    res.check(
+        "branch flips exactly once across the sweep",
+        sum(1 for i in range(len(branches) - 1) if branches[i] != branches[i + 1])
+        == 1,
+    )
+    res.check(
+        "observed flip within 8x of predicted B*",
+        flip is not None and predicted is not None and flip / predicted < 8
+        and predicted / flip < 8,
+    )
+    res.check(
+        "exact counting bound <= min shape everywhere (it is a true LB)",
+        all(row[5] <= row[4] * 1.0 + 1e-9 for row in rows),
+    )
+    return res

@@ -1,0 +1,82 @@
+"""E15 — how cost scales with internal memory M.
+
+The bound ``omega*n*log_{omega m} n`` says memory enters only through the
+log's base: doubling M buys shallower recursion, with diminishing returns
+once a couple of levels remain. Sweeping M at fixed (N, B, omega) checks
+that measured sorting cost falls with M, that the exact counting lower
+bound falls alongside and stays below every measurement, and that the
+gains flatten once the level count bottoms out — the hierarchy-design
+story implicit in the model.
+"""
+
+from __future__ import annotations
+
+from ..analysis.tables import format_table
+from ..core.bounds import sort_levels, sort_upper_shape
+from ..core.counting import counting_lower_bound_general
+from ..core.params import AEMParams
+from .common import ExperimentResult, measure_sort, register
+
+
+@register("e15")
+def run(*, quick: bool = True) -> ExperimentResult:
+    N = 16_384 if quick else 65_536
+    B, omega = 8, 8
+    Ms = [16, 32, 64, 128, 256, 512]
+    res = ExperimentResult(
+        eid="E15",
+        title="Memory scaling of sorting cost",
+        claim=(
+            "M enters the bound only through the log base omega*m: cost "
+            "falls with M, with diminishing returns once few levels remain"
+        ),
+    )
+    rows = []
+    costs, lbs = [], []
+    sound = True
+    for M in Ms:
+        p = AEMParams(M=M, B=B, omega=omega)
+        rec = measure_sort("aem_mergesort", N, p, seed=15)
+        lb = counting_lower_bound_general(N, p)
+        sound &= lb <= rec["Q"]
+        costs.append(rec["Q"])
+        lbs.append(lb)
+        rows.append(
+            [M, sort_levels(N, p), rec["Qr"], rec["Qw"], rec["Q"],
+             sort_upper_shape(N, p), lb]
+        )
+        res.records.append(
+            {"M": M, "Q": rec["Q"], "lower_bound": lb,
+             "levels": sort_levels(N, p)}
+        )
+    res.tables.append(
+        format_table(
+            ["M", "levels", "Qr", "Qw", "Q", "shape", "LB (general)"],
+            rows,
+            title=f"E15: sorting N={N} at B={B}, omega={omega}; sweep M",
+        )
+    )
+    first_gain = costs[0] / costs[1]
+    last_gain = costs[-2] / costs[-1]
+    res.notes.append(
+        f"doubling M at the small end saves {100 * (1 - 1 / first_gain):.0f}% "
+        f"of cost; at the large end {100 * (1 - 1 / last_gain):.0f}%"
+    )
+    res.check("cost falls from the smallest to the largest M",
+              costs[-1] < costs[0])
+    res.check("cost is weakly decreasing in M (within 10% noise)",
+              all(costs[i + 1] <= 1.1 * costs[i] for i in range(len(costs) - 1)))
+    res.check("the lower bound stays below every measured cost", sound)
+    # No monotonicity in M is promised for the exact bound: the per-round
+    # floor omega*(m-1) grows with m while the round count falls. What
+    # must hold is that the measured cost tracks the shape across M.
+    ratios = [c / row[5] for c, row in zip(costs, rows)]
+    res.check(
+        "measured cost/shape constant stable across M (spread < 2)",
+        max(ratios) / min(ratios) < 2.0,
+    )
+    res.check(
+        "diminishing returns: the last doubling helps less than the first",
+        last_gain <= first_gain,
+    )
+    return res

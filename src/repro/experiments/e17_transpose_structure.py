@@ -1,0 +1,119 @@
+"""E17 — structure beats generality: matrix transposition.
+
+Transposition is the canonical hard-looking permutation (no locality for
+the naive gather), yet a *structured* algorithm — B x B tiles, one pass —
+does it in ``(1 + omega) * n`` I/Os when a tile fits in memory. The
+Section 4 lower bound does not apply to a single permutation family (it
+counts all N! permutations), and this experiment shows the gap in the
+flesh: the generic permuters pay their min{N, omega*n*log} price on the
+transpose instance while the tiled algorithm stays at two passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.tables import format_table
+from ..atoms.atom import Atom
+from ..atoms.permutation import Permutation
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from ..permute.base import verify_permutation_output
+from ..permute.naive import permute_naive
+from ..permute.sort_based import permute_sort_based
+from ..primitives.transpose import transpose
+from .common import ExperimentResult, register
+
+
+def _measure(p, rows, cols, fn, seed=0):
+    rng = np.random.default_rng(seed)
+    N = rows * cols
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
+    machine = AEMMachine.for_algorithm(p)
+    addrs = machine.load_input(atoms)
+    out = fn(machine, addrs)
+    verify_permutation_output(
+        machine, atoms, out, Permutation.transpose(rows, cols)
+    )
+    return machine
+
+
+@register("e17")
+def run(*, quick: bool = True) -> ExperimentResult:
+    # The gap's driver: the naive gather pays ~B reads per output block on
+    # the transpose instance (each output block collects a column segment
+    # scattered across B input blocks), so best-generic/tiled approaches
+    # (B + omega)/(1 + omega). Sweep B at fixed omega and N.
+    omega = 2
+    rows = cols = 64 if quick else 128
+    Bs = [2, 4, 8, 16]
+    res = ExperimentResult(
+        eid="E17",
+        title="Structured vs generic permuting: matrix transposition",
+        claim=(
+            "a tiled transpose runs in exactly (1+omega)*n I/Os when B^2 "
+            "fits in memory, while the naive gather pays ~(B+omega)*n on "
+            "the same instance — a gap of (B+omega)/(1+omega), growing "
+            "with B; the Sec. 4 lower bound counts all N! permutations, "
+            "not one structured family"
+        ),
+    )
+    rows_out = []
+    gaps, predicted = [], []
+    tiled_exact = True
+    N = rows * cols
+    for B in Bs:
+        p = AEMParams(M=max(64, 2 * B * B), B=B, omega=omega)
+        n = p.n(N)
+        tiled = _measure(p, rows, cols, lambda m, a: transpose(m, a, rows, cols, p))
+        naive = _measure(
+            p, rows, cols,
+            lambda m, a: permute_naive(m, a, Permutation.transpose(rows, cols), p),
+        )
+        sortb = _measure(
+            p, rows, cols,
+            lambda m, a: permute_sort_based(m, a, Permutation.transpose(rows, cols), p),
+        )
+        best_generic = min(naive.cost, sortb.cost)
+        gap = best_generic / tiled.cost
+        gaps.append(gap)
+        predicted.append((B + omega) / (1 + omega))
+        tiled_exact &= tiled.reads == n and tiled.writes == n
+        rows_out.append(
+            [B, tiled.cost, naive.cost, sortb.cost, f"{gap:.2f}x",
+             f"{predicted[-1]:.2f}x"]
+        )
+        res.records.append(
+            {
+                "B": B,
+                "tiled_Q": tiled.cost,
+                "naive_Q": naive.cost,
+                "sort_Q": sortb.cost,
+                "gap": gap,
+            }
+        )
+    res.tables.append(
+        format_table(
+            ["B", "tiled Q", "naive permute Q", "sort permute Q",
+             "best generic / tiled", "predicted (B+w)/(1+w)"],
+            rows_out,
+            title=f"E17: transposing {rows}x{cols} at omega={omega}; sweep B",
+        )
+    )
+    res.check(
+        "tiled transpose is exactly one read + one write pass",
+        tiled_exact,
+    )
+    res.check(
+        "tiled beats the best generic permuter everywhere",
+        all(g > 1.0 for g in gaps),
+    )
+    res.check(
+        "the gap grows with B",
+        all(gaps[i] < gaps[i + 1] for i in range(len(gaps) - 1)),
+    )
+    res.check(
+        "the gap tracks the predicted (B+omega)/(1+omega) within 30%",
+        all(abs(g / pr - 1.0) < 0.3 for g, pr in zip(gaps, predicted)),
+    )
+    return res

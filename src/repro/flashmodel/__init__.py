@@ -1,0 +1,5 @@
+"""Native algorithms for the unit-cost flash model of Ajwani et al."""
+
+from .sort import flash_mergesort
+
+__all__ = ["flash_mergesort"]

@@ -1,0 +1,20 @@
+"""Lemma 4.3: the AEM -> unit-cost flash model reduction and Corollary 4.4."""
+
+from .bounds import (
+    corollary_4_4_closed_form,
+    corollary_4_4_shape,
+    flash_permute_volume_shape,
+)
+from .normalize import normalized_order, prepend_input_scan
+from .reduction import FlashReductionReport, lemma_4_3_bound, reduce_to_flash
+
+__all__ = [
+    "FlashReductionReport",
+    "corollary_4_4_closed_form",
+    "corollary_4_4_shape",
+    "flash_permute_volume_shape",
+    "lemma_4_3_bound",
+    "normalized_order",
+    "prepend_input_scan",
+    "reduce_to_flash",
+]

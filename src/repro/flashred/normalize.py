@@ -1,0 +1,86 @@
+"""Block normalization by atom removal time (Lemma 4.3's key trick).
+
+An AEM read may *use* an arbitrary subset of a block's atoms, but a flash
+read must fetch a contiguous range of small blocks. The lemma's fix: since
+we deal with *programs* (fixed I/O sequences), the time at which each
+written atom-copy will be removed (used by a later read) is known at write
+time — so every written block can be ordered by removal time. Then every
+read's used atoms form the next contiguous segment of the block, and at
+most two of the covering small-block reads are partially wasted.
+
+The input program's initial blocks were not written by the program, so the
+reduction prepends a read-and-write *scan* over the input (I/O volume 2N)
+whose writes are then normalized like any others.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..trace.ops import Op, ReadOp, WriteOp
+from ..trace.program import Program
+
+INFINITY = float("inf")
+
+
+def normalized_order(
+    items: Sequence, uids: Sequence[Optional[int]], removal: Dict[int, Optional[int]]
+) -> tuple[tuple, Tuple[Optional[int], ...]]:
+    """Order a written block's payload by removal time (never-removed last).
+
+    Stable for ties, so replays are deterministic. Returns the reordered
+    ``(items, uids)`` pair.
+    """
+    keyed = sorted(
+        range(len(items)),
+        key=lambda t: (
+            removal.get(uids[t]) if removal.get(uids[t]) is not None else INFINITY,
+            t,
+        ),
+    )
+    return (
+        tuple(items[t] for t in keyed),
+        tuple(uids[t] for t in keyed),
+    )
+
+
+def prepend_input_scan(program: Program) -> Program:
+    """Build P' = (read+write scan over the input) followed by the program,
+    with every later reference to an input block redirected to its copy.
+
+    The scan has I/O volume 2N in the flash model and makes every block the
+    program subsequently reads a *written* (hence normalizable) block.
+    """
+    used = set(program.initial_disk)
+    for op in program.ops:
+        used.add(op.addr)
+    next_addr = max(used, default=-1) + 1
+
+    remap: Dict[int, int] = {}
+    scan_ops: list[Op] = []
+    for addr in program.input_addrs:
+        items = tuple(program.initial_disk.get(addr, ()))
+        uids = tuple(getattr(it, "uid", None) for it in items)
+        copy_addr = next_addr
+        next_addr += 1
+        remap[addr] = copy_addr
+        scan_ops.append(ReadOp(addr, uids))
+        scan_ops.append(WriteOp(copy_addr, uids, items))
+
+    body: list[Op] = []
+    for op in program.ops:
+        addr = remap.get(op.addr, op.addr)
+        if op.is_read:
+            body.append(ReadOp(addr, op.uids))
+        else:
+            assert isinstance(op, WriteOp)
+            body.append(WriteOp(addr, op.uids, op.items))
+
+    return Program(
+        params=program.params,
+        initial_disk=dict(program.initial_disk),
+        ops=scan_ops + body,
+        input_addrs=list(program.input_addrs),
+        output_addrs=[remap.get(a, a) for a in program.output_addrs],
+        round_boundaries=[],
+    )

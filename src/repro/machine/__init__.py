@@ -1,0 +1,51 @@
+"""Memory-model machines: AEM, EM, ARAM and the unit-cost flash model.
+
+The central class is :class:`~repro.machine.aem.AEMMachine` — an
+(M, B, omega)-Asymmetric External Memory simulator with exact I/O cost
+counters, capacity-enforced internal memory, and trace recording. The
+symmetric EM model (omega = 1) and the ARAM (B = 1) are special cases;
+the unit-cost flash model is a separate machine used by the Lemma 4.3
+reduction.
+"""
+
+from .aem import AEMMachine
+from .aram import aram_machine, aram_params
+from .blockstore import BlockStore, WearStats
+from .cost import CostCounter, CostSnapshot
+from .em import em_machine, em_params
+from .errors import (
+    AddressError,
+    BlockSizeError,
+    CapacityError,
+    MachineError,
+    ModelViolationError,
+    ReleaseError,
+    TraceError,
+)
+from .flash import FlashMachine
+from .internal import InternalMemory
+from .streams import BlockReader, BlockWriter, scan_copy
+
+__all__ = [
+    "AEMMachine",
+    "AddressError",
+    "BlockReader",
+    "BlockSizeError",
+    "BlockStore",
+    "BlockWriter",
+    "CapacityError",
+    "CostCounter",
+    "CostSnapshot",
+    "FlashMachine",
+    "InternalMemory",
+    "MachineError",
+    "ModelViolationError",
+    "ReleaseError",
+    "TraceError",
+    "WearStats",
+    "aram_machine",
+    "aram_params",
+    "em_machine",
+    "em_params",
+    "scan_copy",
+]

@@ -1,0 +1,219 @@
+"""The (M, B, omega)-Asymmetric External Memory machine.
+
+:class:`AEMMachine` is the substrate every algorithm in this repository runs
+on. It combines
+
+* a :class:`~repro.machine.blockstore.BlockStore` (unbounded external
+  memory in blocks of ``B`` atoms),
+* an :class:`~repro.machine.internal.InternalMemory` ledger enforcing the
+  capacity ``M``,
+* a :class:`~repro.machine.cost.CostCounter` charging ``1`` per read I/O and
+  ``omega`` per write I/O, and
+* optional trace recording, producing the straight-line *programs* that the
+  paper's lower-bound machinery (Sections 4 and 5) operates on.
+
+Model semantics implemented here:
+
+* ``read(addr)`` transfers one block into internal memory. All atoms of the
+  block are staged internally and count against ``M`` until the caller
+  ``release``-s them or ``write``-s them back out. Reading is a *copy*: the
+  external block keeps its contents (programs that need the §4.2 move
+  semantics are analysed at the trace level, where the usefulness back-pass
+  decides which copy of each atom is the live one).
+* ``write(addr, items)`` transfers up to ``B`` atoms from internal memory to
+  the external block ``addr``, releasing their slots.
+* Atoms created *inside* internal memory (e.g. SpMxV partial sums) must be
+  ``acquire``-d, and atoms destroyed there (e.g. two partial sums combined
+  into one) ``release``-d, so the ledger stays truthful.
+
+Capacity enforcement can be disabled (``enforce_capacity=False``) for
+exploratory runs, but every algorithm shipped here passes with enforcement
+on; the tests pin their peak occupancy.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional, Sequence, Tuple
+
+from ..core.params import AEMParams
+from .blockstore import BlockStore
+from .cost import CostCounter, CostSnapshot
+from .errors import BlockSizeError
+from .internal import InternalMemory
+from ..trace.ops import Op, ReadOp, WriteOp
+
+
+def _uids_of(items: Sequence) -> Tuple[Optional[int], ...]:
+    """Atom identities of a block's payload (None for identity-less data)."""
+    return tuple(getattr(it, "uid", None) for it in items)
+
+
+class AEMMachine:
+    """An (M, B, omega)-AEM with exact cost accounting and tracing.
+
+    Parameters
+    ----------
+    params:
+        The model parameters. ``params.M`` is the capacity charged against;
+        algorithms that follow the paper's "constant fraction of memory"
+        convention should construct the machine from their *physical*
+        memory and size their logical buffers accordingly (see
+        :meth:`for_algorithm`).
+    enforce_capacity:
+        If true (default), exceeding ``M`` resident atoms raises
+        :class:`~repro.machine.errors.CapacityError`.
+    record:
+        If true, every I/O is appended to :attr:`trace` as a
+        :class:`~repro.trace.ops.ReadOp` / :class:`~repro.trace.ops.WriteOp`.
+    """
+
+    def __init__(
+        self,
+        params: AEMParams,
+        *,
+        enforce_capacity: bool = True,
+        record: bool = False,
+    ):
+        self.params = params
+        self.disk = BlockStore(params.B)
+        self.mem = InternalMemory(params.M, enforce=enforce_capacity)
+        self.counter = CostCounter(params.omega)
+        self.record = record
+        self.trace: list[Op] = []
+
+    # ------------------------------------------------------------------
+    # Construction helpers.
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_algorithm(
+        cls, params: AEMParams, slack: float = 4.0, **kwargs
+    ) -> "AEMMachine":
+        """A machine whose physical memory is ``slack * params.M``.
+
+        Section 3.1: "let M be a constant fraction of the available internal
+        memory". Algorithms are written against a logical ``M`` and run on a
+        machine with a small constant factor more capacity to hold staging
+        blocks and auxiliary words; asymptotics are unaffected.
+        """
+        physical = params.with_memory(max(params.B, int(params.M * slack)))
+        return cls(physical, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Core I/O operations.
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> list:
+        """Read one block (cost 1); its atoms become resident internally."""
+        items = list(self.disk.get(addr))
+        self.mem.acquire(len(items))
+        self.counter.add_read()
+        if self.record:
+            self.trace.append(ReadOp(addr, _uids_of(items)))
+        return items
+
+    def peek(self, addr: int) -> list:
+        """Read one block (cost 1) without keeping any of its atoms.
+
+        Equivalent to ``read`` followed by releasing everything; used when
+        an algorithm only inspects a block (e.g. re-reading initialization
+        blocks to identify active arrays in §3.1). Capacity for the staging
+        is still checked: the block must momentarily fit.
+        """
+        items = list(self.disk.get(addr))
+        self.mem.require(len(items))
+        self.counter.add_read()
+        if self.record:
+            self.trace.append(ReadOp(addr, _uids_of(items)))
+        return items
+
+    def write(self, addr: int, items: Sequence) -> None:
+        """Write up to ``B`` atoms to block ``addr`` (cost ``omega``)."""
+        if len(items) > self.params.B:
+            raise BlockSizeError(
+                f"write of {len(items)} atoms exceeds block size B={self.params.B}"
+            )
+        self.disk.set(addr, items)
+        self.mem.release(len(items))
+        self.counter.add_write()
+        if self.record:
+            self.trace.append(WriteOp(addr, _uids_of(items), tuple(items)))
+
+    def write_fresh(self, items: Sequence) -> int:
+        """Allocate a new block and write ``items`` to it; returns address."""
+        addr = self.disk.allocate_one()
+        self.write(addr, items)
+        return addr
+
+    # ------------------------------------------------------------------
+    # Internal memory management for the algorithms.
+    # ------------------------------------------------------------------
+    def release(self, count_or_items) -> None:
+        """Discard atoms from internal memory (no I/O cost)."""
+        k = count_or_items if isinstance(count_or_items, int) else len(count_or_items)
+        self.mem.release(k)
+
+    def acquire(self, count_or_items, what: str = "atoms") -> None:
+        """Account for atoms created inside internal memory (no I/O cost)."""
+        k = count_or_items if isinstance(count_or_items, int) else len(count_or_items)
+        self.mem.acquire(k, what)
+
+    def touch(self, k: int = 1) -> None:
+        """Record ``k`` internal operations (the model's time ``T``)."""
+        self.counter.touch(k)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        with self.counter.phase(name):
+            yield
+
+    # ------------------------------------------------------------------
+    # Allocation passthrough.
+    # ------------------------------------------------------------------
+    def allocate(self, count: int = 1) -> list[int]:
+        return self.disk.allocate(count)
+
+    def allocate_one(self) -> int:
+        return self.disk.allocate_one()
+
+    def free(self, addr: int) -> None:
+        self.disk.free(addr)
+
+    # ------------------------------------------------------------------
+    # Input/output placement (cost-free: the problem statement).
+    # ------------------------------------------------------------------
+    def load_input(self, items: Iterable) -> list[int]:
+        """Place the problem input contiguously in external memory."""
+        return self.disk.load_items(items)
+
+    def collect_output(self, addrs: Iterable[int]) -> list:
+        """Concatenate output blocks for verification (cost-free)."""
+        return self.disk.dump_items(addrs)
+
+    # ------------------------------------------------------------------
+    # Cost readout.
+    # ------------------------------------------------------------------
+    @property
+    def cost(self) -> float:
+        """Total asymmetric cost so far, ``Q = Qr + omega * Qw``."""
+        return self.counter.Q
+
+    @property
+    def reads(self) -> int:
+        return self.counter.reads
+
+    @property
+    def writes(self) -> int:
+        return self.counter.writes
+
+    def snapshot(self) -> CostSnapshot:
+        return self.counter.snapshot()
+
+    def wear(self):
+        """Per-block write-endurance summary (see BlockStore.wear)."""
+        return self.disk.wear()
+
+    def describe(self) -> str:
+        return f"{self.params.describe()}: {self.counter.describe()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"AEMMachine({self.describe()})"

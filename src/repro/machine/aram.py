@@ -1,0 +1,22 @@
+"""The (M, omega)-Asymmetric RAM of Blelloch et al.
+
+The paper observes that the (M, omega)-ARAM is equivalent to the
+(M, 1, omega)-AEM: block size one, unbounded asymmetric memory, writes
+costing ``omega``. :func:`aram_machine` constructs it on the shared
+simulator, so ARAM costs fall out of the same counters.
+"""
+
+from __future__ import annotations
+
+from ..core.params import AEMParams
+from .aem import AEMMachine
+
+
+def aram_params(M: int, omega: float) -> AEMParams:
+    """Parameters of the (M, omega)-ARAM (``B = 1``)."""
+    return AEMParams.aram(M, omega)
+
+
+def aram_machine(M: int, omega: float, **kwargs) -> AEMMachine:
+    """An (M, omega)-ARAM machine: an AEM machine with ``B = 1``."""
+    return AEMMachine(aram_params(M, omega), **kwargs)

@@ -1,0 +1,154 @@
+"""Block-addressed external memory.
+
+External memory in the AEM model is an unbounded sequence of blocks, each
+holding up to ``B`` atoms. :class:`BlockStore` provides the raw storage;
+it charges *no* costs — all cost accounting happens in the machines that
+wrap it (:mod:`repro.machine.aem`, :mod:`repro.machine.flash`).
+
+Blocks are identified by integer addresses handed out by :meth:`allocate`.
+Contents are stored as immutable tuples so that a block can be aliased
+safely by traces and replays. An address can be :meth:`free`-d, after which
+reads of it fail — this models the "destroyed atoms" semantics used by the
+Section 4.2 counting argument, and catches use-after-free bugs in
+algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .errors import AddressError, BlockSizeError
+
+
+@dataclass(frozen=True)
+class WearStats:
+    """Write-endurance summary of a block store.
+
+    ``max_writes`` on the ``hottest`` block is the quantity NVM endurance
+    budgets bound; algorithms that allocate fresh output regions (as all of
+    ours do) keep it at 1–2, while in-place algorithms concentrate wear.
+    """
+
+    total_writes: int
+    blocks_written: int
+    max_writes: int
+    hottest: Optional[int]
+
+    @property
+    def mean_writes(self) -> float:
+        if self.blocks_written == 0:
+            return 0.0
+        return self.total_writes / self.blocks_written
+
+
+class BlockStore:
+    """Unbounded external memory of blocks holding up to ``B`` atoms each."""
+
+    def __init__(self, B: int):
+        if B < 1:
+            raise ValueError(f"block size must be positive, got {B}")
+        self.B = B
+        self._blocks: Dict[int, Tuple] = {}
+        self._next_addr = 0
+        # Per-address write counts. On real NVM this is *endurance*: cells
+        # wear out after a bounded number of writes, which is the paper's
+        # second motivation (besides latency/energy) for write-avoidance.
+        self.write_counts: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation.
+    # ------------------------------------------------------------------
+    def allocate(self, count: int = 1) -> list[int]:
+        """Reserve ``count`` fresh empty block addresses."""
+        if count < 0:
+            raise ValueError("cannot allocate a negative number of blocks")
+        addrs = list(range(self._next_addr, self._next_addr + count))
+        self._next_addr += count
+        for a in addrs:
+            self._blocks[a] = ()
+        return addrs
+
+    def allocate_one(self) -> int:
+        return self.allocate(1)[0]
+
+    def free(self, addr: int) -> None:
+        """Discard a block. Subsequent access raises :class:`AddressError`."""
+        if addr not in self._blocks:
+            raise AddressError(f"free of unallocated block {addr}")
+        del self._blocks[addr]
+
+    # ------------------------------------------------------------------
+    # Access (cost-free; machines charge).
+    # ------------------------------------------------------------------
+    def get(self, addr: int) -> Tuple:
+        try:
+            return self._blocks[addr]
+        except KeyError:
+            raise AddressError(f"read of unallocated block {addr}") from None
+
+    def set(self, addr: int, items: Sequence) -> None:
+        if addr not in self._blocks:
+            raise AddressError(f"write to unallocated block {addr}")
+        if len(items) > self.B:
+            raise BlockSizeError(
+                f"block {addr}: {len(items)} atoms exceed block size B={self.B}"
+            )
+        self._blocks[addr] = tuple(items)
+        self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
+
+    def wear(self) -> "WearStats":
+        """Endurance summary over every address ever written."""
+        counts = self.write_counts
+        if not counts:
+            return WearStats(total_writes=0, blocks_written=0, max_writes=0, hottest=None)
+        hottest = max(counts, key=counts.get)  # type: ignore[arg-type]
+        return WearStats(
+            total_writes=sum(counts.values()),
+            blocks_written=len(counts),
+            max_writes=counts[hottest],
+            hottest=hottest,
+        )
+
+    def __contains__(self, addr: int) -> bool:
+        return addr in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def addresses(self) -> Iterator[int]:
+        return iter(self._blocks)
+
+    # ------------------------------------------------------------------
+    # Bulk helpers (used by workload generators and verifiers; cost-free
+    # by design: they represent the problem statement, not the program).
+    # ------------------------------------------------------------------
+    def load_items(self, items: Iterable) -> list[int]:
+        """Lay out ``items`` contiguously in fresh blocks of ``B``.
+
+        Returns the list of block addresses. This is how problem inputs are
+        placed into external memory before a program starts; it charges no
+        I/O cost (the input "is already there").
+        """
+        items = list(items)
+        nblocks = max(1, -(-len(items) // self.B)) if items else 0
+        addrs = self.allocate(nblocks)
+        for i, addr in enumerate(addrs):
+            self._blocks[addr] = tuple(items[i * self.B : (i + 1) * self.B])
+        return addrs
+
+    def dump_items(self, addrs: Iterable[int]) -> list:
+        """Concatenate the contents of ``addrs`` (for verification only)."""
+        out: list = []
+        for addr in addrs:
+            out.extend(self.get(addr))
+        return out
+
+    def snapshot(self) -> Dict[int, Tuple]:
+        """A shallow copy of the whole store (used by trace replays)."""
+        return dict(self._blocks)
+
+    def restore(self, snap: Dict[int, Tuple]) -> None:
+        self._blocks = dict(snap)
+        if snap:
+            self._next_addr = max(self._next_addr, max(snap) + 1)

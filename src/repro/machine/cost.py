@@ -1,0 +1,165 @@
+"""I/O cost accounting for the AEM model.
+
+The cost of a program that performs ``Qr`` read I/Os and ``Qw`` write I/Os is
+
+    Q = Qr + omega * Qw
+
+(the definition of the (M, B, omega)-AEM in the paper's introduction). The
+model additionally defines a *time* ``T`` equal to the number of internal
+memory accesses; we expose it as an optional counter (``touch``) that the
+algorithms increment for element-level internal work such as comparisons and
+moves. ``T`` plays no role in the lower bounds but is useful for sanity
+checks (e.g. mergesort performs ``Theta(N log N)`` comparisons).
+
+:class:`CostCounter` also supports *phases*: nested, named sub-counters that
+attribute I/Os to parts of an algorithm (e.g. ``"merge/pointer-maintenance"``),
+which the experiment tables use to show where reads and writes go.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+
+@dataclass(frozen=True)
+class CostSnapshot:
+    """An immutable point-in-time view of a :class:`CostCounter`.
+
+    Arithmetic on snapshots (subtraction) yields the cost of a region of a
+    program, which is how phase-free code measures sub-steps.
+    """
+
+    reads: int
+    writes: int
+    touches: int
+    omega: float
+
+    @property
+    def Q(self) -> float:
+        """Total asymmetric cost ``Qr + omega * Qw``."""
+        return self.reads + self.omega * self.writes
+
+    @property
+    def io(self) -> int:
+        """Unweighted I/O count ``Qr + Qw`` (the symmetric EM cost)."""
+        return self.reads + self.writes
+
+    def __sub__(self, other: "CostSnapshot") -> "CostSnapshot":
+        if self.omega != other.omega:
+            raise ValueError("cannot subtract snapshots with different omega")
+        return CostSnapshot(
+            reads=self.reads - other.reads,
+            writes=self.writes - other.writes,
+            touches=self.touches - other.touches,
+            omega=self.omega,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"Qr={self.reads} Qw={self.writes} Q={self.Q:g} "
+            f"(T={self.touches}, omega={self.omega:g})"
+        )
+
+
+class CostCounter:
+    """Mutable read/write/touch counters with named phase attribution."""
+
+    def __init__(self, omega: float = 1.0):
+        if omega < 1:
+            raise ValueError(f"omega must be >= 1, got {omega}")
+        self.omega = float(omega)
+        self.reads = 0
+        self.writes = 0
+        self.touches = 0
+        self._phase_stack: list[str] = []
+        # phase name -> [reads, writes, touches]
+        self._phases: Dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Recording.
+    # ------------------------------------------------------------------
+    def add_read(self, k: int = 1) -> None:
+        """Record ``k`` read I/Os (cost ``k``)."""
+        if k < 0:
+            raise ValueError("cannot record a negative number of reads")
+        self.reads += k
+        self._attribute(0, k)
+
+    def add_write(self, k: int = 1) -> None:
+        """Record ``k`` write I/Os (cost ``k * omega``)."""
+        if k < 0:
+            raise ValueError("cannot record a negative number of writes")
+        self.writes += k
+        self._attribute(1, k)
+
+    def touch(self, k: int = 1) -> None:
+        """Record ``k`` internal-memory operations (the model's time ``T``)."""
+        if k < 0:
+            raise ValueError("cannot record a negative number of touches")
+        self.touches += k
+        self._attribute(2, k)
+
+    def _attribute(self, slot: int, k: int) -> None:
+        if self._phase_stack:
+            self._phases[self._phase_stack[-1]][slot] += k
+
+    # ------------------------------------------------------------------
+    # Phases.
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Attribute I/Os recorded inside the ``with`` block to ``name``.
+
+        Phases nest lexically; a nested phase's costs are attributed to the
+        innermost name only (joined names like ``"merge/init"`` can be used
+        by callers who want hierarchy).
+        """
+        self._phase_stack.append(name)
+        self._phases.setdefault(name, [0, 0, 0])
+        try:
+            yield
+        finally:
+            self._phase_stack.pop()
+
+    def phase_snapshot(self, name: str) -> CostSnapshot:
+        r, w, t = self._phases.get(name, [0, 0, 0])
+        return CostSnapshot(reads=r, writes=w, touches=t, omega=self.omega)
+
+    @property
+    def phases(self) -> Dict[str, CostSnapshot]:
+        return {name: self.phase_snapshot(name) for name in self._phases}
+
+    # ------------------------------------------------------------------
+    # Reading out.
+    # ------------------------------------------------------------------
+    @property
+    def Q(self) -> float:
+        """Total asymmetric cost ``Qr + omega * Qw``."""
+        return self.reads + self.omega * self.writes
+
+    @property
+    def io(self) -> int:
+        """Unweighted I/O count ``Qr + Qw``."""
+        return self.reads + self.writes
+
+    def snapshot(self) -> CostSnapshot:
+        return CostSnapshot(
+            reads=self.reads,
+            writes=self.writes,
+            touches=self.touches,
+            omega=self.omega,
+        )
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.touches = 0
+        self._phases.clear()
+
+    def describe(self) -> str:
+        return self.snapshot().describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostCounter({self.describe()})"

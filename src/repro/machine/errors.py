@@ -1,0 +1,50 @@
+"""Exception types raised by the memory-model machines."""
+
+from __future__ import annotations
+
+
+class MachineError(Exception):
+    """Base class for all machine-level errors."""
+
+
+class CapacityError(MachineError):
+    """Internal memory capacity ``M`` would be exceeded.
+
+    This is the error that demonstrates the paper's Section 3 point: a
+    mergesort that keeps one pointer per run *in internal memory* cannot run
+    a ``omega*m``-way merge once ``omega`` exceeds roughly ``B``, because the
+    pointers alone no longer fit.
+    """
+
+    def __init__(self, requested: int, occupancy: int, capacity: int, what: str = "atoms"):
+        self.requested = requested
+        self.occupancy = occupancy
+        self.capacity = capacity
+        super().__init__(
+            f"internal memory overflow: need {requested} more {what} "
+            f"on top of {occupancy}, but capacity is {capacity}"
+        )
+
+
+class BlockSizeError(MachineError):
+    """A block transfer exceeded ``B`` atoms."""
+
+
+class AddressError(MachineError):
+    """Access to an unallocated or freed external-memory block."""
+
+
+class ReleaseError(MachineError):
+    """Released more atoms from internal memory than are held."""
+
+
+class TraceError(MachineError):
+    """A recorded program trace is malformed or fails verification."""
+
+
+class ModelViolationError(MachineError):
+    """An operation is not expressible in the model being simulated.
+
+    For example, the Lemma 4.3 flash reduction requires ``B > omega`` and
+    ``B`` a multiple of ``omega``.
+    """

@@ -1,0 +1,169 @@
+"""The unit-cost flash memory model of Ajwani, Beckmann, Jacob, Meyer & Moruz.
+
+Section 4.1 of the paper reduces AEM permutation programs to this model.
+Its defining features (as used by the paper):
+
+* external memory is written in *write blocks* of ``Bw`` elements,
+* each write block consists of ``Bw / Br`` *read blocks* of ``Br`` elements
+  that can be read independently,
+* the cost of an I/O is proportional to the number of elements transferred
+  (the *I/O volume*): a read of a read block costs ``Br`` and a write of a
+  write block costs ``Bw``, i.e. cost per element is symmetric.
+
+For the Lemma 4.3 reduction the paper instantiates ``Bw = B`` (the AEM
+block size) and ``Br = B / omega``, which requires ``B > omega`` and ``B``
+a multiple of ``omega``.
+
+Addresses: a write block has an integer address (as in
+:class:`~repro.machine.blockstore.BlockStore`); its read blocks are
+addressed as ``(addr, j)`` for ``j in range(Bw // Br)``, covering elements
+``[j*Br, (j+1)*Br)`` of the write block — read blocks are *contiguous*
+sub-intervals, which is exactly the constraint that makes the reduction
+non-trivial (an AEM read may use an arbitrary subset of a block; a flash
+read may not).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .blockstore import BlockStore
+from .errors import BlockSizeError, ModelViolationError
+
+
+class FlashMachine:
+    """Unit-cost flash model machine with volume-based cost accounting.
+
+    Parameters
+    ----------
+    M:
+        Internal memory capacity in elements (tracked but, as in the
+        reduction, not the focus — the reduction preserves the AEM
+        program's memory discipline).
+    Br:
+        Read block size in elements.
+    Bw:
+        Write block size in elements; must be a positive multiple of ``Br``.
+    """
+
+    def __init__(self, M: int, Br: int, Bw: int):
+        if Br < 1 or Bw < 1:
+            raise ValueError("block sizes must be positive")
+        if Bw % Br != 0:
+            raise ModelViolationError(
+                f"write block size {Bw} must be a multiple of read block size {Br}"
+            )
+        if M < Bw:
+            raise ValueError(f"internal memory M={M} must hold a write block Bw={Bw}")
+        self.M = M
+        self.Br = Br
+        self.Bw = Bw
+        self.disk = BlockStore(Bw)
+        self.read_volume = 0
+        self.write_volume = 0
+        self.read_ops = 0
+        self.write_ops = 0
+
+    @classmethod
+    def for_aem_reduction(cls, M: int, B: int, omega: int) -> "FlashMachine":
+        """The instantiation used by Lemma 4.3: ``Bw = B``, ``Br = B/omega``.
+
+        Requires ``B > omega`` and ``omega | B`` as in the lemma statement.
+        """
+        if not isinstance(omega, int) or omega < 1:
+            raise ModelViolationError(
+                f"the reduction needs integer omega >= 1, got {omega!r}"
+            )
+        if B <= omega:
+            raise ModelViolationError(
+                f"Lemma 4.3 requires B > omega (got B={B}, omega={omega})"
+            )
+        if B % omega != 0:
+            raise ModelViolationError(
+                f"Lemma 4.3 requires omega | B (got B={B}, omega={omega})"
+            )
+        return cls(M=M, Br=B // omega, Bw=B)
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+    @property
+    def reads_per_write_block(self) -> int:
+        return self.Bw // self.Br
+
+    @property
+    def volume(self) -> int:
+        """Total I/O volume (elements transferred), the model's cost."""
+        return self.read_volume + self.write_volume
+
+    # ------------------------------------------------------------------
+    # I/O operations.
+    # ------------------------------------------------------------------
+    def write_block(self, addr: int, items: Sequence) -> None:
+        """Write one write block (cost = ``Bw`` volume)."""
+        if len(items) > self.Bw:
+            raise BlockSizeError(
+                f"write of {len(items)} elements exceeds write block size {self.Bw}"
+            )
+        self.disk.set(addr, items)
+        self.write_volume += self.Bw
+        self.write_ops += 1
+
+    def write_fresh(self, items: Sequence) -> int:
+        addr = self.disk.allocate_one()
+        self.write_block(addr, items)
+        return addr
+
+    def read_small(self, addr: int, j: int) -> Tuple:
+        """Read the ``j``-th read block of write block ``addr``.
+
+        Returns the elements in positions ``[j*Br, (j+1)*Br)`` of the write
+        block (possibly fewer at the ragged end). Cost = ``Br`` volume.
+        """
+        if j < 0 or j >= self.reads_per_write_block:
+            raise ModelViolationError(
+                f"read block index {j} out of range for Bw/Br={self.reads_per_write_block}"
+            )
+        items = self.disk.get(addr)
+        lo, hi = j * self.Br, (j + 1) * self.Br
+        self.read_volume += self.Br
+        self.read_ops += 1
+        return tuple(items[lo:hi])
+
+    def read_covering(self, addr: int, lo: int, hi: int) -> Tuple:
+        """Read the minimal set of read blocks covering interval [lo, hi).
+
+        Returns the concatenated contents of those read blocks (a superset
+        of the requested interval). Used by the Lemma 4.3 simulation, where
+        an AEM read that removes a contiguous interval of atoms from a
+        normalized block induces "just enough" small reads to cover it —
+        at most two of which are not full.
+        """
+        if lo < 0 or hi > self.Bw or lo > hi:
+            raise ModelViolationError(f"bad interval [{lo}, {hi}) for Bw={self.Bw}")
+        if lo == hi:
+            return ()
+        j_lo = lo // self.Br
+        j_hi = -(-hi // self.Br)  # ceil
+        out: list = []
+        for j in range(j_lo, j_hi):
+            out.extend(self.read_small(addr, j))
+        return tuple(out)
+
+    # ------------------------------------------------------------------
+    # Problem placement (cost-free).
+    # ------------------------------------------------------------------
+    def load_input(self, items: Sequence) -> list[int]:
+        return self.disk.load_items(items)
+
+    def collect_output(self, addrs: Sequence[int]) -> list:
+        return self.disk.dump_items(addrs)
+
+    def describe(self) -> str:
+        return (
+            f"flash(M={self.M}, Br={self.Br}, Bw={self.Bw}): "
+            f"volume={self.volume} (read {self.read_volume} + write {self.write_volume})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FlashMachine({self.describe()})"

@@ -1,0 +1,94 @@
+"""Internal (symmetric) memory with capacity enforcement.
+
+The AEM model allows at most ``M`` atoms in internal memory at any time.
+Algorithms in this code base account for their internal footprint through
+:class:`InternalMemory`: reading a block *acquires* slots for its atoms,
+discarding atoms *releases* slots, and writing a block releases the written
+atoms (they move to external memory).
+
+The ledger is a plain slot counter rather than an object registry: the
+algorithms manipulate ordinary Python lists for speed (per the HPC guides,
+the simulator itself should be cheap), while the counter guarantees the
+*model's* constraint. Auxiliary in-memory words that the paper charges
+against ``M`` — run pointers, counters, heap indices — are acquired
+explicitly by the algorithms that use them, so that e.g. the
+pointer-in-memory mergesort genuinely overflows when ``omega*m`` pointers no
+longer fit (Section 3's motivation).
+
+``peak`` records the high-water mark, which the tests compare against the
+paper's space claims (e.g. Lemma 3.1 implies the Section 3.1 merge needs
+only ``O(M)`` atoms resident).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .errors import CapacityError, ReleaseError
+
+
+class InternalMemory:
+    """A capacity-checked slot ledger for the internal memory."""
+
+    def __init__(self, capacity: int, *, enforce: bool = True):
+        if capacity < 1:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.enforce = enforce
+        self.occupancy = 0
+        self.peak = 0
+
+    def acquire(self, k: int = 1, what: str = "atoms") -> None:
+        """Claim ``k`` slots; raises :class:`CapacityError` on overflow."""
+        if k < 0:
+            raise ValueError("cannot acquire a negative number of slots")
+        if self.enforce and self.occupancy + k > self.capacity:
+            raise CapacityError(k, self.occupancy, self.capacity, what)
+        self.occupancy += k
+        if self.occupancy > self.peak:
+            self.peak = self.occupancy
+
+    def release(self, k: int = 1) -> None:
+        """Return ``k`` slots to the pool."""
+        if k < 0:
+            raise ValueError("cannot release a negative number of slots")
+        if k > self.occupancy:
+            raise ReleaseError(
+                f"releasing {k} slots but only {self.occupancy} are held"
+            )
+        self.occupancy -= k
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self.occupancy
+
+    def require(self, k: int) -> None:
+        """Assert that ``k`` more slots *would* fit, without claiming them."""
+        if self.enforce and self.occupancy + k > self.capacity:
+            raise CapacityError(k, self.occupancy, self.capacity)
+
+    @contextmanager
+    def held(self, k: int, what: str = "atoms") -> Iterator[None]:
+        """Hold ``k`` slots for the duration of a ``with`` block."""
+        self.acquire(k, what)
+        try:
+            yield
+        finally:
+            self.release(k)
+
+    def drain(self) -> int:
+        """Release everything held; returns how many slots were held.
+
+        Used at round boundaries by round-based programs, whose internal
+        memory must be empty between rounds (Section 4).
+        """
+        held = self.occupancy
+        self.occupancy = 0
+        return held
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"InternalMemory({self.occupancy}/{self.capacity} held, "
+            f"peak {self.peak}, enforce={self.enforce})"
+        )

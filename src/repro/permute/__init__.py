@@ -1,0 +1,16 @@
+"""Permuting N atoms in the AEM — the problem of the Section 4 lower bounds."""
+
+from .adaptive import choose_strategy, permute_adaptive
+from .base import PERMUTERS, PermuteVerificationError, verify_permutation_output
+from .naive import permute_naive
+from .sort_based import permute_sort_based
+
+__all__ = [
+    "PERMUTERS",
+    "PermuteVerificationError",
+    "choose_strategy",
+    "permute_adaptive",
+    "permute_naive",
+    "permute_sort_based",
+    "verify_permutation_output",
+]

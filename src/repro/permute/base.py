@@ -1,0 +1,48 @@
+"""Permuter registry and verification."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..atoms.atom import Atom, same_atom_multiset
+from ..atoms.permutation import Permutation, verify_permuted
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from .adaptive import permute_adaptive
+from .naive import permute_naive
+from .sort_based import permute_sort_based
+
+Permuter = Callable[[AEMMachine, Sequence[int], Permutation, AEMParams], list[int]]
+
+PERMUTERS: Dict[str, Permuter] = {
+    "naive": permute_naive,
+    "sort_based": permute_sort_based,
+    "adaptive": permute_adaptive,
+}
+
+
+class PermuteVerificationError(AssertionError):
+    """The output of a permuter violates its contract."""
+
+
+def verify_permutation_output(
+    machine: AEMMachine,
+    input_atoms: Sequence[Atom],
+    output_addrs: Sequence[int],
+    perm: Permutation,
+) -> list[Atom]:
+    """Check ``output[perm[i]].uid == input[i].uid`` and atom preservation."""
+    out = machine.collect_output(output_addrs)
+    if len(out) != len(input_atoms):
+        raise PermuteVerificationError(
+            f"output holds {len(out)} atoms, input had {len(input_atoms)}"
+        )
+    if not verify_permuted(
+        perm, [a.uid for a in input_atoms], [a.uid for a in out]
+    ):
+        raise PermuteVerificationError("output does not realize the permutation")
+    if not same_atom_multiset(input_atoms, out):
+        raise PermuteVerificationError(
+            "output atoms are not exactly the input atoms (indivisibility violated)"
+        )
+    return out

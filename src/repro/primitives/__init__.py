@@ -1,0 +1,22 @@
+"""I/O-efficient primitives: scans, prefix sums, structured transposition."""
+
+from .scan import (
+    filter_scan,
+    map_blocks,
+    partition_scan,
+    prefix_sums,
+    reduce_scan,
+    zip_scan,
+)
+from .transpose import tiles_fit, transpose
+
+__all__ = [
+    "filter_scan",
+    "map_blocks",
+    "partition_scan",
+    "prefix_sums",
+    "reduce_scan",
+    "tiles_fit",
+    "transpose",
+    "zip_scan",
+]

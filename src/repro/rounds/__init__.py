@@ -1,0 +1,11 @@
+"""The Lemma 4.1 round-based program conversion and its verifier."""
+
+from .convert import ConversionReport, to_round_based
+from .verify import RoundBasedReport, verify_round_based
+
+__all__ = [
+    "ConversionReport",
+    "RoundBasedReport",
+    "to_round_based",
+    "verify_round_based",
+]

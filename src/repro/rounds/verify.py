@@ -1,0 +1,118 @@
+"""Validity checks for round-based programs.
+
+A program is *round-based* (Section 4) when its I/Os split into rounds of
+bounded cost and its internal memory is empty at every round boundary.
+Both properties are checkable purely from a trace:
+
+* round costs are read off the op sequence;
+* memory emptiness falls out of the liveness analysis — no atom's
+  residency interval (source read -> consuming write) may straddle a
+  boundary.
+
+These checks make the Lemma 4.1 converter falsifiable: the tests run them
+on every converted program, alongside replay validation and final-state
+equivalence with the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.errors import TraceError
+from ..trace.analysis import liveness_intervals
+from ..trace.program import Program
+
+
+@dataclass(frozen=True)
+class RoundBasedReport:
+    rounds: int
+    max_round_cost: float
+    min_nonfinal_round_cost: float
+    max_live_at_boundary: int
+    peak_live: int
+
+
+def verify_round_based(
+    program: Program,
+    *,
+    budget: float | None = None,
+    memory_limit: int | None = None,
+    reference: Program | None = None,
+) -> RoundBasedReport:
+    """Verify round structure, boundary emptiness, replay and equivalence.
+
+    Parameters
+    ----------
+    budget:
+        Maximum allowed round cost; defaults to ``2*omega*m + m`` — the
+        Lemma 4.1 converter's guarantee on the doubled-memory machine
+        (note ``program.params`` already carries the doubled M, so the
+        default is computed from the *original* m = params.m / 2).
+    memory_limit:
+        Maximum number of concurrently live atoms (default: the program's
+        own ``params.M``).
+    reference:
+        If given, the two programs' final output atoms must agree.
+    """
+    if not program.round_boundaries:
+        raise TraceError("program has no recorded round boundaries")
+    if program.round_boundaries[0] != 0:
+        raise TraceError("first round must start at op 0")
+
+    p = program.params
+    if budget is None:
+        # params.m is the doubled-memory m; the original machine had m/2.
+        orig_m = max(1, p.m // 2)
+        budget = 2 * p.omega * orig_m + orig_m
+    if memory_limit is None:
+        memory_limit = p.M
+
+    # Round costs.
+    costs = []
+    for ops in program.rounds():
+        costs.append(sum(program.op_cost(op) for op in ops))
+    for i, c in enumerate(costs):
+        if c > budget + 1e-9:
+            raise TraceError(
+                f"round {i} costs {c}, exceeding the budget {budget}"
+            )
+
+    # Memory emptiness at boundaries and overall residency.
+    live = liveness_intervals(program)
+    boundary_live = [
+        len(live.live_at(b)) for b in program.round_boundaries[1:]
+    ] or [0]
+    max_boundary = max(boundary_live)
+    if max_boundary > 0:
+        bad = program.round_boundaries[1:][boundary_live.index(max_boundary)]
+        raise TraceError(
+            f"{max_boundary} atoms live across the round boundary at op {bad}; "
+            "a round-based program must have empty internal memory there"
+        )
+    peak = live.peak(list(range(len(program.ops) + 1)))
+    if peak > memory_limit:
+        raise TraceError(
+            f"peak residency {peak} atoms exceeds the memory limit {memory_limit}"
+        )
+
+    # Replay consistency (and, if given, output equivalence).
+    final = program.replay(validate=True)
+    if reference is not None:
+        ref_final = reference.replay(validate=True)
+        for addr in program.output_addrs:
+            mine = tuple(getattr(a, "uid", None) for a in final.get(addr, ()))
+            theirs = tuple(
+                getattr(a, "uid", None) for a in ref_final.get(addr, ())
+            )
+            if mine != theirs:
+                raise TraceError(
+                    f"output block {addr} differs from the reference program"
+                )
+
+    return RoundBasedReport(
+        rounds=len(program.round_boundaries),
+        max_round_cost=max(costs, default=0.0),
+        min_nonfinal_round_cost=min(costs[:-1], default=0.0),
+        max_live_at_boundary=max_boundary,
+        peak_live=peak,
+    )

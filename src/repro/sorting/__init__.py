@@ -1,0 +1,43 @@
+"""Sorting in the (M, B, omega)-AEM: the Section 3 mergesort and comparators."""
+
+from .base import SORTERS, SortVerificationError, run_sorter, verify_sorted_output
+from .em_mergesort import em_mergesort
+from .heapsort import aem_heapsort
+from .merge import (
+    EXHAUSTED,
+    ExternalPointerStore,
+    InternalPointerStore,
+    MergeStats,
+    RoundStats,
+    multiway_merge,
+)
+from .mergesort import aem_mergesort, pointer_mergesort, sort_run
+from .runs import Run, concat_runs, run_of_input, split_run
+from .samplesort import aem_samplesort, sample_sort_run
+from .small import small_sort, small_sort_addrs
+
+__all__ = [
+    "EXHAUSTED",
+    "ExternalPointerStore",
+    "InternalPointerStore",
+    "MergeStats",
+    "Run",
+    "RoundStats",
+    "SORTERS",
+    "SortVerificationError",
+    "aem_heapsort",
+    "aem_mergesort",
+    "aem_samplesort",
+    "concat_runs",
+    "em_mergesort",
+    "multiway_merge",
+    "pointer_mergesort",
+    "run_of_input",
+    "run_sorter",
+    "sample_sort_run",
+    "small_sort",
+    "small_sort_addrs",
+    "sort_run",
+    "split_run",
+    "verify_sorted_output",
+]

@@ -1,0 +1,107 @@
+"""The Section 3 AEM mergesort.
+
+Recurrence (paper, Section 3): divide the array into ``d = omega*m``
+subarrays, recursively sort each, and merge with the Section 3.1 round
+merge; subarrays of at most ``omega*M`` atoms are sorted directly by the
+small-array base case. Cost::
+
+    Q(N) = d * Q(N/d) + O(omega*n)   if N > omega*M
+    Q(N) = O(omega*n)                 if N <= omega*M
+
+which solves to ``O(omega * n * log_{omega m} n)`` — with ``O(n *
+log_{omega m} n)`` of it writes — for *any* omega, the paper's headline
+upper bound.
+
+``pointer_mode`` selects where the merge keeps its run pointers:
+``"external"`` (the paper's scheme, works for all omega) or ``"internal"``
+(the previously published scheme, which overflows internal memory once the
+``omega*m``-entry table no longer fits — essentially ``omega > B``). The
+:func:`pointer_mergesort` wrapper names the baseline for the experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from .merge import MergeStats, multiway_merge
+from .runs import Run, run_of_input, split_run
+from .small import small_sort
+
+
+def sort_run(
+    machine: AEMMachine,
+    run: Run,
+    params: AEMParams,
+    *,
+    pointer_mode: str = "external",
+    stats: Optional[MergeStats] = None,
+    fanout: Optional[int] = None,
+) -> Run:
+    """Sort a run with the Section 3 mergesort; returns the sorted run.
+
+    ``fanout`` overrides the recursion's branching factor ``d`` (default
+    ``omega*m``, the paper's choice). Used by the fan-out ablation: any
+    ``2 <= d <= omega*m`` is correct, but only ``d = omega*m`` minimizes
+    the level count that the cost bound pays for.
+    """
+    if run.length <= params.base_case_size():
+        with machine.phase("mergesort/base"):
+            return small_sort(machine, run, params)
+    d = max(2, params.fanout if fanout is None else min(fanout, params.fanout))
+    subruns = split_run(machine, run, d)
+    if len(subruns) == 1:
+        # A single huge block (degenerate B >= N); fall back to base case.
+        return small_sort(machine, run, params)
+    sorted_subs = [
+        sort_run(
+            machine,
+            sub,
+            params,
+            pointer_mode=pointer_mode,
+            stats=stats,
+            fanout=fanout,
+        )
+        for sub in subruns
+    ]
+    return multiway_merge(
+        machine, sorted_subs, params, pointer_mode=pointer_mode, stats=stats
+    )
+
+
+def aem_mergesort(
+    machine: AEMMachine,
+    addrs: Sequence[int],
+    params: AEMParams,
+    *,
+    pointer_mode: str = "external",
+    stats: Optional[MergeStats] = None,
+) -> list[int]:
+    """Sort the atoms stored at ``addrs``; returns the output block run.
+
+    The paper's algorithm: cost ``O(omega*n*log_{omega m} n)`` with only
+    ``O(n*log_{omega m} n)`` writes, for any omega >= 1.
+    """
+    run = run_of_input(machine, addrs)
+    out = sort_run(machine, run, params, pointer_mode=pointer_mode, stats=stats)
+    return list(out.addrs)
+
+
+def pointer_mergesort(
+    machine: AEMMachine,
+    addrs: Sequence[int],
+    params: AEMParams,
+    *,
+    stats: Optional[MergeStats] = None,
+) -> list[int]:
+    """The prior AEM mergesort: run pointers held in internal memory.
+
+    Matches :func:`aem_mergesort`'s cost while the pointer table fits, but
+    raises :class:`~repro.machine.errors.CapacityError` once
+    ``omega*m`` words no longer fit alongside the merge buffer — the
+    ``omega < B`` assumption the paper removes (experiment E2).
+    """
+    return aem_mergesort(
+        machine, addrs, params, pointer_mode="internal", stats=stats
+    )

@@ -1,0 +1,81 @@
+"""Sorted runs in external memory.
+
+A *run* is a maximal unit the sorting algorithms operate on: a sequence of
+block addresses whose concatenated atoms are sorted (by the strict
+``(key, uid)`` order). Runs carry their length so algorithms never need a
+costed scan just to know how much data they hold — input sizes are part of
+the problem statement in the EM/AEM models, the same way N itself is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..machine.aem import AEMMachine
+
+
+@dataclass(frozen=True)
+class Run:
+    """A (usually sorted) sequence of blocks in external memory."""
+
+    addrs: tuple[int, ...]
+    length: int
+
+    @staticmethod
+    def of(addrs: Sequence[int], length: int) -> "Run":
+        return Run(addrs=tuple(addrs), length=length)
+
+    @property
+    def blocks(self) -> int:
+        return len(self.addrs)
+
+    def is_empty(self) -> bool:
+        return self.length == 0
+
+
+def run_of_input(machine: AEMMachine, addrs: Sequence[int]) -> Run:
+    """Wrap raw input blocks as a run, counting atoms cost-free.
+
+    The atom count is problem metadata (the N of the instance), not data
+    the program must discover, so reading it off the block store charges
+    nothing — exactly like an algorithm being told its input size.
+    """
+    length = sum(len(machine.disk.get(a)) for a in addrs)
+    return Run.of(addrs, length)
+
+
+def split_run(machine: AEMMachine, run: Run, parts: int) -> list[Run]:
+    """Split a run into up to ``parts`` contiguous block-aligned sub-runs.
+
+    Used by the mergesort recursion: "divide the array into d subarrays,
+    each of size O(N/d)". Sub-runs differ in block count by at most one;
+    empty sub-runs are dropped. Lengths are taken cost-free from the block
+    store (metadata, see :func:`run_of_input`).
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    nblocks = run.blocks
+    base, extra = divmod(nblocks, parts)
+    out: list[Run] = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        if size == 0:
+            continue
+        addrs = run.addrs[start : start + size]
+        length = sum(len(machine.disk.get(a)) for a in addrs)
+        if length > 0:
+            out.append(Run.of(addrs, length))
+        start += size
+    return out
+
+
+def concat_runs(runs: Sequence[Run]) -> Run:
+    """Concatenate runs (caller guarantees ordering if sortedness matters)."""
+    addrs: list[int] = []
+    length = 0
+    for r in runs:
+        addrs.extend(r.addrs)
+        length += r.length
+    return Run.of(addrs, length)

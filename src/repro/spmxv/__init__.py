@@ -1,0 +1,60 @@
+"""Sparse-matrix dense-vector multiplication in the AEM (Section 5)."""
+
+from .bounds import (
+    SpmxvCountingBound,
+    SpmxvRoundBound,
+    log2_configs_per_round,
+    spmxv_counting_general,
+    spmxv_lower_shape,
+    spmxv_min_rounds,
+    spmxv_naive_shape,
+    spmxv_sort_shape,
+    spmxv_upper_shape,
+    tau,
+    theorem_5_1_applicable,
+    theorem_5_1_exact,
+)
+from .layouts import (
+    load_matrix_row_major,
+    row_major_entries,
+    spmxv_naive_row_major,
+)
+from .matrix import (
+    Conformation,
+    load_matrix,
+    load_vector,
+    reference_product,
+)
+from .naive import spmxv_naive
+from .semiring import BOOLEAN, INTEGER, MAX_PLUS, REAL, SEMIRINGS, Semiring
+from .sort_based import spmxv_sort_based
+
+__all__ = [
+    "BOOLEAN",
+    "Conformation",
+    "INTEGER",
+    "MAX_PLUS",
+    "REAL",
+    "SEMIRINGS",
+    "Semiring",
+    "SpmxvCountingBound",
+    "SpmxvRoundBound",
+    "load_matrix",
+    "log2_configs_per_round",
+    "load_matrix_row_major",
+    "load_vector",
+    "reference_product",
+    "row_major_entries",
+    "spmxv_counting_general",
+    "spmxv_min_rounds",
+    "spmxv_naive_row_major",
+    "spmxv_lower_shape",
+    "spmxv_naive",
+    "spmxv_naive_shape",
+    "spmxv_sort_based",
+    "spmxv_sort_shape",
+    "spmxv_upper_shape",
+    "tau",
+    "theorem_5_1_applicable",
+    "theorem_5_1_exact",
+]

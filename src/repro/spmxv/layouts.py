@@ -1,0 +1,93 @@
+"""Alternative matrix layouts — why Section 5 fixes *column-major*.
+
+Theorem 5.1's hardness is a statement about the column-major layout: the
+entries a row needs are scattered across the stored sequence, so the direct
+algorithm pays up to one read per entry. Stored *row-major* instead, the
+direct algorithm scans the matrix sequentially (``h`` reads instead of up
+to ``H``) and only the x-vector accesses stay scattered — the lower bound
+machinery would not bite. This module provides the row-major layout and the
+corresponding direct algorithm so the ablation (experiment A3) can measure
+exactly how much the layout assumption is worth.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..atoms.atom import Atom
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from ..machine.streams import BlockReader, BlockWriter
+from .matrix import Conformation
+from .naive import _BlockCache
+from .semiring import REAL, Semiring
+
+
+def row_major_entries(conf: Conformation, values: Sequence[float]) -> list[Atom]:
+    """The same triples as ``column_major_entries`` reordered row-major.
+
+    ``values`` stays indexed by *column-major* position (the canonical
+    value order), so both layouts describe the identical matrix.
+    """
+    if len(values) != conf.H:
+        raise ValueError(f"need {conf.H} values, got {len(values)}")
+    triples = []
+    p = 0
+    for j, rows in enumerate(conf.cols):
+        for i in rows:
+            triples.append((i, j, p))
+            p += 1
+    triples.sort()
+    return [Atom((i, j), p, (i, j, values[p])) for i, j, p in triples]
+
+
+def load_matrix_row_major(
+    machine: AEMMachine, conf: Conformation, values: Sequence[float]
+) -> list[int]:
+    """Place the row-major triples into external memory (cost-free)."""
+    return machine.load_input(row_major_entries(conf, values))
+
+
+def spmxv_naive_row_major(
+    machine: AEMMachine,
+    matrix_addrs: Sequence[int],
+    x_addrs: Sequence[int],
+    conf: Conformation,
+    params: AEMParams,
+    semiring: Semiring = REAL,
+) -> list[int]:
+    """The direct algorithm on a row-major layout: a single matrix scan.
+
+    Cost ``O(h + H_x + omega*n)`` where the matrix contributes only ``h``
+    sequential reads; the x accesses (up to one read per entry, cached)
+    remain the scattered part. Contrast with
+    :func:`repro.spmxv.naive.spmxv_naive` on column-major, where the matrix
+    reads themselves are scattered.
+    """
+    B, N = params.B, conf.N
+    writer = BlockWriter(machine, machine.allocate((N + B - 1) // B))
+    x_cache = _BlockCache(machine, x_addrs)
+    reader = BlockReader(machine, matrix_addrs)
+    with machine.phase("spmxv_row_major/scan"):
+        current_row = 0
+        acc = semiring.zero
+        machine.acquire(1, "row accumulator")
+        for entry in reader:
+            i, j, a = entry.value
+            machine.release(1)  # entry consumed
+            while current_row < i:
+                writer.push(acc)  # slot transfers to the writer
+                machine.acquire(1, "row accumulator")
+                acc = semiring.zero
+                current_row += 1
+            acc = semiring.add(acc, semiring.mul(a, x_cache.get(j, B)))
+            machine.touch(2)
+        while current_row < N:
+            writer.push(acc)
+            if current_row < N - 1:
+                machine.acquire(1, "row accumulator")
+            acc = semiring.zero
+            current_row += 1
+        writer.close()
+    x_cache.close()
+    return list(writer.addrs)

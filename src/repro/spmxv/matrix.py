@@ -1,0 +1,162 @@
+"""Sparse matrix conformations and the column-major external layout.
+
+Section 5 fixes the setting: an N x N matrix A with exactly ``delta``
+non-zero entries per column (H = delta * N in total), stored in external
+memory in *column-major* order as a list of triples ``(i, j, a_ij)`` — the
+non-zeros of column 0 by increasing row, then column 1, and so on.
+
+A :class:`Conformation` is the structure (the positions of the non-zeros);
+a *program* in the paper's sense is specific to one conformation, and the
+generators below produce the instances the experiments sweep over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..atoms.atom import Atom
+from ..machine.aem import AEMMachine
+from .semiring import REAL, Semiring
+
+
+@dataclass(frozen=True)
+class Conformation:
+    """Positions of the non-zeros: exactly ``delta`` sorted rows per column."""
+
+    N: int
+    delta: int
+    cols: tuple[tuple[int, ...], ...]  # cols[j] = sorted row indices
+
+    def __post_init__(self) -> None:
+        if len(self.cols) != self.N:
+            raise ValueError(f"expected {self.N} columns, got {len(self.cols)}")
+        for j, rows in enumerate(self.cols):
+            if len(rows) != self.delta:
+                raise ValueError(
+                    f"column {j} has {len(rows)} non-zeros, expected delta={self.delta}"
+                )
+            if any(not (0 <= r < self.N) for r in rows):
+                raise ValueError(f"column {j} has row indices outside [0, N)")
+            if any(rows[t] >= rows[t + 1] for t in range(len(rows) - 1)):
+                raise ValueError(f"column {j} rows not strictly increasing")
+
+    @property
+    def H(self) -> int:
+        """Total non-zeros, ``H = delta * N``."""
+        return self.delta * self.N
+
+    # ------------------------------------------------------------------
+    # Generators.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def random(
+        N: int, delta: int, rng: np.random.Generator | int | None = None
+    ) -> "Conformation":
+        """Each column's rows drawn uniformly without replacement."""
+        if delta > N:
+            raise ValueError("delta cannot exceed N")
+        rng = np.random.default_rng(rng)
+        cols = tuple(
+            tuple(sorted(rng.choice(N, size=delta, replace=False).tolist()))
+            for _ in range(N)
+        )
+        return Conformation(N=N, delta=delta, cols=cols)
+
+    @staticmethod
+    def banded(N: int, delta: int) -> "Conformation":
+        """Rows ``j, j+1, ..., j+delta-1`` (mod N): a cyclic band —
+        high-locality, the easy case for the direct algorithm."""
+        if delta > N:
+            raise ValueError("delta cannot exceed N")
+        cols = tuple(
+            tuple(sorted((j + t) % N for t in range(delta))) for j in range(N)
+        )
+        return Conformation(N=N, delta=delta, cols=cols)
+
+    @staticmethod
+    def transpose_like(N: int, delta: int, stride: Optional[int] = None) -> "Conformation":
+        """Rows spread with a large stride: a worst-case-style conformation
+        that defeats row locality (akin to the transposition permutation)."""
+        if delta > N:
+            raise ValueError("delta cannot exceed N")
+        stride = stride or max(1, N // delta)
+        cols = tuple(
+            tuple(sorted((j + t * stride) % N for t in range(delta)))
+            if len({(j + t * stride) % N for t in range(delta)}) == delta
+            else tuple(sorted((j + t) % N for t in range(delta)))
+            for j in range(N)
+        )
+        return Conformation(N=N, delta=delta, cols=cols)
+
+    # ------------------------------------------------------------------
+    # Layout & dense reference.
+    # ------------------------------------------------------------------
+    def column_major_entries(self, values: Sequence[float]) -> list[Atom]:
+        """The triples as atoms in column-major order.
+
+        ``values[p]`` is the numeric value of the p-th non-zero in
+        column-major order. Each entry atom's key is ``(j, i)`` (its
+        column-major rank is its position) and its value is ``(i, j, a)``.
+        """
+        if len(values) != self.H:
+            raise ValueError(f"need {self.H} values, got {len(values)}")
+        out: list[Atom] = []
+        p = 0
+        for j, rows in enumerate(self.cols):
+            for i in rows:
+                out.append(Atom((j, i), p, (i, j, values[p])))
+                p += 1
+        return out
+
+    def positions_by_row(self) -> list[list[tuple[int, int]]]:
+        """For each row i, the ``(column-major position, column)`` of its
+        entries — derived from the conformation (problem metadata), which
+        is exactly what the paper's per-conformation *program* knows."""
+        by_row: list[list[tuple[int, int]]] = [[] for _ in range(self.N)]
+        p = 0
+        for j, rows in enumerate(self.cols):
+            for i in rows:
+                by_row[i].append((p, j))
+                p += 1
+        return by_row
+
+    def to_dense(self, values: Sequence[float]) -> np.ndarray:
+        """Dense numpy matrix (reference for verification only)."""
+        A = np.zeros((self.N, self.N))
+        p = 0
+        for j, rows in enumerate(self.cols):
+            for i in rows:
+                A[i, j] = values[p]
+                p += 1
+        return A
+
+
+def load_matrix(
+    machine: AEMMachine, conf: Conformation, values: Sequence[float]
+) -> list[int]:
+    """Place the column-major triples into external memory (cost-free)."""
+    return machine.load_input(conf.column_major_entries(values))
+
+
+def load_vector(machine: AEMMachine, x: Sequence[float]) -> list[int]:
+    """Place the dense vector into external memory (cost-free)."""
+    return machine.load_input(list(x))
+
+
+def reference_product(
+    conf: Conformation,
+    values: Sequence[float],
+    x: Sequence[float],
+    semiring: Semiring = REAL,
+) -> list:
+    """y = A x over the semiring, computed densely (verification only)."""
+    y = [semiring.zero] * conf.N
+    p = 0
+    for j, rows in enumerate(conf.cols):
+        for i in rows:
+            y[i] = semiring.add(y[i], semiring.mul(values[p], x[j]))
+            p += 1
+    return y

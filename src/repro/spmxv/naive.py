@@ -1,0 +1,87 @@
+"""The direct (naive) SpMxV algorithm: ``O(H + omega*n)``.
+
+Section 5's first upper bound: "For each output element y_i, the program
+considers all entries a_ij in the i-th row of A, multiplying it by x_j and
+adding the result to y_i." With A in column-major order the row's entries
+are scattered, so the direct program pays up to one read per entry (plus
+the x accesses, also at most one read each), but writes only the ``n``
+output blocks: ``O(H + omega*n)`` total — unbeatable when writes are very
+expensive or the matrix is very sparse.
+
+Which blocks hold which entries is derived from the conformation: the
+paper's programs are conformation-specific, so the access plan is part of
+the program, not data to be discovered.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from .matrix import Conformation
+from .semiring import REAL, Semiring
+
+
+class _BlockCache:
+    """A one-block read cache with honest cost/slot accounting."""
+
+    def __init__(self, machine: AEMMachine, addrs: Sequence[int]):
+        self.machine = machine
+        self.addrs = addrs
+        self.idx = -1
+        self.blk: list = []
+
+    def get(self, pos: int, B: int):
+        bidx = pos // B
+        if bidx != self.idx:
+            if self.idx >= 0:
+                self.machine.release(len(self.blk))
+            self.blk = self.machine.read(self.addrs[bidx])
+            self.idx = bidx
+        return self.blk[pos % B]
+
+    def close(self) -> None:
+        if self.idx >= 0:
+            self.machine.release(len(self.blk))
+            self.idx = -1
+            self.blk = []
+
+
+def spmxv_naive(
+    machine: AEMMachine,
+    matrix_addrs: Sequence[int],
+    x_addrs: Sequence[int],
+    conf: Conformation,
+    params: AEMParams,
+    semiring: Semiring = REAL,
+) -> list[int]:
+    """Compute y = A x directly; returns the output (y) block addresses.
+
+    Cost at most ``2H`` reads + ``n`` writes = ``O(H + omega*n)``.
+    """
+    B = params.B
+    N = conf.N
+    by_row = conf.positions_by_row()
+    out_addrs = machine.allocate((N + B - 1) // B)
+
+    mat_cache = _BlockCache(machine, matrix_addrs)
+    x_cache = _BlockCache(machine, x_addrs)
+    with machine.phase("spmxv_naive/rows"):
+        for t, out_addr in enumerate(out_addrs):
+            lo, hi = t * B, min((t + 1) * B, N)
+            machine.acquire(hi - lo, "output accumulators")
+            acc = []
+            for i in range(lo, hi):
+                y_i = semiring.zero
+                for pos, j in by_row[i]:
+                    entry = mat_cache.get(pos, B)
+                    _, _, a = entry.value
+                    xj = x_cache.get(j, B)
+                    y_i = semiring.add(y_i, semiring.mul(a, xj))
+                    machine.touch(2)
+                acc.append(y_i)
+            machine.write(out_addr, acc)
+    mat_cache.close()
+    x_cache.close()
+    return list(out_addrs)

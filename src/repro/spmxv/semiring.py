@@ -1,0 +1,43 @@
+"""Semirings for SpMxV.
+
+The Theorem 5.1 lower bound holds for *semiring programs*: algorithms that
+use only addition and multiplication, never subtraction or cancellation
+(ruling out Strassen-style tricks). The algorithms here are parameterized
+by a :class:`Semiring` so the restriction is structural, not a convention:
+there is no subtract operation to call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+
+@dataclass(frozen=True)
+class Semiring:
+    """A commutative semiring (S, add, mul, zero, one)."""
+
+    name: str
+    zero: Any
+    one: Any
+    add: Callable[[Any, Any], Any]
+    mul: Callable[[Any, Any], Any]
+
+    def sum(self, items) -> Any:
+        acc = self.zero
+        for it in items:
+            acc = self.add(acc, it)
+        return acc
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Semiring({self.name})"
+
+
+REAL = Semiring("real(+,*)", 0.0, 1.0, lambda a, b: a + b, lambda a, b: a * b)
+INTEGER = Semiring("int(+,*)", 0, 1, lambda a, b: a + b, lambda a, b: a * b)
+MAX_PLUS = Semiring(
+    "max-plus", float("-inf"), 0.0, max, lambda a, b: a + b
+)
+BOOLEAN = Semiring("boolean", False, True, lambda a, b: a or b, lambda a, b: a and b)
+
+SEMIRINGS = {s.name: s for s in (REAL, INTEGER, MAX_PLUS, BOOLEAN)}

@@ -1,0 +1,13 @@
+"""External-memory data structures built on the AEM simulator."""
+
+from .pq import ExternalPQ, PQError, pq_sort
+from .stack_queue import ExternalQueue, ExternalStack, StructureEmptyError
+
+__all__ = [
+    "ExternalPQ",
+    "ExternalQueue",
+    "ExternalStack",
+    "PQError",
+    "StructureEmptyError",
+    "pq_sort",
+]

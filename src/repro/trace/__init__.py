@@ -1,0 +1,42 @@
+"""Straight-line programs, trace recording, and trace analyses (Section 2/4)."""
+
+from .analysis import (
+    LivenessInfo,
+    UsefulnessInfo,
+    liveness_intervals,
+    memory_at,
+    segment_rounds,
+    useful_read_volume,
+    usefulness,
+)
+from .ops import OpCosts, ReadOp, WriteOp, tally
+from .program import Program, Recorder, capture
+from .render import (
+    address_heatmap,
+    render_program,
+    render_timeline,
+    residency_profile,
+    summarize,
+)
+
+__all__ = [
+    "LivenessInfo",
+    "OpCosts",
+    "Program",
+    "ReadOp",
+    "Recorder",
+    "UsefulnessInfo",
+    "WriteOp",
+    "address_heatmap",
+    "capture",
+    "liveness_intervals",
+    "memory_at",
+    "render_program",
+    "render_timeline",
+    "residency_profile",
+    "segment_rounds",
+    "summarize",
+    "tally",
+    "useful_read_volume",
+    "usefulness",
+]

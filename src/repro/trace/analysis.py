@@ -1,0 +1,260 @@
+"""Analyses of straight-line programs.
+
+Three analyses power the Section 4 machinery:
+
+1. :func:`segment_rounds` — split a program's op sequence into the
+   *omega-m rounds* of the lower-bound framework: maximal prefixes of cost
+   at most ``omega * m``, each (except possibly the last) of cost at least
+   ``omega * (m - 1)``.
+
+2. :func:`liveness_intervals` / :func:`memory_at` — reconstruct, from the
+   I/O trace alone, which atoms must reside in internal memory at any point:
+   atom ``u`` is live at time ``t`` iff some future write of ``u`` sources
+   its copy from a read at or before ``t``. The Lemma 4.1 converter uses
+   this to know what to spill at round boundaries.
+
+3. :func:`usefulness` — the paper's Section 4.1 notion of a read *using*
+   atoms: a backward pass that assigns, to every write of an atom, the
+   latest prior read that could have supplied the copy, and marks those
+   atoms as used by that read. Under move semantics the used atoms are
+   *removed* from the block by the read; their removal times drive the
+   block normalization of the Lemma 4.3 flash reduction.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from .ops import WriteOp
+from .program import Program
+
+
+# ----------------------------------------------------------------------
+# Round segmentation.
+# ----------------------------------------------------------------------
+def segment_rounds(program: Program, *, budget: Optional[float] = None) -> list[int]:
+    """Op indices at which rounds start (first entry always 0).
+
+    A round is a maximal prefix of remaining ops whose cost stays within
+    ``budget`` (default ``omega * m``, the paper's round size). Because a
+    single op costs at most ``omega <= omega * m``, every op fits in some
+    round; maximality gives each round except the last a cost greater than
+    ``budget - omega >= omega * (m - 1)``.
+    """
+    params = program.params
+    if budget is None:
+        budget = params.omega * params.m
+    if budget < params.omega:
+        raise ValueError(
+            f"round budget {budget} cannot fit a single write (omega={params.omega})"
+        )
+    boundaries = [0]
+    spent = 0.0
+    for idx, op in enumerate(program.ops):
+        c = program.op_cost(op)
+        if spent + c > budget and idx > 0:
+            boundaries.append(idx)
+            spent = 0.0
+        spent += c
+    return boundaries
+
+
+# ----------------------------------------------------------------------
+# Liveness.
+# ----------------------------------------------------------------------
+@dataclass
+class LivenessInfo:
+    """Per-atom residency intervals derived from a trace.
+
+    ``intervals[u]`` is a list of half-open op-index intervals
+    ``(source_read_end, write_index)`` during which atom ``u`` must be held
+    in internal memory: the copy enters memory when the source read
+    executes (so it is resident *after* op ``source_read``) and leaves when
+    the consuming write executes.
+    """
+
+    intervals: Dict[int, List[Tuple[int, int]]]
+    atom_by_uid: Dict[int, object]
+
+    def live_at(self, boundary: int) -> list[int]:
+        """Uids of atoms resident in memory at the boundary *before* op
+        index ``boundary`` (i.e. after ops ``0..boundary-1`` executed)."""
+        out = []
+        for uid, ivals in self.intervals.items():
+            for start, end in ivals:
+                # Resident after op `start` executed, consumed by op `end`.
+                if start < boundary <= end:
+                    out.append(uid)
+                    break
+        return out
+
+    def peak(self, boundaries: Optional[list[int]] = None) -> int:
+        """Maximum number of live atoms over the given boundaries (or all)."""
+        if boundaries is None:
+            n_ops = max(
+                (end for ivals in self.intervals.values() for _, end in ivals),
+                default=0,
+            )
+            boundaries = list(range(n_ops + 1))
+        return max((len(self.live_at(b)) for b in boundaries), default=0)
+
+
+def liveness_intervals(program: Program) -> LivenessInfo:
+    """Reconstruct memory-residency intervals from the trace.
+
+    For each write of atom ``u`` at op index ``w``, the copy written must
+    have entered internal memory at the latest read of ``u`` strictly
+    before ``w`` (atoms cannot be fabricated). If no such read exists the
+    atom must have been created internally — legal for semiring programs
+    (SpMxV partial sums) but not for permuting programs; such writes get an
+    interval starting at -1 (resident since the beginning).
+    """
+    read_times: Dict[int, List[int]] = {}
+    atom_by_uid: Dict[int, object] = {}
+    for idx, op in enumerate(program.ops):
+        if op.is_read:
+            for uid in op.uids:
+                if uid is not None:
+                    read_times.setdefault(uid, []).append(idx)
+
+    intervals: Dict[int, List[Tuple[int, int]]] = {}
+    for idx, op in enumerate(program.ops):
+        if op.is_read:
+            continue
+        assert isinstance(op, WriteOp)
+        for uid, item in zip(op.uids, op.items):
+            if uid is None:
+                continue
+            atom_by_uid.setdefault(uid, item)
+            times = read_times.get(uid, [])
+            pos = bisect_right(times, idx - 1)
+            source = times[pos - 1] if pos > 0 else -1
+            intervals.setdefault(uid, []).append((source, idx))
+    return LivenessInfo(intervals=intervals, atom_by_uid=atom_by_uid)
+
+
+def memory_at(program: Program, boundary: int) -> list[int]:
+    """Uids resident in internal memory just before op index ``boundary``."""
+    return liveness_intervals(program).live_at(boundary)
+
+
+# ----------------------------------------------------------------------
+# Usefulness (Section 4.1's "a read uses atoms of a block").
+# ----------------------------------------------------------------------
+@dataclass
+class UsefulnessInfo:
+    """Which atoms each read *uses* and when each written copy is removed.
+
+    Attributes
+    ----------
+    used_by_read:
+        ``used_by_read[i]`` — set of uids that op ``i`` (a read) uses, i.e.
+        whose copies taken by this read eventually flow to the output.
+    removal_time:
+        ``removal_time[i][uid]`` — for a write op ``i``, the op index of the
+        read that removes ``uid``'s copy from the written block, or ``None``
+        if that copy is never removed (it survives to the end, or is stale).
+    source_read:
+        ``source_read[i][uid]`` — for a write op ``i``, the read op index
+        that supplied the copy (or ``None`` for atoms resident since the
+        start / created internally).
+    """
+
+    used_by_read: Dict[int, Set[int]]
+    removal_time: Dict[int, Dict[int, Optional[int]]]
+    source_read: Dict[int, Dict[int, Optional[int]]]
+
+    def useful_atoms_of_read(self, idx: int) -> Set[int]:
+        return self.used_by_read.get(idx, set())
+
+
+def usefulness(program: Program) -> UsefulnessInfo:
+    """Backward pass assigning a consistent source to every live atom copy.
+
+    Walks the op sequence in reverse, tracking for every output atom where
+    its *live* copy currently is: on disk in some block, or in internal
+    memory. A write that placed the live copy moves the tracker to
+    "memory"; the latest read of the atom preceding it is then chosen as
+    the copy's source and marked as *using* the atom. The choice is
+    consistent by construction (the recorded uids prove the copy existed in
+    the read block), which is all the paper's refined-trace argument needs.
+    """
+    ops = program.ops
+    final = program.replay(validate=True)
+
+    # Where does each output atom's live copy end up?
+    live_loc: Dict[int, tuple] = {}
+    for addr in program.output_addrs:
+        for item in final.get(addr, ()):
+            uid = getattr(item, "uid", None)
+            if uid is not None:
+                live_loc[uid] = ("disk", addr)
+
+    used_by_read: Dict[int, Set[int]] = {}
+    removal_time: Dict[int, Dict[int, Optional[int]]] = {}
+    source_read: Dict[int, Dict[int, Optional[int]]] = {}
+    # pending_consumer[uid] = write op index whose copy is awaiting a source
+    # read; pending_removal[uid] = the read op index that will remove the
+    # copy from the block that an (earlier) write placed it in.
+    pending_consumer: Dict[int, int] = {}
+    pending_removal: Dict[int, int] = {}
+
+    for idx in range(len(ops) - 1, -1, -1):
+        op = ops[idx]
+        if op.is_read:
+            used: Set[int] = set()
+            for uid in op.uids:
+                if uid is None:
+                    continue
+                if live_loc.get(uid) == ("mem",):
+                    # This read supplied the copy consumed by pending write:
+                    # the read *uses* (removes) the atom from block op.addr.
+                    used.add(uid)
+                    consumer = pending_consumer.pop(uid)
+                    source_read.setdefault(consumer, {})[uid] = idx
+                    pending_removal[uid] = idx
+                    live_loc[uid] = ("disk", op.addr)
+            if used:
+                used_by_read[idx] = used
+        else:
+            assert isinstance(op, WriteOp)
+            removal_time.setdefault(idx, {})
+            source_read.setdefault(idx, {})
+            for uid in op.uids:
+                if uid is None:
+                    continue
+                if live_loc.get(uid) == ("disk", op.addr):
+                    # This write placed the copy the downstream chain uses.
+                    live_loc[uid] = ("mem",)
+                    pending_consumer[uid] = idx
+                    # Removed by the read the backward pass flipped at (or
+                    # never, if this write produced the final output copy).
+                    removal_time[idx][uid] = pending_removal.pop(uid, None)
+                else:
+                    # Stale copy: never used downstream.
+                    removal_time[idx][uid] = None
+
+    # Atoms still pending ("mem") at index 0 were resident from the start or
+    # created internally (legal only for semiring programs): no source read.
+    for uid, consumer in pending_consumer.items():
+        source_read.setdefault(consumer, {})[uid] = None
+
+    return UsefulnessInfo(
+        used_by_read=used_by_read,
+        removal_time=removal_time,
+        source_read=source_read,
+    )
+
+
+def useful_read_volume(program: Program, info: Optional[UsefulnessInfo] = None) -> int:
+    """Total number of atom-copies that reads usefully bring into memory.
+
+    In a permuting program every output atom's copy chain contributes; the
+    paper's observation is that in a round of cost ``omega * m`` only a
+    ``1/omega`` fraction of read atoms can be useful, since useful atoms
+    must be written out within the program.
+    """
+    info = info or usefulness(program)
+    return sum(len(s) for s in info.used_by_read.values())

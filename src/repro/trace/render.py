@@ -1,0 +1,134 @@
+"""Human-readable renderings of straight-line programs.
+
+Debugging the Section 4 machinery means staring at op sequences; these
+helpers turn a :class:`~repro.trace.program.Program` into text:
+
+* :func:`summarize` — one-paragraph header (cost split, rounds, touched
+  addresses);
+* :func:`render_timeline` — one line per op (``R``/``W``, address, atom
+  count), with round boundaries drawn when recorded;
+* :func:`residency_profile` — the liveness analysis as a block-character
+  sparkline of atoms-in-memory over time, the picture behind "empty at
+  round boundaries";
+* :func:`address_heatmap` — per-address read/write counts, the wear view
+  of a single program.
+
+All output is plain ASCII-plus-block-characters; nothing here affects
+costs or state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Optional
+
+from .analysis import liveness_intervals
+from .program import Program
+
+_SPARK = " ▁▂▃▄▅▆▇█"
+
+
+def summarize(program: Program) -> str:
+    """A compact header describing the program."""
+    addrs_read = {op.addr for op in program.ops if op.is_read}
+    addrs_written = {op.addr for op in program.ops if not op.is_read}
+    lines = [
+        program.describe(),
+        f"  touches {len(addrs_read)} blocks reading, "
+        f"{len(addrs_written)} writing "
+        f"({len(addrs_read & addrs_written)} both)",
+        f"  input blocks: {len(program.input_addrs)}, "
+        f"output blocks: {len(program.output_addrs)}",
+    ]
+    return "\n".join(lines)
+
+
+def render_timeline(
+    program: Program, *, limit: Optional[int] = 60, width: int = 72
+) -> str:
+    """One line per op; round boundaries drawn as rules when recorded.
+
+    ``limit`` caps the rendered ops (head and tail shown, middle elided);
+    pass ``None`` for everything.
+    """
+    boundaries = set(program.round_boundaries)
+    total = len(program.ops)
+    if limit is None or total <= limit:
+        indices = list(range(total))
+    else:
+        head = limit * 2 // 3
+        tail = limit - head
+        indices = list(range(head)) + [-1] + list(range(total - tail, total))
+
+    lines = []
+    round_no = 0
+    for idx in indices:
+        if idx == -1:
+            lines.append(f"   ... {total - limit} ops elided ...")
+            continue
+        if idx in boundaries:
+            round_no = program.round_boundaries.index(idx) + 1
+            lines.append(("── round %d " % round_no).ljust(width, "─"))
+        op = program.ops[idx]
+        kind = "R" if op.is_read else "W"
+        atoms = sum(1 for u in op.uids if u is not None)
+        cost = "" if op.is_read else f"  (cost {program.params.omega:g})"
+        lines.append(f"  {idx:6d}  {kind}  block {op.addr:<6d} {atoms:3d} atoms{cost}")
+    return "\n".join(lines)
+
+
+def residency_profile(program: Program, *, width: int = 64) -> str:
+    """Atoms resident in internal memory over time, as a sparkline.
+
+    Sampled at ``width`` evenly spaced op boundaries from the liveness
+    analysis; the annotation line marks the peak against the machine's M.
+    """
+    live = liveness_intervals(program)
+    n_ops = len(program.ops)
+    points = min(width, n_ops + 1)
+    samples = [
+        len(live.live_at(round(t * n_ops / max(points - 1, 1))))
+        for t in range(points)
+    ]
+    peak = max(samples, default=0)
+    scale = max(peak, 1)
+    chars = "".join(
+        _SPARK[min(len(_SPARK) - 1, (s * (len(_SPARK) - 1)) // scale)]
+        for s in samples
+    )
+    return (
+        f"residency |{chars}| peak {peak} atoms "
+        f"(M = {program.params.M})"
+    )
+
+
+def address_heatmap(program: Program, *, top: int = 10) -> str:
+    """The most-touched addresses with read/write counts."""
+    reads: Counter = Counter()
+    writes: Counter = Counter()
+    for op in program.ops:
+        (reads if op.is_read else writes)[op.addr] += 1
+    combined = Counter()
+    for addr, c in reads.items():
+        combined[addr] += c
+    for addr, c in writes.items():
+        combined[addr] += c
+    lines = ["   block   reads  writes"]
+    for addr, _ in combined.most_common(top):
+        lines.append(f"  {addr:6d}  {reads[addr]:6d}  {writes[addr]:6d}")
+    return "\n".join(lines)
+
+
+def render_program(program: Program, *, timeline_limit: int = 40) -> str:
+    """The full report: summary, residency profile, timeline, heat map."""
+    return "\n".join(
+        [
+            summarize(program),
+            "",
+            residency_profile(program),
+            "",
+            render_timeline(program, limit=timeline_limit),
+            "",
+            address_heatmap(program),
+        ]
+    )

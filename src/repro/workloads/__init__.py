@@ -1,0 +1,37 @@
+"""Seeded workload generators for sorting, permuting and SpMxV."""
+
+from .generators import (
+    CONFORMATION_FAMILIES,
+    KEY_DISTRIBUTIONS,
+    PERMUTATION_FAMILIES,
+    conformation,
+    few_distinct_keys,
+    ksorted_keys,
+    natural_runs_keys,
+    organ_pipe_keys,
+    permutation,
+    reversed_keys,
+    sort_input,
+    sorted_keys,
+    spmxv_instance,
+    uniform_keys,
+    zipf_keys,
+)
+
+__all__ = [
+    "CONFORMATION_FAMILIES",
+    "KEY_DISTRIBUTIONS",
+    "PERMUTATION_FAMILIES",
+    "conformation",
+    "few_distinct_keys",
+    "ksorted_keys",
+    "natural_runs_keys",
+    "organ_pipe_keys",
+    "permutation",
+    "reversed_keys",
+    "sort_input",
+    "sorted_keys",
+    "spmxv_instance",
+    "uniform_keys",
+    "zipf_keys",
+]

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+
+
+@pytest.fixture
+def p_small() -> AEMParams:
+    """A small AEM: M=64, B=8, omega=4 — merge fan-out 32."""
+    return AEMParams(M=64, B=8, omega=4)
+
+
+@pytest.fixture
+def p_symmetric() -> AEMParams:
+    """The symmetric EM special case (omega = 1)."""
+    return AEMParams(M=64, B=8, omega=1)
+
+
+@pytest.fixture
+def p_extreme_omega() -> AEMParams:
+    """omega far beyond B — the regime the paper's mergesort unlocks."""
+    return AEMParams(M=64, B=8, omega=64)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def machine(p_small) -> AEMMachine:
+    return AEMMachine.for_algorithm(p_small)
+
+
+def make_machine(params: AEMParams, **kw) -> AEMMachine:
+    return AEMMachine.for_algorithm(params, **kw)

@@ -1,0 +1,94 @@
+"""Analysis utilities: fitting, sweeps, tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.fit import fit_constant, growth_exponent
+from repro.analysis.sweep import column, grid, sweep
+from repro.analysis.tables import format_table
+
+
+class TestFit:
+    def test_perfect_fit(self):
+        f = fit_constant([2, 4, 6], [1, 2, 3])
+        assert f.constant == 2.0 and f.spread == 1.0
+
+    def test_spread_captures_variation(self):
+        f = fit_constant([2, 8], [1, 2])
+        assert f.min_ratio == 2 and f.max_ratio == 4 and f.spread == 2.0
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_constant([1], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            fit_constant([], [])
+
+    def test_nonpositive_shape(self):
+        with pytest.raises(ValueError):
+            fit_constant([1], [0])
+
+    def test_describe(self):
+        assert "constant" in fit_constant([3], [1]).describe()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        c=st.floats(0.1, 100),
+        shapes=st.lists(st.floats(0.5, 1e6), min_size=1, max_size=20),
+    )
+    def test_property_recovers_constant(self, c, shapes):
+        measured = [c * s for s in shapes]
+        f = fit_constant(measured, shapes)
+        assert f.constant == pytest.approx(c, rel=1e-9)
+        assert f.spread == pytest.approx(1.0, rel=1e-9)
+
+
+class TestGrowth:
+    def test_linear(self):
+        xs = [1, 2, 4, 8]
+        assert growth_exponent(xs, [3 * x for x in xs]) == pytest.approx(1.0)
+
+    def test_quadratic(self):
+        xs = [1, 2, 4, 8]
+        assert growth_exponent(xs, [x * x for x in xs]) == pytest.approx(2.0)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            growth_exponent([1], [1])
+
+
+class TestSweep:
+    def test_grid_product(self):
+        combos = list(grid(a=[1, 2], b=["x", "y"]))
+        assert len(combos) == 4
+        assert combos[0] == {"a": 1, "b": "x"}
+
+    def test_sweep_merges_records(self):
+        records = sweep(lambda a: {"double": 2 * a}, grid(a=[1, 2, 3]))
+        assert records[1] == {"a": 2, "double": 4}
+
+    def test_column(self):
+        records = [{"x": 1}, {"x": 5}]
+        assert column(records, "x") == [1, 5]
+
+
+class TestTables:
+    def test_aligned_output(self):
+        text = format_table(["name", "Q"], [["alpha", 12], ["b", 34567]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        widths = {len(line) for line in lines}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_title_included(self):
+        text = format_table(["x"], [[1]], title="T1")
+        assert text.startswith("T1")
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.000123], [1234567.0], [3.14159], [0]])
+        assert "0.000123" in text and "3.14" in text

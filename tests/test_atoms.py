@@ -1,0 +1,92 @@
+"""Atom: indivisible elements with the strict (key, uid) total order."""
+
+from hypothesis import given, strategies as st
+
+from repro.atoms.atom import (
+    Atom,
+    is_sorted,
+    keys_of,
+    make_atoms,
+    same_atom_multiset,
+    uids_of,
+)
+
+
+class TestOrdering:
+    def test_orders_by_key_first(self):
+        assert Atom(1, 99) < Atom(2, 0)
+
+    def test_ties_broken_by_uid(self):
+        assert Atom(5, 1) < Atom(5, 2)
+
+    def test_total_order_is_strict(self):
+        a, b = Atom(3, 1), Atom(3, 2)
+        assert a < b and not b < a and a != b
+
+    def test_equality_needs_uid_and_key(self):
+        assert Atom(1, 2) == Atom(1, 2)
+        assert Atom(1, 2) != Atom(1, 3)
+        assert Atom(1, 2) != Atom(2, 2)
+
+    def test_value_ignored_in_order_and_equality(self):
+        assert Atom(1, 2, "x") == Atom(1, 2, "y")
+        assert not Atom(1, 2, "z") < Atom(1, 2, "a")
+
+    def test_hashable(self):
+        assert len({Atom(1, 2), Atom(1, 2), Atom(1, 3)}) == 2
+
+    @given(st.lists(st.tuples(st.integers(-5, 5), st.integers(0, 100)), unique=True))
+    def test_sorting_is_deterministic_total_order(self, pairs):
+        atoms = [Atom(k, u) for k, u in pairs]
+        assert sorted(atoms) == sorted(reversed(atoms))
+
+
+class TestFactories:
+    def test_make_atoms_assigns_sequential_uids(self):
+        atoms = make_atoms([9, 9, 9])
+        assert uids_of(atoms) == [0, 1, 2]
+        assert keys_of(atoms) == [9, 9, 9]
+
+    def test_make_atoms_with_values(self):
+        atoms = make_atoms([1, 2], values=["a", "b"])
+        assert atoms[0].value == "a"
+
+    def test_make_atoms_value_length_mismatch(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            make_atoms([1, 2], values=["a"])
+
+
+class TestPredicates:
+    def test_is_sorted(self):
+        assert is_sorted(make_atoms([1, 2, 3]))
+        assert not is_sorted(make_atoms([2, 1]))
+        assert is_sorted([])
+
+    def test_is_sorted_duplicate_keys_by_uid(self):
+        # uids ascend in input order, so equal keys in input order are sorted
+        assert is_sorted(make_atoms([5, 5, 5]))
+
+    def test_same_multiset_permutation(self):
+        atoms = make_atoms([3, 1, 2])
+        assert same_atom_multiset(atoms, list(reversed(atoms)))
+
+    def test_same_multiset_detects_loss(self):
+        atoms = make_atoms([1, 2, 3])
+        assert not same_atom_multiset(atoms, atoms[:2])
+
+    def test_same_multiset_detects_duplication(self):
+        atoms = make_atoms([1, 2])
+        assert not same_atom_multiset(atoms, [atoms[0], atoms[0]])
+
+    def test_same_multiset_detects_forgery(self):
+        atoms = make_atoms([1, 2])
+        fake = [atoms[0], Atom(2, 99)]
+        assert not same_atom_multiset(atoms, fake)
+
+    @given(st.permutations(list(range(12))))
+    def test_multiset_invariant_under_permutation(self, order):
+        atoms = make_atoms(range(12))
+        shuffled = [atoms[i] for i in order]
+        assert same_atom_multiset(atoms, shuffled)

@@ -1,0 +1,114 @@
+"""BlockStore: the raw external memory."""
+
+import pytest
+
+from repro.machine.blockstore import BlockStore
+from repro.machine.errors import AddressError, BlockSizeError
+
+
+class TestAllocation:
+    def test_allocates_distinct_addresses(self):
+        bs = BlockStore(B=4)
+        addrs = bs.allocate(5)
+        assert len(set(addrs)) == 5
+
+    def test_allocated_blocks_start_empty(self):
+        bs = BlockStore(B=4)
+        (a,) = bs.allocate(1)
+        assert bs.get(a) == ()
+
+    def test_allocate_zero(self):
+        assert BlockStore(B=4).allocate(0) == []
+
+    def test_allocate_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BlockStore(B=4).allocate(-1)
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            BlockStore(B=0)
+
+    def test_free_then_access_fails(self):
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        bs.free(a)
+        with pytest.raises(AddressError):
+            bs.get(a)
+        with pytest.raises(AddressError):
+            bs.set(a, [1])
+
+    def test_double_free_fails(self):
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        bs.free(a)
+        with pytest.raises(AddressError):
+            bs.free(a)
+
+    def test_freed_addresses_not_reused(self):
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        bs.free(a)
+        b = bs.allocate_one()
+        assert b != a
+
+
+class TestAccess:
+    def test_set_get_roundtrip(self):
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        bs.set(a, [1, 2, 3])
+        assert bs.get(a) == (1, 2, 3)
+
+    def test_oversized_write_rejected(self):
+        bs = BlockStore(B=2)
+        a = bs.allocate_one()
+        with pytest.raises(BlockSizeError):
+            bs.set(a, [1, 2, 3])
+
+    def test_unallocated_read_fails(self):
+        with pytest.raises(AddressError):
+            BlockStore(B=4).get(99)
+
+    def test_contains_and_len(self):
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        assert a in bs and len(bs) == 1
+
+    def test_contents_immutable_tuple(self):
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        payload = [1, 2]
+        bs.set(a, payload)
+        payload.append(3)
+        assert bs.get(a) == (1, 2)
+
+
+class TestBulk:
+    def test_load_items_lays_out_in_blocks(self):
+        bs = BlockStore(B=3)
+        addrs = bs.load_items(range(7))
+        assert len(addrs) == 3
+        assert bs.get(addrs[0]) == (0, 1, 2)
+        assert bs.get(addrs[2]) == (6,)
+
+    def test_load_empty(self):
+        assert BlockStore(B=3).load_items([]) == []
+
+    def test_dump_inverts_load(self):
+        bs = BlockStore(B=3)
+        items = list(range(10))
+        addrs = bs.load_items(items)
+        assert bs.dump_items(addrs) == items
+
+    def test_snapshot_restore_roundtrip(self):
+        bs = BlockStore(B=3)
+        addrs = bs.load_items(range(5))
+        snap = bs.snapshot()
+        bs.set(addrs[0], [99])
+        bs.restore(snap)
+        assert bs.get(addrs[0]) == (0, 1, 2)
+
+    def test_restore_advances_allocation_cursor(self):
+        bs = BlockStore(B=3)
+        bs.restore({10: (1,)})
+        assert bs.allocate_one() > 10

@@ -1,0 +1,109 @@
+"""Closed-form cost shapes (repro.core.bounds)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bounds import (
+    BoundPair,
+    em_sort_shape,
+    merge_cost_shape,
+    merge_read_shape,
+    merge_write_shape,
+    permute_bounds,
+    permute_lower_shape,
+    permute_naive_shape,
+    permute_upper_shape,
+    small_sort_shape,
+    sort_bounds,
+    sort_levels,
+    sort_read_shape,
+    sort_upper_shape,
+    sort_write_shape,
+    theorem_4_5_applicable,
+)
+from repro.core.params import AEMParams
+
+P = AEMParams(M=64, B=8, omega=4)
+
+
+class TestMergeShapes:
+    def test_total_is_omega_weighted(self):
+        assert merge_cost_shape(800, P) == P.omega * (100 + P.m)
+
+    def test_read_write_split(self):
+        N = 800
+        assert merge_read_shape(N, P) == P.omega * merge_write_shape(N, P)
+
+
+class TestSortShapes:
+    def test_base_case_is_one_level(self):
+        assert sort_levels(P.base_case_size(), P) == 1.0
+
+    def test_levels_grow_with_n(self):
+        assert sort_levels(10**6, P) > sort_levels(10**3, P)
+
+    def test_levels_shrink_with_omega(self):
+        big = AEMParams(M=64, B=8, omega=64)
+        assert sort_levels(10**6, big) <= sort_levels(10**6, P)
+
+    def test_upper_is_reads_dominated(self):
+        N = 10_000
+        assert sort_upper_shape(N, P) == sort_read_shape(N, P)
+        assert sort_read_shape(N, P) == P.omega * sort_write_shape(N, P)
+
+    def test_em_shape_pays_omega_per_level(self):
+        N = 10_000
+        s1 = em_sort_shape(N, AEMParams(M=64, B=8, omega=1))
+        s16 = em_sort_shape(N, AEMParams(M=64, B=8, omega=16))
+        assert s16 / s1 == pytest.approx(17 / 2)
+
+
+class TestPermuteShapes:
+    def test_naive_shape(self):
+        assert permute_naive_shape(800, P) == 800 + P.omega * 100
+
+    def test_upper_takes_min(self):
+        N = 1 << 16
+        assert permute_upper_shape(N, P) == min(
+            permute_naive_shape(N, P), sort_upper_shape(N, P)
+        )
+
+    def test_lower_takes_min(self):
+        tiny_b = AEMParams(M=16, B=2, omega=16)
+        assert permute_lower_shape(1 << 16, tiny_b) == 1 << 16
+
+    def test_applicability(self):
+        assert theorem_4_5_applicable(1000, P)
+        assert not theorem_4_5_applicable(10, AEMParams(M=64, B=8, omega=64))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        N=st.integers(64, 10**6),
+        mbw=st.sampled_from([(64, 8, 1), (64, 8, 8), (256, 16, 4), (128, 32, 32)]),
+    )
+    def test_property_lower_below_upper(self, N, mbw):
+        M, B, w = mbw
+        p = AEMParams(M=M, B=B, omega=w)
+        pair = permute_bounds(N, p)
+        # Shapes of the same min{} expression: lower branch <= upper branch
+        # up to the naive shape's additive omega*n term.
+        assert pair.lower <= pair.upper + w * p.n(N)
+
+    def test_bound_pair_gap(self):
+        pair = BoundPair(lower=10.0, upper=30.0)
+        assert pair.gap == pytest.approx(3.0)
+
+    def test_sort_bounds_use_permute_lower(self):
+        N = 1 << 14
+        assert sort_bounds(N, P).lower == permute_lower_shape(N, P)
+
+
+class TestSmallSortShape:
+    def test_within_cap(self):
+        assert small_sort_shape(P.base_case_size(), P) == P.omega * P.n(
+            P.base_case_size()
+        )
+
+    def test_rejects_oversize(self):
+        with pytest.raises(ValueError):
+            small_sort_shape(P.base_case_size() + 1, P)

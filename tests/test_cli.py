@@ -1,0 +1,77 @@
+"""CLI smoke tests (argument wiring and output sanity)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_exp_args(self):
+        args = build_parser().parse_args(["exp", "e1", "--full"])
+        assert args.id == "e1" and args.full
+
+    def test_sort_defaults(self):
+        args = build_parser().parse_args(["sort"])
+        assert args.sorter == "aem_mergesort" and args.m == 128
+
+
+class TestCommands:
+    def test_bounds(self, capsys):
+        assert main(["bounds", "--n", "4096", "--m", "64", "--b", "8", "--omega", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 4.5" in out and "regime" in out
+
+    def test_sort(self, capsys):
+        assert main(["sort", "--n", "300", "--m", "64", "--b", "8", "--omega", "2"]) == 0
+        assert "Qr=" in capsys.readouterr().out
+
+    def test_permute(self, capsys):
+        assert main(["permute", "--n", "256", "--m", "64", "--b", "8", "--omega", "2"]) == 0
+        assert "lower bound" in capsys.readouterr().out
+
+    def test_spmxv(self, capsys):
+        assert (
+            main(
+                [
+                    "spmxv",
+                    "--n", "64",
+                    "--delta", "2",
+                    "--m", "64",
+                    "--b", "8",
+                    "--omega", "2",
+                ]
+            )
+            == 0
+        )
+        assert "spmxv" in capsys.readouterr().out
+
+    def test_exp_single(self, capsys):
+        assert main(["exp", "e12"]) == 0
+        out = capsys.readouterr().out
+        assert "E12" in out and "PASS" in out
+
+    def test_inspect(self, capsys):
+        assert (
+            main(
+                ["inspect", "--n", "128", "--m", "32", "--b", "4",
+                 "--omega", "2", "--ops", "10"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "residency" in out and "block" in out
+
+    def test_inspect_round_based(self, capsys):
+        assert (
+            main(
+                ["inspect", "--n", "128", "--m", "32", "--b", "4",
+                 "--omega", "2", "--round-based"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "round-based" in out and "── round" in out

@@ -1,0 +1,186 @@
+"""The Section 4.2 counting machinery, evaluated exactly."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.counting import (
+    LEMMA_4_1_CONSTANT,
+    counting_lower_bound,
+    counting_lower_bound_general,
+    log2_binomial,
+    log2_factorial,
+    log2_permutations_per_round,
+    log2_required_permutations,
+    simplified_cost_bound,
+    simplified_round_bound,
+    theorem_4_5_shape,
+)
+from repro.core.params import AEMParams
+
+
+class TestLogMath:
+    def test_factorial_small_exact(self):
+        assert log2_factorial(5) == pytest.approx(math.log2(120))
+
+    def test_factorial_zero(self):
+        assert log2_factorial(0) == 0.0
+
+    def test_factorial_rejects_negative(self):
+        with pytest.raises(ValueError):
+            log2_factorial(-1)
+
+    def test_binomial_small_exact(self):
+        assert log2_binomial(10, 3) == pytest.approx(math.log2(120))
+
+    def test_binomial_edges(self):
+        assert log2_binomial(10, 0) == 0.0
+        assert log2_binomial(0, 5) == 0.0
+        # k >= n: the "all subsets" upper bound 2^n
+        assert log2_binomial(10, 15) == 10.0
+
+    @given(st.integers(1, 500), st.integers(1, 500))
+    def test_binomial_symmetry(self, n, k):
+        if 0 < k < n:
+            assert log2_binomial(n, k) == pytest.approx(
+                log2_binomial(n, n - k), rel=1e-9
+            )
+
+    @given(st.integers(2, 1000))
+    def test_stirling_bracket(self, n):
+        # (n/3)^n <= n! <= (n/2)^n for n >= 6 (the paper's inequality);
+        # check the lower side generally and upper side for n >= 6.
+        logf = log2_factorial(n)
+        assert logf >= n * math.log2(n / 3)
+        if n >= 6:
+            assert logf <= n * math.log2(n)
+
+
+class TestRequiredPermutations:
+    def test_positive_for_nontrivial(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        assert log2_required_permutations(1000, p) > 0
+
+    def test_single_block_needs_nothing(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        assert log2_required_permutations(8, p) == pytest.approx(0.0, abs=1e-9)
+
+    def test_grows_with_n(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        vals = [log2_required_permutations(N, p) for N in (100, 1000, 10000)]
+        assert vals[0] < vals[1] < vals[2]
+
+
+class TestPerRound:
+    def test_default_matches_paper_formula(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        N = 10_000
+        expected = (
+            log2_binomial(N, p.omega * p.M / p.B)
+            + log2_binomial(p.omega * p.M, p.M)
+            + p.M
+            + log2_factorial(p.M)
+            - (p.M / p.B) * log2_factorial(p.B)
+            + (p.M / p.B) * math.log2(3 * N)
+        )
+        assert log2_permutations_per_round(N, p) == pytest.approx(expected)
+
+    def test_bigger_budget_generates_more(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        base = log2_permutations_per_round(10_000, p)
+        more = log2_permutations_per_round(10_000, p, budget=10 * p.omega * p.m)
+        assert more > base
+
+    def test_bigger_memory_generates_more(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        base = log2_permutations_per_round(10_000, p)
+        more = log2_permutations_per_round(10_000, p, memory=4 * p.M)
+        assert more > base
+
+
+class TestLowerBound:
+    def test_rounds_increase_with_n(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        r = [counting_lower_bound(N, p).rounds for N in (1_000, 10_000, 100_000)]
+        assert r[0] < r[1] < r[2]
+
+    def test_cost_nonnegative(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        assert counting_lower_bound(4, p).cost >= 0
+
+    def test_cost_formula(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        cb = counting_lower_bound(50_000, p)
+        assert cb.cost == pytest.approx(
+            max(0.0, p.omega * (p.m - 1) * (cb.rounds - 1))
+        )
+
+    def test_general_weaker_than_round_based(self):
+        # The general bound pays doubling + the Lemma 4.1 constant.
+        p = AEMParams(M=64, B=8, omega=4)
+        N = 50_000
+        assert counting_lower_bound_general(N, p) <= counting_lower_bound(N, p).cost
+
+    def test_below_theorem_shape(self):
+        # The exact bound never exceeds the min{N, w n log} shape (it is a
+        # lower bound on the same quantity the shape upper-describes).
+        for M, B, w in [(64, 8, 4), (256, 16, 8), (1024, 32, 2)]:
+            p = AEMParams(M=M, B=B, omega=w)
+            for N in (10_000, 100_000):
+                assert counting_lower_bound(N, p).cost <= theorem_4_5_shape(N, p)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        N=st.integers(100, 10**6),
+        mbw=st.sampled_from(
+            [(64, 8, 1), (64, 8, 4), (256, 16, 8), (128, 32, 16), (512, 64, 2)]
+        ),
+    )
+    def test_property_simplified_never_exceeds_exact(self, N, mbw):
+        """The paper's display-chain simplifications only weaken the bound."""
+        M, B, w = mbw
+        p = AEMParams(M=M, B=B, omega=w)
+        simplified = simplified_cost_bound(N, p)
+        exact = counting_lower_bound(N, p).cost
+        # Tolerate tiny rounding in the round floor arithmetic.
+        assert simplified <= exact + p.omega * p.m + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(N=st.integers(2, 10**5))
+    def test_property_monotone_in_n(self, N):
+        p = AEMParams(M=64, B=8, omega=4)
+        assert (
+            counting_lower_bound(N, p).rounds
+            <= counting_lower_bound(2 * N, p).rounds
+        )
+
+
+class TestSimplified:
+    def test_clamps_small_n(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        assert simplified_round_bound(10, p) == 0.0
+
+    def test_positive_at_scale(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        assert simplified_round_bound(100_000, p) > 0
+
+    def test_cost_scales_round_bound(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        wmr = simplified_round_bound(100_000, p)
+        assert simplified_cost_bound(100_000, p) == pytest.approx(
+            wmr * (p.m - 1) / p.m
+        )
+
+
+class TestTheoremShape:
+    def test_min_structure(self):
+        # Tiny B: the N branch; big B: the sorting branch.
+        small_b = AEMParams(M=16, B=2, omega=8)
+        big_b = AEMParams(M=512, B=64, omega=8)
+        N = 1 << 16
+        assert theorem_4_5_shape(N, small_b) == N
+        assert theorem_4_5_shape(N, big_b) < N
+
+    def test_constant_defined(self):
+        assert LEMMA_4_1_CONSTANT >= 1

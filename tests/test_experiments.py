@@ -1,0 +1,69 @@
+"""The experiment suite: every registered experiment runs and passes.
+
+These are the repository's headline reproduction claims; a failing check
+here means a paper claim stopped reproducing. Quick mode keeps the suite
+under a minute.
+"""
+
+import pytest
+
+from repro.experiments import REGISTRY, run_experiment
+from repro.experiments.common import (
+    ExperimentResult,
+    measure_permute,
+    measure_sort,
+    measure_spmxv,
+)
+from repro.core.params import AEMParams
+
+ALL_IDS = sorted(REGISTRY)
+
+
+def test_registry_has_all_experiments_and_ablations():
+    expected = {f"e{i}" for i in range(1, 18)} | {"a1", "a2", "a3"}
+    assert set(ALL_IDS) == expected
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        run_experiment("e99")
+
+
+@pytest.mark.parametrize("eid", ALL_IDS)
+def test_experiment_passes(eid):
+    result = run_experiment(eid, quick=True)
+    assert isinstance(result, ExperimentResult)
+    failing = [name for name, ok in result.checks.items() if not ok]
+    assert not failing, f"{eid} failing checks: {failing}\n\n{result.render()}"
+    assert result.tables, f"{eid} produced no tables"
+    assert result.records, f"{eid} recorded no measurements"
+
+
+def test_render_contains_checks():
+    r = run_experiment("e12", quick=True)
+    text = r.render()
+    assert "PASS" in text and r.title in text and r.claim in text
+
+
+class TestMeasureHelpers:
+    def test_measure_sort_fields(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        rec = measure_sort("aem_mergesort", 200, p)
+        assert set(rec) >= {"Q", "Qr", "Qw", "T", "peak_mem"}
+        assert rec["Q"] == rec["Qr"] + p.omega * rec["Qw"]
+
+    def test_measure_permute_fields(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        rec = measure_permute("naive", 128, p)
+        assert rec["Qw"] == p.n(128)
+
+    def test_measure_spmxv_verifies(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        rec = measure_spmxv("sort_based", 64, 2, p)
+        assert rec["Q"] > 0
+
+    def test_measure_sort_deterministic(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        a = measure_sort("aem_mergesort", 300, p, seed=5)
+        b = measure_sort("aem_mergesort", 300, p, seed=5)
+        assert a == b

@@ -1,0 +1,154 @@
+"""Lemma 4.3: the flash reduction, its bound, and Corollary 4.4."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom
+from repro.atoms.permutation import Permutation
+from repro.core.params import AEMParams
+from repro.flashred.bounds import (
+    corollary_4_4_closed_form,
+    corollary_4_4_shape,
+    flash_permute_volume_shape,
+)
+from repro.flashred.normalize import normalized_order, prepend_input_scan
+from repro.flashred.reduction import lemma_4_3_bound, reduce_to_flash
+from repro.machine.errors import ModelViolationError
+from repro.permute.naive import permute_naive
+from repro.permute.sort_based import permute_sort_based
+from repro.rounds.convert import to_round_based
+from repro.trace.program import capture
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=64, B=8, omega=4)
+
+
+def round_based_permute(p, N=256, seed=0, fn=permute_naive):
+    rng = np.random.default_rng(seed)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 999, N))]
+    perm = Permutation.random(N, rng)
+    prog = capture(p, atoms, fn, perm, p)
+    conv, _ = to_round_based(prog)
+    return conv
+
+
+class TestNormalizedOrder:
+    def test_orders_by_removal_time(self):
+        items = ("a", "b", "c")
+        uids = (1, 2, 3)
+        removal = {1: 50, 2: 10, 3: None}
+        out_items, out_uids = normalized_order(items, uids, removal)
+        assert out_uids == (2, 1, 3)
+        assert out_items == ("b", "a", "c")
+
+    def test_stable_on_ties(self):
+        items = ("a", "b")
+        uids = (1, 2)
+        out_items, _ = normalized_order(items, uids, {1: 5, 2: 5})
+        assert out_items == ("a", "b")
+
+    def test_all_never_removed_keeps_order(self):
+        items = ("x", "y", "z")
+        out_items, _ = normalized_order(items, (1, 2, 3), {})
+        assert out_items == items
+
+
+class TestPrependScan:
+    def test_scan_adds_two_ops_per_input_block(self, p):
+        prog = round_based_permute(p, N=64)
+        full = prepend_input_scan(prog)
+        assert len(full.ops) >= len(prog.ops) + 2 * len(prog.input_addrs)
+
+    def test_scanned_program_replays(self, p):
+        prog = round_based_permute(p, N=64)
+        full = prepend_input_scan(prog)
+        full.replay(validate=True)
+
+    def test_output_redirected_but_equal(self, p):
+        prog = round_based_permute(p, N=64)
+        full = prepend_input_scan(prog)
+        assert [getattr(a, "uid", None) for a in full.final_output()] == [
+            getattr(a, "uid", None) for a in prog.final_output()
+        ]
+
+
+class TestReduction:
+    @pytest.mark.parametrize("fn", [permute_naive, permute_sort_based])
+    def test_volume_within_bound(self, p, fn):
+        conv = round_based_permute(p, N=256, fn=fn)
+        _, report = reduce_to_flash(conv)
+        assert report.within_bound
+        assert report.volume <= lemma_4_3_bound(256, conv.cost, p.B, int(p.omega))
+
+    def test_write_volume_is_full_blocks(self, p):
+        conv = round_based_permute(p, N=128)
+        fm, report = reduce_to_flash(conv)
+        assert report.write_volume == report.write_ops * p.B
+
+    def test_read_volume_in_small_blocks(self, p):
+        conv = round_based_permute(p, N=128)
+        fm, report = reduce_to_flash(conv)
+        assert report.read_volume == report.read_ops * (p.B // int(p.omega))
+
+    def test_requires_integer_omega(self):
+        p = AEMParams(M=64, B=8, omega=2.5)
+        rng = np.random.default_rng(0)
+        atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 99, 64))]
+        perm = Permutation.random(64, rng)
+        prog = capture(p, atoms, permute_naive, perm, p)
+        with pytest.raises(ModelViolationError, match="integer"):
+            reduce_to_flash(prog)
+
+    def test_requires_b_above_omega(self):
+        p = AEMParams(M=64, B=4, omega=4)
+        conv = round_based_permute(p, N=64)
+        with pytest.raises(ModelViolationError, match="B > omega"):
+            reduce_to_flash(conv)
+
+    def test_works_on_unconverted_programs_too(self, p):
+        # The lemma needs round-based programs for the *bound proof*; the
+        # simulation itself is defined for any program.
+        rng = np.random.default_rng(3)
+        atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 99, 128))]
+        perm = Permutation.random(128, rng)
+        prog = capture(p, atoms, permute_naive, perm, p)
+        _, report = reduce_to_flash(prog)
+        assert report.volume > 0
+
+    def test_flash_output_matches_aem_output(self, p):
+        conv = round_based_permute(p, N=128, seed=7)
+        fm, _ = reduce_to_flash(conv)
+        full = prepend_input_scan(conv)
+        aem_final = full.replay(validate=True)
+        for addr in full.output_addrs:
+            want = {getattr(a, "uid", None) for a in aem_final.get(addr, ())}
+            have = {getattr(a, "uid", None) for a in fm.disk.get(addr)}
+            assert want == have
+
+
+class TestBounds:
+    def test_lemma_bound_formula(self):
+        assert lemma_4_3_bound(100, 50, 8, 4) == 200 + 2 * 50 * 2
+
+    def test_flash_volume_shape_monotone_in_n(self):
+        vols = [flash_permute_volume_shape(N, 64, 2) for N in (1_000, 10_000, 100_000)]
+        assert vols[0] < vols[1] < vols[2]
+
+    def test_corollary_shape_nonnegative(self):
+        p = AEMParams(M=64, B=16, omega=4)
+        assert corollary_4_4_shape(100, p) >= 0
+
+    def test_corollary_positive_at_scale(self):
+        p = AEMParams(M=64, B=16, omega=4)
+        assert corollary_4_4_shape(1 << 16, p) > 0
+
+    def test_corollary_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            corollary_4_4_shape(1000, AEMParams(M=64, B=4, omega=4))
+
+    def test_closed_form_clamps(self):
+        p = AEMParams(M=64, B=16, omega=4)
+        assert corollary_4_4_closed_form(10, p) == 0.0
+        assert corollary_4_4_closed_form(1 << 20, p) > 0

@@ -1,0 +1,61 @@
+"""Golden cost regression tests.
+
+Every algorithm's exact (Qr, Qw) on one pinned reference instance. The
+simulator's counters are deterministic, so any change here is a *behavioral*
+change to an algorithm or to the cost accounting — possibly intended
+(update the constants, note it in the commit), never accidental.
+
+Reference instance: (M=64, B=8, omega=4); sorting N=2000 uniform keys
+(seed 42), permuting N=1024 random (seed 42), SpMxV N=256, delta=4
+random conformation (seed 42).
+"""
+
+import pytest
+
+from repro.core.params import AEMParams
+from repro.experiments.common import measure_permute, measure_sort, measure_spmxv
+
+P = AEMParams(M=64, B=8, omega=4)
+
+SORT_GOLDEN = [
+    ("aem_mergesort", 4848, 613),
+    ("aem_samplesort", 1730, 560),
+    ("aem_heapsort", 2857, 575),
+    ("aem_pqsort", 5355, 1129),
+    ("em_mergesort", 750, 750),
+]
+
+PERMUTE_GOLDEN = [
+    ("naive", 1015, 128),
+    ("sort_based", 2634, 564),
+]
+
+SPMXV_GOLDEN = [
+    ("naive", 1993, 32),
+    ("sort_based", 915, 403),
+]
+
+
+@pytest.mark.parametrize("name,qr,qw", SORT_GOLDEN)
+def test_sorter_costs_pinned(name, qr, qw):
+    rec = measure_sort(name, 2000, P, seed=42)
+    assert (rec["Qr"], rec["Qw"]) == (qr, qw)
+
+
+@pytest.mark.parametrize("name,qr,qw", PERMUTE_GOLDEN)
+def test_permuter_costs_pinned(name, qr, qw):
+    rec = measure_permute(name, 1024, P, seed=42)
+    assert (rec["Qr"], rec["Qw"]) == (qr, qw)
+
+
+@pytest.mark.parametrize("name,qr,qw", SPMXV_GOLDEN)
+def test_spmxv_costs_pinned(name, qr, qw):
+    rec = measure_spmxv(name, 256, 4, P, seed=42)
+    assert (rec["Qr"], rec["Qw"]) == (qr, qw)
+
+
+def test_total_cost_formula_consistency():
+    """Q must always equal Qr + omega*Qw — the model's definition."""
+    for name, qr, qw in SORT_GOLDEN:
+        rec = measure_sort(name, 2000, P, seed=42)
+        assert rec["Q"] == rec["Qr"] + P.omega * rec["Qw"]

@@ -1,0 +1,143 @@
+"""End-to-end chains across the whole pipeline.
+
+These tests exercise the same compositions the paper's proofs perform:
+record a real algorithm -> make it round-based (Lemma 4.1) -> reduce to the
+flash model (Lemma 4.3) -> compare against the counting bound (Section 4.2)
+— all on one concrete instance, with every intermediate artifact verified.
+"""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom
+from repro.atoms.permutation import Permutation
+from repro.core.counting import (
+    counting_lower_bound_general,
+    log2_permutations_per_round,
+    log2_required_permutations,
+)
+from repro.core.params import AEMParams
+from repro.flashred.reduction import reduce_to_flash
+from repro.machine.aem import AEMMachine
+from repro.permute.base import PERMUTERS, verify_permutation_output
+from repro.rounds.convert import to_round_based
+from repro.rounds.verify import verify_round_based
+from repro.sorting.base import SORTERS, verify_sorted_output
+from repro.trace.program import capture
+from repro.workloads.generators import sort_input
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=64, B=8, omega=4)
+
+
+class TestFullLowerBoundPipeline:
+    @pytest.mark.parametrize("permuter", ["naive", "sort_based"])
+    def test_capture_convert_reduce_bound(self, p, permuter):
+        N = 512
+        rng = np.random.default_rng(99)
+        atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 9999, N))]
+        perm = Permutation.random(N, rng)
+
+        # 1. Record the program.
+        prog = capture(p, atoms, PERMUTERS[permuter], perm, p)
+        assert prog.cost > 0
+
+        # 2. Round-based conversion, fully verified.
+        conv, report = to_round_based(prog)
+        rb = verify_round_based(conv, reference=prog)
+        assert rb.max_live_at_boundary == 0
+        assert report.cost_ratio <= 6.0
+
+        # 3. Flash reduction within the Lemma 4.3 budget.
+        _, flash = reduce_to_flash(conv)
+        assert flash.within_bound
+
+        # 4. The counting bound sits below the measured cost.
+        lb = counting_lower_bound_general(N, p)
+        assert lb <= prog.cost
+
+        # 5. The exact round-count bound holds for the converted program.
+        p2 = p.with_memory(2 * p.M)
+        per_round = log2_permutations_per_round(
+            N, p2, budget=report.max_round_cost, memory=2 * p.M
+        )
+        required = log2_required_permutations(N, p2)
+        r_min = int(np.ceil(required / per_round))
+        assert report.rounds >= r_min
+
+    def test_sorting_program_also_converts(self, p):
+        # Sorting inherits the permutation machinery: record a sorter and
+        # push its trace through the Lemma 4.1 converter.
+        atoms = sort_input(600, "uniform", np.random.default_rng(1))
+
+        def sort_algo(machine, addrs):
+            return SORTERS["aem_mergesort"](machine, addrs, p)
+
+        prog = capture(p, atoms, sort_algo)
+        conv, report = to_round_based(prog)
+        verify_round_based(conv, reference=prog)
+        assert report.cost_ratio <= 6.0
+        out = conv.final_output()
+        assert [a.key for a in out] == sorted(a.key for a in atoms)
+
+
+class TestCrossAlgorithmConsistency:
+    def test_sorting_then_permuting_roundtrip(self, p):
+        """Sorting is permuting by rank: sort, derive the rank permutation,
+        permute the original input with it, and get the same output."""
+        N = 400
+        atoms = sort_input(N, "uniform", np.random.default_rng(2))
+
+        m1 = AEMMachine.for_algorithm(p)
+        addrs1 = m1.load_input(atoms)
+        out1 = SORTERS["aem_mergesort"](m1, addrs1, p)
+        sorted_atoms = verify_sorted_output(m1, atoms, out1)
+
+        rank = {a.uid: i for i, a in enumerate(sorted_atoms)}
+        perm = Permutation([rank[a.uid] for a in atoms])
+
+        m2 = AEMMachine.for_algorithm(p)
+        addrs2 = m2.load_input(atoms)
+        out2 = PERMUTERS["adaptive"](m2, addrs2, perm, p)
+        permuted = verify_permutation_output(m2, atoms, out2, perm)
+        assert [a.uid for a in permuted] == [a.uid for a in sorted_atoms]
+
+    def test_sorting_cost_dominates_permutation_lower_bound(self, p):
+        """Theorem 4.5's transfer: every sorter's measured cost beats the
+        permutation lower bound."""
+        N = 2_048
+        lb = counting_lower_bound_general(N, p)
+        for name in ("aem_mergesort", "aem_samplesort", "aem_heapsort"):
+            atoms = sort_input(N, "uniform", np.random.default_rng(3))
+            m = AEMMachine.for_algorithm(p)
+            addrs = m.load_input(atoms)
+            SORTERS[name](m, addrs, p)
+            assert m.cost >= lb
+
+
+class TestModelEquivalences:
+    def test_aram_is_aem_with_unit_blocks(self):
+        """The paper's observation: (M, omega)-ARAM == (M, 1, omega)-AEM."""
+        from repro.machine.aram import aram_params
+
+        p = aram_params(32, 8)
+        assert p.B == 1
+        atoms = sort_input(100, "uniform", np.random.default_rng(4))
+        m = AEMMachine.for_algorithm(p)
+        addrs = m.load_input(atoms)
+        out = SORTERS["aem_mergesort"](m, addrs, p)
+        verify_sorted_output(m, atoms, out)
+        # With B = 1 every I/O moves one atom: reads+writes >= 2N at least.
+        assert m.reads >= 100 and m.writes >= 100
+
+    def test_em_special_case_costs_are_symmetric(self):
+        from repro.machine.em import em_params
+
+        p = em_params(64, 8)
+        atoms = sort_input(500, "uniform", np.random.default_rng(5))
+        m = AEMMachine.for_algorithm(p)
+        addrs = m.load_input(atoms)
+        SORTERS["em_mergesort"](m, addrs, p)
+        assert m.cost == m.reads + m.writes

@@ -1,0 +1,86 @@
+"""InternalMemory: the capacity ledger for the model's M constraint."""
+
+import pytest
+
+from repro.machine.errors import CapacityError, ReleaseError
+from repro.machine.internal import InternalMemory
+
+
+class TestCapacity:
+    def test_acquire_within_capacity(self):
+        mem = InternalMemory(10)
+        mem.acquire(10)
+        assert mem.occupancy == 10 and mem.free == 0
+
+    def test_overflow_raises(self):
+        mem = InternalMemory(10)
+        mem.acquire(8)
+        with pytest.raises(CapacityError) as exc:
+            mem.acquire(3)
+        assert exc.value.requested == 3
+        assert exc.value.occupancy == 8
+        assert exc.value.capacity == 10
+
+    def test_enforcement_off_allows_overflow(self):
+        mem = InternalMemory(10, enforce=False)
+        mem.acquire(100)
+        assert mem.occupancy == 100
+
+    def test_peak_tracks_high_water(self):
+        mem = InternalMemory(10)
+        mem.acquire(7)
+        mem.release(5)
+        mem.acquire(4)
+        assert mem.peak == 7
+
+    def test_require_checks_without_claiming(self):
+        mem = InternalMemory(10)
+        mem.require(10)
+        assert mem.occupancy == 0
+        mem.acquire(5)
+        with pytest.raises(CapacityError):
+            mem.require(6)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            InternalMemory(0)
+
+
+class TestRelease:
+    def test_release_returns_slots(self):
+        mem = InternalMemory(10)
+        mem.acquire(5)
+        mem.release(3)
+        assert mem.occupancy == 2
+
+    def test_over_release_raises(self):
+        mem = InternalMemory(10)
+        mem.acquire(2)
+        with pytest.raises(ReleaseError):
+            mem.release(3)
+
+    def test_negative_amounts_rejected(self):
+        mem = InternalMemory(10)
+        with pytest.raises(ValueError):
+            mem.acquire(-1)
+        with pytest.raises(ValueError):
+            mem.release(-1)
+
+    def test_held_context_manager(self):
+        mem = InternalMemory(10)
+        with mem.held(4):
+            assert mem.occupancy == 4
+        assert mem.occupancy == 0
+
+    def test_held_releases_on_exception(self):
+        mem = InternalMemory(10)
+        with pytest.raises(RuntimeError):
+            with mem.held(4):
+                raise RuntimeError("boom")
+        assert mem.occupancy == 0
+
+    def test_drain_empties(self):
+        mem = InternalMemory(10)
+        mem.acquire(7)
+        assert mem.drain() == 7
+        assert mem.occupancy == 0

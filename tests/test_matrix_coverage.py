@@ -1,0 +1,61 @@
+"""Cross-parameter coverage matrix.
+
+One honest sweep: every AEM sorter and permuter, across a grid of machine
+shapes chosen to hit the interesting boundaries — B = 1 (the ARAM), B = M
+(one block per memoryload), omega = 1 (the symmetric EM), omega >> B (the
+regime the paper unlocks), and odd/ragged sizes. Small N keeps the whole
+matrix fast; the point is breadth, not scale (scale is E1/E13's job).
+"""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.permute.base import PERMUTERS, verify_permutation_output
+from repro.sorting.base import SORTERS, verify_sorted_output
+from repro.workloads.generators import permutation, sort_input
+
+GRID = [
+    AEMParams(M=8, B=1, omega=4),     # the ARAM special case
+    AEMParams(M=16, B=16, omega=2),   # exactly one block per memoryload
+    AEMParams(M=24, B=8, omega=1),    # symmetric EM, non-power-of-two M
+    AEMParams(M=32, B=4, omega=32),   # omega >> B
+    AEMParams(M=40, B=8, omega=3),    # odd omega, ragged m
+    AEMParams(M=64, B=8, omega=8),    # the default-ish middle
+]
+
+SIZES = [37, 128, 301]
+
+AEM_SORTERS = ["aem_mergesort", "aem_samplesort", "aem_heapsort", "aem_pqsort",
+               "em_mergesort"]
+
+
+@pytest.mark.parametrize("params", GRID, ids=lambda p: p.describe())
+@pytest.mark.parametrize("name", AEM_SORTERS)
+def test_sorter_across_machine_shapes(params, name):
+    # Slack 10: at B = 1 the merge's auxiliary words scale with m = M (the
+    # paper's "constant number of words per element" convention), and the
+    # PQ sorter stacks its own buffers on top of a nested merge.
+    for N in SIZES:
+        atoms = sort_input(N, "uniform", np.random.default_rng(N))
+        machine = AEMMachine.for_algorithm(params, slack=10.0)
+        addrs = machine.load_input(atoms)
+        out = SORTERS[name](machine, addrs, params)
+        verify_sorted_output(machine, atoms, out)
+        assert machine.mem.occupancy == 0
+
+
+@pytest.mark.parametrize("params", GRID, ids=lambda p: p.describe())
+@pytest.mark.parametrize("name", sorted(PERMUTERS))
+def test_permuter_across_machine_shapes(params, name):
+    for N in SIZES:
+        rng = np.random.default_rng(N + 7)
+        atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 999, N))]
+        perm = permutation(N, "random", rng)
+        machine = AEMMachine.for_algorithm(params, slack=6.0)
+        addrs = machine.load_input(atoms)
+        out = PERMUTERS[name](machine, addrs, perm, params)
+        verify_permutation_output(machine, atoms, out, perm)
+        assert machine.mem.occupancy == 0

@@ -1,0 +1,215 @@
+"""The Section 3.1 omega*m-way merge: correctness, Lemma 3.1, Theorem 3.2."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom, make_atoms
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.machine.errors import CapacityError
+from repro.sorting.base import verify_sorted_output
+from repro.sorting.merge import (
+    EXHAUSTED,
+    ExternalPointerStore,
+    InternalPointerStore,
+    MergeStats,
+    multiway_merge,
+)
+from repro.sorting.runs import Run
+
+
+def build_runs(machine, lengths, seed=0):
+    """Sorted runs with the given lengths; returns (runs, all_atoms)."""
+    rng = np.random.default_rng(seed)
+    runs, all_atoms = [], []
+    uid = 0
+    for length in lengths:
+        keys = np.sort(rng.integers(0, 10**8, length))
+        atoms = [Atom(int(k), uid + t) for t, k in enumerate(keys)]
+        uid += length
+        all_atoms.extend(atoms)
+        runs.append(Run.of(machine.load_input(atoms), length))
+    return runs, all_atoms
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=32, B=4, omega=4)
+
+
+class TestPointerStores:
+    def test_external_scan_roundtrip(self, p):
+        m = AEMMachine.for_algorithm(p)
+        ps = ExternalPointerStore(m, 10)
+        assert [v for _, v in ps.scan()] == [0] * 10
+
+    def test_external_update_only_dirty_blocks(self, p):
+        m = AEMMachine.for_algorithm(p)
+        ps = ExternalPointerStore(m, 12)  # 3 pointer blocks of B=4
+        before = m.writes
+        dirty = ps.update({0: 5, 1: 6})  # both in block 0
+        assert dirty == 1
+        assert m.writes == before + 1
+        values = dict(ps.scan())
+        assert values[0] == 5 and values[1] == 6 and values[2] == 0
+
+    def test_external_update_empty_is_free(self, p):
+        m = AEMMachine.for_algorithm(p)
+        ps = ExternalPointerStore(m, 4)
+        before = m.cost
+        assert ps.update({}) == 0
+        assert m.cost == before
+
+    def test_external_init_cost_is_blocks(self, p):
+        m = AEMMachine.for_algorithm(p)
+        ExternalPointerStore(m, 12)
+        assert m.writes == 3 and m.reads == 0
+
+    def test_internal_acquires_table(self, p):
+        m = AEMMachine.for_algorithm(p)
+        ps = InternalPointerStore(m, 10)
+        assert m.mem.occupancy == 10
+        ps.close()
+        assert m.mem.occupancy == 0
+
+    def test_internal_overflows_when_table_too_big(self, p):
+        m = AEMMachine.for_algorithm(p, slack=1.0)
+        with pytest.raises(CapacityError):
+            InternalPointerStore(m, p.M + 1)
+
+    def test_internal_scan_and_update_free(self, p):
+        m = AEMMachine.for_algorithm(p)
+        ps = InternalPointerStore(m, 5)
+        ps.update({3: 7})
+        assert dict(ps.scan())[3] == 7
+        assert m.cost == 0
+        ps.close()
+
+
+class TestCorrectness:
+    def test_merges_full_fanout(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, atoms = build_runs(m, [40] * p.fanout)
+        out = multiway_merge(m, runs, p)
+        verify_sorted_output(m, atoms, out.addrs)
+
+    def test_merges_two_runs(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, atoms = build_runs(m, [50, 70])
+        out = multiway_merge(m, runs, p)
+        verify_sorted_output(m, atoms, out.addrs)
+
+    def test_merges_skewed_lengths(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, atoms = build_runs(m, [1, 200, 3, 150, 7])
+        out = multiway_merge(m, runs, p)
+        verify_sorted_output(m, atoms, out.addrs)
+
+    def test_single_run_passthrough(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, atoms = build_runs(m, [30])
+        out = multiway_merge(m, runs, p)
+        verify_sorted_output(m, atoms, out.addrs)
+
+    def test_empty_input(self, p):
+        m = AEMMachine.for_algorithm(p)
+        out = multiway_merge(m, [], p)
+        assert out.is_empty()
+
+    def test_drops_empty_runs(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, atoms = build_runs(m, [20, 25])
+        out = multiway_merge(m, [Run.of((), 0)] + runs, p)
+        verify_sorted_output(m, atoms, out.addrs)
+
+    def test_interleaved_duplicate_keys(self, p):
+        m = AEMMachine.for_algorithm(p)
+        uid = 0
+        runs, all_atoms = [], []
+        for _ in range(4):
+            atoms = [Atom(k // 3, uid + t) for t, k in enumerate(range(60))]
+            uid += 60
+            all_atoms.extend(atoms)
+            runs.append(Run.of(m.load_input(atoms), 60))
+        out = multiway_merge(m, runs, p)
+        verify_sorted_output(m, all_atoms, out.addrs)
+
+    def test_rejects_fanin_beyond_omega_m(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, _ = build_runs(m, [4] * (p.fanout + 1))
+        with pytest.raises(ValueError, match="fan-in"):
+            multiway_merge(m, runs, p)
+
+    def test_internal_pointer_mode_same_result(self, p):
+        m1 = AEMMachine.for_algorithm(p)
+        runs1, atoms1 = build_runs(m1, [40, 60, 30], seed=5)
+        out1 = multiway_merge(m1, runs1, p, pointer_mode="external")
+        m2 = AEMMachine.for_algorithm(p)
+        runs2, atoms2 = build_runs(m2, [40, 60, 30], seed=5)
+        out2 = multiway_merge(m2, runs2, p, pointer_mode="internal")
+        assert [a.uid for a in m1.collect_output(out1.addrs)] == [
+            a.uid for a in m2.collect_output(out2.addrs)
+        ]
+
+    def test_unknown_pointer_mode(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, _ = build_runs(m, [10])
+        with pytest.raises(ValueError, match="pointer_mode"):
+            multiway_merge(m, runs, p, pointer_mode="quantum")
+
+
+class TestLemma31:
+    def test_active_runs_never_exceed_m(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, _ = build_runs(m, [300] * 4)
+        stats = MergeStats()
+        multiway_merge(m, runs, p, stats=stats)
+        assert 0 < stats.max_active <= p.m
+
+    def test_active_runs_bounded_at_full_fanout(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, _ = build_runs(m, [60] * p.fanout)
+        stats = MergeStats()
+        multiway_merge(m, runs, p, stats=stats)
+        assert stats.max_active <= p.m
+
+
+class TestTheorem32:
+    def test_cost_bounds_full_fanout(self, p):
+        m = AEMMachine.for_algorithm(p)
+        per = 50
+        runs, _ = build_runs(m, [per] * p.fanout)
+        N = per * p.fanout
+        multiway_merge(m, runs, p)
+        n = p.n(N)
+        # Theorem 3.2: O(omega(n+m)) reads, O(n+m) writes. Constants from
+        # the implementation: <= ~8 for reads, <= ~3 for writes.
+        assert m.reads <= 8 * p.omega * (n + p.m)
+        assert m.writes <= 3 * (n + p.m)
+
+    def test_rounds_emit_m_atoms(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, _ = build_runs(m, [100] * 4)
+        stats = MergeStats()
+        multiway_merge(m, runs, p, stats=stats)
+        # Every non-final round outputs exactly M atoms.
+        for r in stats.rounds[:-1]:
+            assert r.emitted == p.M
+        assert sum(r.emitted for r in stats.rounds) == 400
+
+    def test_memory_peak_bounded(self, p):
+        m = AEMMachine.for_algorithm(p)
+        runs, _ = build_runs(m, [100] * p.fanout)
+        multiway_merge(m, runs, p)
+        assert m.mem.peak <= 4 * p.M
+
+    def test_write_cost_independent_of_omega(self):
+        # Same data merged under different omega: writes should not grow.
+        writes = []
+        for omega in (1, 16):
+            p = AEMParams(M=32, B=4, omega=omega)
+            m = AEMMachine.for_algorithm(p)
+            runs, _ = build_runs(m, [100] * 8, seed=3)
+            multiway_merge(m, runs, p)
+            writes.append(m.writes)
+        assert writes[1] <= 1.5 * writes[0]

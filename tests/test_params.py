@@ -1,0 +1,132 @@
+"""AEMParams: validation, derived quantities, special cases."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.params import AEMParams, ceil_div, param_grid
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one(self):
+        assert ceil_div(1, 100) == 1
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(5, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 3)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_math_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestValidation:
+    def test_accepts_basic(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        assert p.M == 64 and p.B == 8 and p.omega == 4
+
+    def test_rejects_m_smaller_than_b(self):
+        with pytest.raises(ValueError, match="at least one block"):
+            AEMParams(M=4, B=8)
+
+    def test_rejects_nonpositive_m(self):
+        with pytest.raises(ValueError):
+            AEMParams(M=0, B=1)
+
+    def test_rejects_nonpositive_b(self):
+        with pytest.raises(ValueError):
+            AEMParams(M=8, B=0)
+
+    def test_rejects_omega_below_one(self):
+        with pytest.raises(ValueError):
+            AEMParams(M=8, B=2, omega=0.5)
+
+    def test_rejects_non_integer_m(self):
+        with pytest.raises(ValueError):
+            AEMParams(M=8.5, B=2)  # type: ignore[arg-type]
+
+    def test_frozen(self):
+        p = AEMParams(M=8, B=2)
+        with pytest.raises(Exception):
+            p.M = 16  # type: ignore[misc]
+
+
+class TestDerived:
+    def test_m_blocks(self):
+        assert AEMParams(M=64, B=8).m == 8
+
+    def test_m_blocks_rounds_up(self):
+        assert AEMParams(M=65, B=8).m == 9
+
+    def test_n(self):
+        p = AEMParams(M=64, B=8)
+        assert p.n(64) == 8
+        assert p.n(65) == 9
+        assert p.n(0) == 0
+
+    def test_fanout_is_omega_m(self):
+        assert AEMParams(M=64, B=8, omega=4).fanout == 32
+
+    def test_fanout_at_least_two(self):
+        assert AEMParams(M=2, B=2, omega=1).fanout == 2
+
+    def test_base_case_size(self):
+        assert AEMParams(M=64, B=8, omega=4).base_case_size() == 256
+
+    def test_base_case_at_least_m(self):
+        assert AEMParams(M=64, B=8, omega=1).base_case_size() == 64
+
+    def test_write_cost(self):
+        assert AEMParams(M=64, B=8, omega=7).write_cost == 7.0
+
+    def test_log_omega_m(self):
+        p = AEMParams(M=64, B=8, omega=4)  # base 32
+        assert p.log_omega_m(32) == pytest.approx(1.0)
+        assert p.log_omega_m(1) == 0.0
+
+    def test_describe_mentions_all(self):
+        d = AEMParams(M=64, B=8, omega=4).describe()
+        assert "M=64" in d and "B=8" in d and "omega=4" in d
+
+
+class TestSpecialCases:
+    def test_em_is_omega_one(self):
+        p = AEMParams.em(64, 8)
+        assert p.omega == 1.0
+
+    def test_aram_is_block_one(self):
+        p = AEMParams.aram(64, 16)
+        assert p.B == 1 and p.m == 64
+
+    def test_with_memory(self):
+        p = AEMParams(M=64, B=8, omega=4).with_memory(128)
+        assert p.M == 128 and p.B == 8 and p.omega == 4
+
+    def test_scaled_memory_floors_at_b(self):
+        p = AEMParams(M=8, B=8).scaled_memory(0.1)
+        assert p.M == 8
+
+
+class TestParamGrid:
+    def test_skips_invalid(self):
+        grid = list(param_grid([4, 64], [8], [1, 2]))
+        assert all(g.M >= g.B for g in grid)
+        assert len(grid) == 2  # only M=64 survives, two omegas
+
+    def test_full_product(self):
+        grid = list(param_grid([64, 128], [8, 16], [1, 4]))
+        assert len(grid) == 8

@@ -1,0 +1,140 @@
+"""Permuters: correctness, cost shapes, the adaptive chooser."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atoms.atom import Atom, make_atoms
+from repro.atoms.permutation import Permutation
+from repro.core.bounds import permute_naive_shape, sort_upper_shape
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.permute.adaptive import choose_strategy, permute_adaptive
+from repro.permute.base import (
+    PERMUTERS,
+    PermuteVerificationError,
+    verify_permutation_output,
+)
+from repro.permute.naive import permute_naive
+from repro.permute.sort_based import permute_sort_based
+from repro.workloads.generators import permutation
+
+
+def run(fn, p, N, *, family="random", seed=0):
+    rng = np.random.default_rng(seed)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
+    perm = permutation(N, family, rng)
+    m = AEMMachine.for_algorithm(p)
+    addrs = m.load_input(atoms)
+    out = fn(m, addrs, perm, p)
+    verify_permutation_output(m, atoms, out, perm)
+    return m
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=64, B=8, omega=4)
+
+
+@pytest.mark.parametrize("name", sorted(PERMUTERS))
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "family", ["random", "identity", "reversal", "cyclic", "transpose"]
+    )
+    def test_families(self, name, p, family):
+        run(PERMUTERS[name], p, 512, family=family)
+
+    @pytest.mark.parametrize("N", [1, 7, 8, 9, 100])
+    def test_boundary_sizes(self, name, p, N):
+        run(PERMUTERS[name], p, N)
+
+    def test_huge_omega(self, name):
+        run(PERMUTERS[name], AEMParams(M=64, B=8, omega=64), 600)
+
+
+class TestNaiveCosts:
+    def test_at_most_n_reads_plus_n_writes(self, p):
+        N = 1_024
+        m = run(permute_naive, p, N)
+        assert m.reads <= N
+        assert m.writes == p.n(N)
+        assert m.cost <= permute_naive_shape(N, p)
+
+    def test_identity_is_cheap(self, p):
+        # Sequential gathering: block cache turns N reads into n reads.
+        N = 1_024
+        m = run(permute_naive, p, N, family="identity")
+        assert m.reads == p.n(N)
+
+    def test_transpose_is_expensive(self, p):
+        N = 1_024
+        m_id = run(permute_naive, p, N, family="identity")
+        m_tr = run(permute_naive, p, N, family="transpose")
+        assert m_tr.reads > 5 * m_id.reads
+
+
+class TestSortBasedCosts:
+    def test_within_shape(self, p):
+        for N in (512, 2_048):
+            m = run(permute_sort_based, p, N, seed=N)
+            assert m.cost <= 12 * sort_upper_shape(N, p)
+
+    def test_cost_nearly_independent_of_permutation_family(self, p):
+        # Sorting cost is essentially oblivious to the permutation's
+        # structure (structured destinations save a few merge-round reads,
+        # so "nearly": within 1.5x, unlike naive's 8x+ spread).
+        costs = {
+            fam: run(permute_sort_based, p, 1_024, family=fam).cost
+            for fam in ("random", "reversal", "identity")
+        }
+        assert max(costs.values()) / min(costs.values()) < 1.5
+
+
+class TestAdaptive:
+    def test_chooser_prefers_naive_for_small_blocks(self):
+        p = AEMParams(M=16, B=2, omega=8)
+        assert choose_strategy(4_096, p) == "naive"
+
+    def test_chooser_prefers_sort_for_big_blocks(self):
+        p = AEMParams(M=512, B=64, omega=8)
+        assert choose_strategy(4_096, p) == "sort"
+
+    def test_adaptive_never_much_worse_than_best(self, p):
+        N = 2_048
+        best = min(
+            run(permute_naive, p, N, seed=2).cost,
+            run(permute_sort_based, p, N, seed=2).cost,
+        )
+        adaptive = run(permute_adaptive, p, N, seed=2).cost
+        assert adaptive <= 1.6 * best
+
+
+class TestVerification:
+    def test_detects_wrong_permutation(self, p):
+        atoms = make_atoms(range(16))
+        m = AEMMachine.for_algorithm(p)
+        addrs = m.load_input(atoms)
+        perm = Permutation.reversal(16)
+        out = permute_naive(m, addrs, perm, p)
+        wrong = Permutation.identity(16)
+        with pytest.raises(PermuteVerificationError, match="realize"):
+            verify_permutation_output(m, atoms, out, wrong)
+
+    def test_detects_length_mismatch(self, p):
+        atoms = make_atoms(range(8))
+        m = AEMMachine.for_algorithm(p)
+        addrs = m.load_input(atoms)
+        out = permute_naive(m, addrs, Permutation.identity(8), p)
+        with pytest.raises(PermuteVerificationError, match="holds"):
+            verify_permutation_output(m, atoms[:4], out, Permutation.identity(4))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(1, 200),
+    seed=st.integers(0, 2**31 - 1),
+    name=st.sampled_from(sorted(PERMUTERS)),
+)
+def test_property_any_random_permutation(n, seed, name):
+    p = AEMParams(M=32, B=4, omega=4)
+    run(PERMUTERS[name], p, n, seed=seed)

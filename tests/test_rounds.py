@@ -1,0 +1,135 @@
+"""Lemma 4.1: the round-based conversion and its verifier."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom, make_atoms
+from repro.atoms.permutation import Permutation
+from repro.core.counting import LEMMA_4_1_CONSTANT
+from repro.core.params import AEMParams
+from repro.machine.errors import TraceError
+from repro.machine.streams import scan_copy
+from repro.permute.naive import permute_naive
+from repro.permute.sort_based import permute_sort_based
+from repro.rounds.convert import to_round_based
+from repro.rounds.verify import verify_round_based
+from repro.trace.analysis import liveness_intervals
+from repro.trace.program import capture
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=32, B=4, omega=4)
+
+
+def permute_program(p, N=256, seed=0, fn=permute_naive):
+    rng = np.random.default_rng(seed)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 999, N))]
+    perm = Permutation.random(N, rng)
+    return capture(p, atoms, fn, perm, p)
+
+
+class TestConversion:
+    def test_doubles_memory(self, p):
+        prog = permute_program(p)
+        conv, _ = to_round_based(prog)
+        assert conv.params.M == 2 * p.M
+
+    def test_cost_ratio_within_budgeted_constant(self, p):
+        for fn in (permute_naive, permute_sort_based):
+            prog = permute_program(p, fn=fn)
+            conv, report = to_round_based(prog)
+            assert report.cost_ratio <= LEMMA_4_1_CONSTANT
+            # Below 1 is possible only through dropped same-round re-reads.
+            assert conv.cost >= prog.cost - report.dropped_reads
+
+    def test_round_cost_cap(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        _, report = to_round_based(prog)
+        assert report.max_round_cost <= 2 * p.omega * p.m + p.m
+
+    def test_spill_within_original_memory(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        _, report = to_round_based(prog)
+        # The recording machine ran with slack 4, so liveness <= 4M.
+        assert report.max_spill_atoms <= 4 * p.M
+
+    def test_output_preserved(self, p):
+        prog = permute_program(p)
+        conv, _ = to_round_based(prog)
+        assert [getattr(a, "uid", None) for a in conv.final_output()] == [
+            getattr(a, "uid", None) for a in prog.final_output()
+        ]
+
+    def test_converted_replays_cleanly(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        conv, _ = to_round_based(prog)
+        conv.replay(validate=True)
+
+    def test_boundary_memory_empty(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        conv, _ = to_round_based(prog)
+        live = liveness_intervals(conv)
+        for b in conv.round_boundaries[1:]:
+            assert live.live_at(b) == []
+
+    def test_dropped_reads_counted(self, p):
+        # A program that writes then re-reads the same block in one round.
+        def write_then_read(machine, addrs):
+            blk = machine.read(addrs[0])
+            out = machine.write_fresh(blk)
+            blk2 = machine.read(out)
+            out2 = machine.write_fresh(blk2)
+            return [out2]
+
+        prog = capture(p, make_atoms(range(4)), write_then_read)
+        conv, report = to_round_based(prog)
+        assert report.dropped_reads == 1
+        assert conv.cost < prog.cost + 2 * p.omega * p.m  # sanity
+
+    def test_custom_budget_changes_round_count(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        _, fine = to_round_based(prog, budget=p.omega)
+        _, coarse = to_round_based(prog, budget=8 * p.omega * p.m)
+        assert fine.rounds > coarse.rounds
+
+
+class TestVerifier:
+    def test_accepts_converted_programs(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        conv, _ = to_round_based(prog)
+        report = verify_round_based(conv, reference=prog)
+        assert report.rounds >= 1
+        assert report.max_live_at_boundary == 0
+
+    def test_rejects_programs_without_boundaries(self, p):
+        prog = permute_program(p)
+        with pytest.raises(TraceError, match="boundaries"):
+            verify_round_based(prog)
+
+    def test_rejects_overbudget_rounds(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        conv, _ = to_round_based(prog)
+        with pytest.raises(TraceError, match="budget"):
+            verify_round_based(conv, budget=1.0)
+
+    def test_rejects_straddling_memory(self, p):
+        # A scan program with a fake boundary placed between a read and
+        # its write: an atom straddles the boundary.
+        prog = capture(p, make_atoms(range(8)), lambda m, a: scan_copy(m, a))
+        prog.round_boundaries = [0, 1]  # boundary right after the first read
+        with pytest.raises(TraceError, match="live across"):
+            verify_round_based(prog, budget=1e9, memory_limit=10**6)
+
+    def test_rejects_memory_limit_violation(self, p):
+        prog = permute_program(p, fn=permute_sort_based)
+        conv, _ = to_round_based(prog)
+        with pytest.raises(TraceError, match="peak residency"):
+            verify_round_based(conv, memory_limit=1)
+
+    def test_rejects_output_mismatch(self, p):
+        prog_a = permute_program(p, seed=1)
+        prog_b = permute_program(p, seed=2)
+        conv, _ = to_round_based(prog_a)
+        with pytest.raises(TraceError, match="differs"):
+            verify_round_based(conv, reference=prog_b)

@@ -1,0 +1,71 @@
+"""Run bookkeeping for the sorting algorithms."""
+
+import pytest
+
+from repro.atoms.atom import make_atoms
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.sorting.runs import Run, concat_runs, run_of_input, split_run
+
+
+@pytest.fixture
+def m():
+    return AEMMachine(AEMParams(M=32, B=4, omega=2))
+
+
+class TestRun:
+    def test_of(self):
+        r = Run.of([1, 2, 3], 10)
+        assert r.blocks == 3 and r.length == 10 and not r.is_empty()
+
+    def test_empty(self):
+        assert Run.of([], 0).is_empty()
+
+    def test_run_of_input_counts_atoms_cost_free(self, m):
+        addrs = m.load_input(make_atoms(range(11)))
+        r = run_of_input(m, addrs)
+        assert r.length == 11 and r.blocks == 3
+        assert m.cost == 0
+
+
+class TestSplit:
+    def test_split_preserves_blocks_and_length(self, m):
+        addrs = m.load_input(make_atoms(range(23)))
+        r = run_of_input(m, addrs)
+        parts = split_run(m, r, 3)
+        assert sum(p.blocks for p in parts) == r.blocks
+        assert sum(p.length for p in parts) == r.length
+
+    def test_split_is_contiguous_in_order(self, m):
+        addrs = m.load_input(make_atoms(range(16)))
+        r = run_of_input(m, addrs)
+        parts = split_run(m, r, 2)
+        combined = [a for p in parts for a in p.addrs]
+        assert combined == list(r.addrs)
+
+    def test_split_more_parts_than_blocks(self, m):
+        addrs = m.load_input(make_atoms(range(8)))
+        r = run_of_input(m, addrs)
+        parts = split_run(m, r, 10)
+        assert len(parts) == 2  # only 2 blocks exist
+
+    def test_split_balanced_within_one_block(self, m):
+        addrs = m.load_input(make_atoms(range(28)))  # 7 blocks
+        r = run_of_input(m, addrs)
+        parts = split_run(m, r, 3)
+        sizes = [p.blocks for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_split_rejects_zero_parts(self, m):
+        addrs = m.load_input(make_atoms(range(8)))
+        with pytest.raises(ValueError):
+            split_run(m, run_of_input(m, addrs), 0)
+
+
+class TestConcat:
+    def test_concat_sums(self):
+        r = concat_runs([Run.of([1], 4), Run.of([2, 3], 7)])
+        assert r.addrs == (1, 2, 3) and r.length == 11
+
+    def test_concat_empty(self):
+        assert concat_runs([]).is_empty()

@@ -1,0 +1,85 @@
+"""Semiring laws — the algebraic contract Theorem 5.1's model relies on.
+
+The SpMxV algorithms may reassociate and reorder additions arbitrarily
+(meta columns, combine scans, merge trees), which is only sound if the
+structures really are commutative semirings. Hypothesis checks the laws
+on sampled elements for every shipped instance.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.spmxv.semiring import BOOLEAN, INTEGER, MAX_PLUS, REAL, SEMIRINGS
+
+ELEMENTS = {
+    "real(+,*)": st.floats(-50, 50, allow_nan=False),
+    "int(+,*)": st.integers(-1000, 1000),
+    "max-plus": st.one_of(st.just(float("-inf")), st.floats(-50, 50, allow_nan=False)),
+    "boolean": st.booleans(),
+}
+
+
+def close(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isinf(a) or math.isinf(b):
+            return a == b
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b
+
+
+@pytest.mark.parametrize("name", sorted(SEMIRINGS))
+class TestLaws:
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_add_associative_commutative(self, name, data):
+        s = SEMIRINGS[name]
+        elems = ELEMENTS[name]
+        a, b, c = (data.draw(elems) for _ in range(3))
+        assert close(s.add(a, s.add(b, c)), s.add(s.add(a, b), c))
+        assert close(s.add(a, b), s.add(b, a))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_mul_associative(self, name, data):
+        s = SEMIRINGS[name]
+        elems = ELEMENTS[name]
+        a, b, c = (data.draw(elems) for _ in range(3))
+        assert close(s.mul(a, s.mul(b, c)), s.mul(s.mul(a, b), c))
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_identities(self, name, data):
+        s = SEMIRINGS[name]
+        a = data.draw(ELEMENTS[name])
+        assert close(s.add(a, s.zero), a)
+        assert close(s.mul(a, s.one), a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(data=st.data())
+    def test_distributivity(self, name, data):
+        s = SEMIRINGS[name]
+        elems = ELEMENTS[name]
+        a, b, c = (data.draw(elems) for _ in range(3))
+        assert close(s.mul(a, s.add(b, c)), s.add(s.mul(a, b), s.mul(a, c)))
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_zero_annihilates(self, name, data):
+        s = SEMIRINGS[name]
+        a = data.draw(ELEMENTS[name])
+        if name == "max-plus" and math.isinf(a):
+            return  # -inf + -inf is still the zero; fine
+        assert close(s.mul(a, s.zero), s.zero)
+
+
+class TestSum:
+    def test_sum_folds_left(self):
+        assert INTEGER.sum([1, 2, 3, 4]) == 10
+        assert REAL.sum([]) == 0.0
+        assert MAX_PLUS.sum([3.0, 7.0, 1.0]) == 7.0
+        assert BOOLEAN.sum([False, True]) is True
+
+    def test_registry_names(self):
+        assert set(SEMIRINGS) == {"real(+,*)", "int(+,*)", "max-plus", "boolean"}

@@ -1,0 +1,112 @@
+"""The small-array base case (Blelloch et al. Lemma 4.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.atoms.atom import make_atoms
+from repro.core.params import AEMParams, ceil_div
+from repro.machine.aem import AEMMachine
+from repro.sorting.base import verify_sorted_output
+from repro.sorting.runs import run_of_input
+from repro.sorting.small import small_sort, small_sort_addrs
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=16, B=4, omega=4)
+
+
+def _sort(p, keys, slack=4.0):
+    atoms = make_atoms(keys)
+    m = AEMMachine.for_algorithm(p, slack=slack)
+    addrs = m.load_input(atoms)
+    out = small_sort(m, run_of_input(m, addrs), p)
+    verify_sorted_output(m, atoms, out.addrs)
+    return m, out
+
+
+class TestCorrectness:
+    def test_sorts_random(self, p):
+        rng = np.random.default_rng(0)
+        _sort(p, rng.integers(0, 100, 60).tolist())
+
+    def test_sorts_reverse(self, p):
+        _sort(p, list(range(64, 0, -1)))
+
+    def test_sorts_all_equal_keys(self, p):
+        _sort(p, [7] * 40)
+
+    def test_empty_input(self, p):
+        m = AEMMachine.for_algorithm(p)
+        out = small_sort(m, run_of_input(m, []), p)
+        assert out.is_empty() and m.cost == 0
+
+    def test_single_block(self, p):
+        _sort(p, [3, 1, 2])
+
+    def test_rejects_oversized_input(self, p):
+        atoms = make_atoms(range(p.base_case_size() + 1))
+        m = AEMMachine.for_algorithm(p)
+        addrs = m.load_input(atoms)
+        with pytest.raises(ValueError, match="at most"):
+            small_sort(m, run_of_input(m, addrs), p)
+
+    def test_addrs_wrapper(self, p):
+        m = AEMMachine.for_algorithm(p)
+        atoms = make_atoms([5, 1, 3])
+        addrs = m.load_input(atoms)
+        out = small_sort_addrs(m, addrs, p)
+        verify_sorted_output(m, atoms, out)
+
+
+class TestCostBounds:
+    def test_reads_are_passes_times_scan(self, p):
+        N = p.base_case_size()  # omega * M = 64
+        m, _ = _sort(p, list(np.random.default_rng(1).integers(0, 999, N)))
+        n_prime = p.n(N)
+        passes = ceil_div(N, p.M)
+        assert m.reads == passes * n_prime
+        assert m.reads <= p.omega * n_prime  # the lemma's cap
+
+    def test_writes_single_output_pass(self, p):
+        N = p.base_case_size()
+        m, _ = _sort(p, list(np.random.default_rng(2).integers(0, 999, N)))
+        assert m.writes == p.n(N)
+
+    def test_memory_stays_within_m_plus_block(self, p):
+        N = p.base_case_size()
+        m, _ = _sort(p, list(np.random.default_rng(3).integers(0, 999, N)))
+        assert m.mem.peak <= p.M + p.B
+
+    def test_cost_scales_with_passes(self, p):
+        # Half the input needs half the passes.
+        _, costs = [], []
+        for N in (p.M, 2 * p.M, 4 * p.M):
+            m, _ = _sort(p, list(np.random.default_rng(N).integers(0, 999, N)))
+            costs.append(m.reads / p.n(N))
+        assert costs[0] < costs[1] < costs[2]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(-50, 50), max_size=64))
+def test_property_sorts_any_input(keys):
+    p = AEMParams(M=16, B=4, omega=4)
+    _sort(p, keys) if keys else None
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(1, 64),
+    st.sampled_from([(8, 2), (16, 4), (32, 8)]),
+    st.integers(0, 10**6),
+)
+def test_property_cost_within_lemma_budget(N, mb, seed):
+    M, B = mb
+    p = AEMParams(M=M, B=B, omega=4)
+    N = min(N, p.base_case_size())
+    keys = np.random.default_rng(seed).integers(0, 10**6, N).tolist()
+    m, _ = _sort(p, keys)
+    n_prime = p.n(N)
+    assert m.reads <= p.omega * n_prime
+    assert m.writes <= n_prime + 1

@@ -1,0 +1,146 @@
+"""The two SpMxV algorithms vs the dense reference, across instances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.spmxv.bounds import spmxv_naive_shape, spmxv_sort_shape
+from repro.spmxv.matrix import Conformation, load_matrix, load_vector, reference_product
+from repro.spmxv.naive import spmxv_naive
+from repro.spmxv.semiring import BOOLEAN, INTEGER, MAX_PLUS, REAL
+from repro.spmxv.sort_based import spmxv_sort_based
+
+ALGORITHMS = {"naive": spmxv_naive, "sort": spmxv_sort_based}
+
+
+def run(algorithm, p, conf, values, x, semiring=REAL):
+    m = AEMMachine.for_algorithm(p)
+    ma = load_matrix(m, conf, values)
+    xa = load_vector(m, x)
+    out = ALGORITHMS[algorithm](m, ma, xa, conf, p, semiring)
+    return m, m.collect_output(out)
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=64, B=8, omega=4)
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+class TestCorrectness:
+    @pytest.mark.parametrize("family", ["random", "banded", "strided"])
+    def test_families(self, algorithm, p, family):
+        rng = np.random.default_rng(3)
+        gen = {
+            "random": lambda: Conformation.random(64, 3, rng),
+            "banded": lambda: Conformation.banded(64, 3),
+            "strided": lambda: Conformation.transpose_like(64, 3),
+        }[family]
+        conf = gen()
+        values = rng.standard_normal(conf.H).tolist()
+        x = rng.standard_normal(64).tolist()
+        _, y = run(algorithm, p, conf, values, x)
+        assert np.allclose(y, reference_product(conf, values, x))
+
+    @pytest.mark.parametrize("N,delta", [(1, 1), (8, 1), (8, 8), (64, 1), (63, 5)])
+    def test_boundary_shapes(self, algorithm, p, N, delta):
+        rng = np.random.default_rng(N * 7 + delta)
+        conf = Conformation.random(N, delta, rng)
+        values = rng.standard_normal(conf.H).tolist()
+        x = rng.standard_normal(N).tolist()
+        _, y = run(algorithm, p, conf, values, x)
+        assert np.allclose(y, reference_product(conf, values, x))
+
+    def test_all_ones_vector(self, algorithm, p):
+        # The lower-bound proof's instance: summing each row's entries.
+        rng = np.random.default_rng(11)
+        conf = Conformation.random(48, 4, rng)
+        values = [1.0] * conf.H
+        _, y = run(algorithm, p, conf, values, [1.0] * 48)
+        assert np.allclose(y, reference_product(conf, values, [1.0] * 48))
+
+    def test_integer_semiring_exact(self, algorithm, p):
+        rng = np.random.default_rng(13)
+        conf = Conformation.random(32, 2, rng)
+        values = rng.integers(-9, 9, conf.H).tolist()
+        x = rng.integers(-9, 9, 32).tolist()
+        _, y = run(algorithm, p, conf, values, x, INTEGER)
+        assert y == reference_product(conf, values, x, INTEGER)
+
+    def test_max_plus_semiring(self, algorithm, p):
+        rng = np.random.default_rng(17)
+        conf = Conformation.random(24, 3, rng)
+        values = rng.standard_normal(conf.H).tolist()
+        x = rng.standard_normal(24).tolist()
+        _, y = run(algorithm, p, conf, values, x, MAX_PLUS)
+        assert y == reference_product(conf, values, x, MAX_PLUS)
+
+    def test_boolean_semiring(self, algorithm, p):
+        rng = np.random.default_rng(19)
+        conf = Conformation.random(24, 3, rng)
+        values = rng.integers(0, 2, conf.H).astype(bool).tolist()
+        x = rng.integers(0, 2, 24).astype(bool).tolist()
+        _, y = run(algorithm, p, conf, values, x, BOOLEAN)
+        assert y == reference_product(conf, values, x, BOOLEAN)
+
+    def test_memory_released(self, algorithm, p):
+        rng = np.random.default_rng(23)
+        conf = Conformation.random(40, 2, rng)
+        values = rng.standard_normal(conf.H).tolist()
+        m, _ = run(algorithm, p, conf, values, rng.standard_normal(40).tolist())
+        assert m.mem.occupancy == 0
+
+
+class TestCosts:
+    def test_naive_within_shape(self, p):
+        rng = np.random.default_rng(29)
+        conf = Conformation.random(256, 4, rng)
+        values = rng.standard_normal(conf.H).tolist()
+        m, _ = run("naive", p, conf, values, rng.standard_normal(256).tolist())
+        assert m.cost <= 2 * spmxv_naive_shape(256, 4, p)
+
+    def test_naive_writes_only_output(self, p):
+        rng = np.random.default_rng(31)
+        conf = Conformation.random(128, 4, rng)
+        values = rng.standard_normal(conf.H).tolist()
+        m, _ = run("naive", p, conf, values, rng.standard_normal(128).tolist())
+        assert m.writes == p.n(128)
+
+    def test_sort_within_shape(self, p):
+        rng = np.random.default_rng(37)
+        conf = Conformation.random(256, 4, rng)
+        values = rng.standard_normal(conf.H).tolist()
+        m, _ = run("sort", p, conf, values, rng.standard_normal(256).tolist())
+        assert m.cost <= 8 * spmxv_sort_shape(256, 4, p)
+
+    def test_banded_cheaper_than_strided_for_naive(self, p):
+        # Locality matters for the direct algorithm: a band keeps row
+        # gathering and x accesses cache-friendly.
+        rng = np.random.default_rng(41)
+        N, delta = 256, 4
+        values = rng.standard_normal(N * delta).tolist()
+        x = rng.standard_normal(N).tolist()
+        m_band, _ = run("naive", p, Conformation.banded(N, delta), values, x)
+        m_str, _ = run("naive", p, Conformation.transpose_like(N, delta), values, x)
+        assert m_band.cost < m_str.cost
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    N=st.integers(2, 48),
+    delta=st.integers(1, 4),
+    seed=st.integers(0, 2**31 - 1),
+)
+def test_property_both_algorithms_match_reference(N, delta, seed):
+    delta = min(delta, N)
+    p = AEMParams(M=32, B=4, omega=4)
+    rng = np.random.default_rng(seed)
+    conf = Conformation.random(N, delta, rng)
+    values = rng.standard_normal(conf.H).tolist()
+    x = rng.standard_normal(N).tolist()
+    ref = reference_product(conf, values, x)
+    for algorithm in ALGORITHMS:
+        _, y = run(algorithm, p, conf, values, x)
+        assert np.allclose(y, ref)

@@ -1,0 +1,155 @@
+"""Theorem 5.1 formulas: tau, shapes, the exact counting display."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.params import AEMParams
+from repro.spmxv.bounds import (
+    log2_configs_per_round,
+    spmxv_counting_general,
+    spmxv_lower_shape,
+    spmxv_min_rounds,
+    spmxv_naive_shape,
+    spmxv_sort_shape,
+    spmxv_upper_shape,
+    tau,
+    theorem_5_1_applicable,
+    theorem_5_1_exact,
+)
+
+P = AEMParams(M=64, B=8, omega=4)
+
+
+class TestTau:
+    def test_below_delta(self):
+        # B < delta: 3^{delta N}
+        assert tau(10, 16, 8) == pytest.approx(160 * math.log2(3))
+
+    def test_equal(self):
+        assert tau(10, 8, 8) == 0.0
+
+    def test_above_delta(self):
+        val = tau(10, 2, 8)
+        assert val == pytest.approx(20 * math.log2(2 * math.e * 8 / 2))
+
+
+class TestShapes:
+    def test_naive_shape(self):
+        assert spmxv_naive_shape(100, 3, P) == 300 + P.omega * P.n(100)
+
+    def test_sort_shape_has_output_term(self):
+        assert spmxv_sort_shape(100, 1, P) > P.omega * P.n(100)
+
+    def test_lower_is_min(self):
+        N, delta = 1 << 14, 2
+        lower = spmxv_lower_shape(N, delta, P)
+        H = delta * N
+        assert lower <= H
+
+    def test_upper_is_min_of_algorithms(self):
+        N, delta = 1 << 12, 4
+        assert spmxv_upper_shape(N, delta, P) == min(
+            spmxv_naive_shape(N, delta, P), spmxv_sort_shape(N, delta, P)
+        )
+
+    def test_denominator_variants(self):
+        # The abstract's max{delta, M} gives fewer levels than Sec. 5's
+        # max{delta, B} (M >= B), hence a weaker (smaller) bound.
+        N, delta = 1 << 14, 2
+        assert spmxv_lower_shape(N, delta, P, denominator="M") <= spmxv_lower_shape(
+            N, delta, P, denominator="B"
+        )
+
+    def test_rejects_unknown_denominator(self):
+        with pytest.raises(ValueError):
+            spmxv_sort_shape(100, 1, P, denominator="Q")
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        N=st.integers(64, 1 << 18),
+        delta=st.integers(1, 32),
+    )
+    def test_property_lower_below_sort_shape(self, N, delta):
+        delta = min(delta, N)
+        # The sorting branch of the lower shape is exactly the sort upper
+        # shape minus the output term, so lower <= upper always.
+        assert spmxv_lower_shape(N, delta, P) <= spmxv_sort_shape(N, delta, P)
+
+
+class TestApplicability:
+    def test_requires_big_n(self):
+        assert not theorem_5_1_applicable(100, 4, P)
+        assert theorem_5_1_applicable(10**7, 1, AEMParams(M=64, B=8, omega=2))
+
+    def test_requires_b_above_two(self):
+        p = AEMParams(M=64, B=2, omega=2)
+        assert not theorem_5_1_applicable(10**7, 1, p)
+
+    def test_requires_m_above_4b(self):
+        p = AEMParams(M=16, B=8, omega=2)
+        assert not theorem_5_1_applicable(10**7, 1, p)
+
+
+class TestExactBound:
+    def test_nonnegative(self):
+        assert theorem_5_1_exact(100, 2, P).cost >= 0
+
+    def test_positive_at_scale(self):
+        assert theorem_5_1_exact(1 << 16, 2, P).cost > 0
+
+    def test_grows_with_n(self):
+        a = theorem_5_1_exact(1 << 14, 2, P).cost
+        b = theorem_5_1_exact(1 << 18, 2, P).cost
+        assert b > a
+
+    def test_records_conformation_count(self):
+        cb = theorem_5_1_exact(1 << 12, 2, P)
+        assert cb.log2_conformations > 0
+        assert cb.log2_tau >= 0
+
+    def test_below_h_at_scale(self):
+        # The bound is min{H, ...}-shaped: never above H by much.
+        N, delta = 1 << 16, 2
+        cb = theorem_5_1_exact(N, delta, P)
+        assert cb.cost <= delta * N
+
+
+class TestRoundForm:
+    def test_rounds_grow_with_n(self):
+        r = [spmxv_min_rounds(N, 2, P).rounds for N in (1 << 12, 1 << 16, 1 << 20)]
+        assert r[0] < r[1] < r[2]
+
+    def test_rounds_grow_with_delta(self):
+        N = 1 << 16
+        assert (
+            spmxv_min_rounds(N, 8, P).rounds > spmxv_min_rounds(N, 2, P).rounds
+        )
+
+    def test_cost_nonnegative_and_clamped(self):
+        assert spmxv_min_rounds(16, 2, P).cost >= 0
+
+    def test_round_form_dominates_simplified_display(self):
+        # The display divides through the same inequality with extra lossy
+        # steps; the round form keeps more and must never be weaker by
+        # more than the round-floor slack.
+        for N in (1 << 14, 1 << 18):
+            for delta in (2, 4):
+                rb = spmxv_min_rounds(N, delta, P)
+                ex = theorem_5_1_exact(N, delta, P)
+                assert rb.cost >= 0.5 * ex.cost
+
+    def test_per_round_grows_with_additions(self):
+        a = log2_configs_per_round(1 << 14, 2, P, additions=0)
+        b = log2_configs_per_round(1 << 14, 2, P, additions=1000)
+        assert b > a
+
+    def test_general_weaker_than_round_based(self):
+        N, delta = 1 << 16, 2
+        assert spmxv_counting_general(N, delta, P) <= spmxv_min_rounds(
+            N, delta, P
+        ).cost
+
+    def test_general_positive_at_scale(self):
+        assert spmxv_counting_general(1 << 18, 4, P) > 0

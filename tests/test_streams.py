@@ -1,0 +1,126 @@
+"""BlockReader/BlockWriter: streaming with honest slot accounting."""
+
+import pytest
+
+from repro.atoms.atom import make_atoms
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.machine.streams import BlockReader, BlockWriter, scan_copy
+
+
+@pytest.fixture
+def m():
+    return AEMMachine(AEMParams(M=32, B=4, omega=2))
+
+
+class TestReader:
+    def test_iterates_all_atoms_in_order(self, m):
+        atoms = make_atoms(range(10))
+        addrs = m.load_input(atoms)
+        reader = BlockReader(m, addrs)
+        seen = []
+        for a in reader:
+            seen.append(a)
+            m.release(1)
+        assert [a.uid for a in seen] == list(range(10))
+
+    def test_costs_one_read_per_block(self, m):
+        addrs = m.load_input(make_atoms(range(10)))
+        reader = BlockReader(m, addrs)
+        for _ in reader:
+            m.release(1)
+        assert m.reads == 3
+
+    def test_take_transfers_ownership(self, m):
+        addrs = m.load_input(make_atoms(range(4)))
+        reader = BlockReader(m, addrs)
+        reader.take()
+        assert m.mem.occupancy == 4  # block staged; taken atom still counted
+
+    def test_drop_releases(self, m):
+        addrs = m.load_input(make_atoms(range(4)))
+        reader = BlockReader(m, addrs)
+        reader.drop()
+        assert m.mem.occupancy == 3
+
+    def test_peek_does_not_consume(self, m):
+        addrs = m.load_input(make_atoms([7, 8]))
+        reader = BlockReader(m, addrs)
+        assert reader.peek().uid == 0
+        assert reader.take().uid == 0
+
+    def test_peek_exhausted_returns_none(self, m):
+        reader = BlockReader(m, [])
+        assert reader.peek() is None
+        assert reader.exhausted()
+
+    def test_take_exhausted_raises(self, m):
+        reader = BlockReader(m, [])
+        with pytest.raises(StopIteration):
+            reader.take()
+
+    def test_close_releases_staged(self, m):
+        addrs = m.load_input(make_atoms(range(4)))
+        reader = BlockReader(m, addrs)
+        reader.take()
+        m.release(1)
+        reader.close()
+        assert m.mem.occupancy == 0
+
+
+class TestWriter:
+    def test_flushes_full_blocks(self, m):
+        writer = BlockWriter(m)
+        atoms = make_atoms(range(9))
+        m.acquire(atoms)
+        for a in atoms:
+            writer.push(a)
+        addrs = writer.close()
+        assert len(addrs) == 3
+        assert m.collect_output(addrs) == atoms
+        assert m.writes == 3
+
+    def test_close_without_data(self, m):
+        assert BlockWriter(m).close() == []
+
+    def test_push_new_acquires(self, m):
+        writer = BlockWriter(m)
+        writer.push_new("x")
+        assert m.mem.occupancy == 1
+        writer.close()
+        assert m.mem.occupancy == 0
+
+    def test_preallocated_addresses_used_in_order(self, m):
+        pre = m.allocate(2)
+        writer = BlockWriter(m, addrs=pre)
+        atoms = make_atoms(range(8))
+        m.acquire(atoms)
+        writer.extend(atoms)
+        assert writer.close() == pre
+
+    def test_count_tracks_pushes(self, m):
+        writer = BlockWriter(m)
+        atoms = make_atoms(range(5))
+        m.acquire(atoms)
+        writer.extend(atoms)
+        assert writer.count == 5
+        writer.close()
+
+
+class TestScanCopy:
+    def test_copies_exactly(self, m):
+        atoms = make_atoms(range(11))
+        addrs = m.load_input(atoms)
+        out = scan_copy(m, addrs)
+        assert m.collect_output(out) == atoms
+
+    def test_costs_n_reads_n_writes(self, m):
+        addrs = m.load_input(make_atoms(range(12)))
+        m.counter.reset()
+        scan_copy(m, addrs)
+        assert m.reads == 3 and m.writes == 3
+
+    def test_leaves_memory_empty(self, m):
+        addrs = m.load_input(make_atoms(range(12)))
+        scan_copy(m, addrs)
+        assert m.mem.occupancy == 0

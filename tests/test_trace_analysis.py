@@ -1,0 +1,136 @@
+"""Trace analyses: round segmentation, liveness, usefulness (Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom, make_atoms
+from repro.atoms.permutation import Permutation
+from repro.core.params import AEMParams
+from repro.machine.streams import scan_copy
+from repro.permute.naive import permute_naive
+from repro.permute.sort_based import permute_sort_based
+from repro.trace.analysis import (
+    liveness_intervals,
+    segment_rounds,
+    useful_read_volume,
+    usefulness,
+)
+from repro.trace.program import capture
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=32, B=4, omega=4)
+
+
+def _permute_program(p, N=64, seed=0, fn=permute_naive):
+    rng = np.random.default_rng(seed)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 999, N))]
+    perm = Permutation.random(N, rng)
+    return capture(p, atoms, fn, perm, p)
+
+
+class TestSegmentRounds:
+    def test_first_boundary_is_zero(self, p):
+        prog = _permute_program(p)
+        assert segment_rounds(prog)[0] == 0
+
+    def test_every_round_within_budget(self, p):
+        prog = _permute_program(p)
+        bounds = segment_rounds(prog) + [len(prog.ops)]
+        budget = p.omega * p.m
+        for i in range(len(bounds) - 1):
+            cost = sum(prog.op_cost(op) for op in prog.ops[bounds[i] : bounds[i + 1]])
+            assert cost <= budget
+
+    def test_nonfinal_rounds_are_maximal(self, p):
+        prog = _permute_program(p)
+        bounds = segment_rounds(prog) + [len(prog.ops)]
+        budget = p.omega * p.m
+        for i in range(len(bounds) - 2):
+            cost = sum(prog.op_cost(op) for op in prog.ops[bounds[i] : bounds[i + 1]])
+            nxt = prog.op_cost(prog.ops[bounds[i + 1]])
+            assert cost + nxt > budget  # adding the next op would overflow
+
+    def test_custom_budget(self, p):
+        prog = _permute_program(p)
+        many = segment_rounds(prog, budget=p.omega)
+        few = segment_rounds(prog, budget=10 * p.omega * p.m)
+        assert len(many) > len(few)
+
+    def test_budget_below_one_write_rejected(self, p):
+        prog = _permute_program(p)
+        with pytest.raises(ValueError):
+            segment_rounds(prog, budget=p.omega - 1)
+
+
+class TestLiveness:
+    def test_scan_liveness_within_block_spans(self, p):
+        prog = capture(p, make_atoms(range(12)), lambda m, a: scan_copy(m, a))
+        live = liveness_intervals(prog)
+        # scan_copy: read block i (op 2i), write block i (op 2i+1); every
+        # atom is resident exactly between its read and its write.
+        for uid, ivals in live.intervals.items():
+            assert len(ivals) == 1
+            start, end = ivals[0]
+            assert end == start + 1
+
+    def test_peak_matches_block_size(self, p):
+        prog = capture(p, make_atoms(range(12)), lambda m, a: scan_copy(m, a))
+        live = liveness_intervals(prog)
+        assert live.peak() == p.B
+
+    def test_live_at_boundary_counts_straddlers(self, p):
+        prog = capture(p, make_atoms(range(12)), lambda m, a: scan_copy(m, a))
+        live = liveness_intervals(prog)
+        # Boundary between a read and its write: B atoms live.
+        assert len(live.live_at(1)) == p.B
+        # Boundary between a write and the next read: nothing live.
+        assert len(live.live_at(2)) == 0
+
+    def test_feasible_peak_for_real_algorithms(self, p):
+        prog = _permute_program(p, fn=permute_sort_based)
+        live = liveness_intervals(prog)
+        # The recorded machine ran with slack 4, so liveness (a lower bound
+        # on true residency) must respect the physical capacity.
+        assert live.peak() <= 4 * p.M
+
+
+class TestUsefulness:
+    def test_scan_uses_everything(self, p):
+        prog = capture(p, make_atoms(range(12)), lambda m, a: scan_copy(m, a))
+        info = usefulness(prog)
+        assert useful_read_volume(prog, info) == 12
+
+    def test_permute_uses_every_atom_at_least_once(self, p):
+        prog = _permute_program(p, N=64)
+        info = usefulness(prog)
+        used = set()
+        for s in info.used_by_read.values():
+            used |= s
+        assert used == set(range(64))
+
+    def test_used_atoms_recorded_in_reads(self, p):
+        prog = _permute_program(p, N=64, fn=permute_sort_based)
+        info = usefulness(prog)
+        for idx, used in info.used_by_read.items():
+            assert used <= set(u for u in prog.ops[idx].uids if u is not None)
+
+    def test_removal_times_point_at_using_reads(self, p):
+        prog = _permute_program(p, N=64, fn=permute_sort_based)
+        info = usefulness(prog)
+        for widx, removals in info.removal_time.items():
+            for uid, ridx in removals.items():
+                if ridx is None:
+                    continue
+                assert ridx > widx
+                assert prog.ops[ridx].is_read
+                assert uid in info.used_by_read[ridx]
+                assert prog.ops[ridx].addr == prog.ops[widx].addr
+
+    def test_final_output_copies_never_removed(self, p):
+        prog = capture(p, make_atoms(range(12)), lambda m, a: scan_copy(m, a))
+        info = usefulness(prog)
+        # The scan's writes produce the final output: no removals.
+        for removals in info.removal_time.values():
+            assert all(r is None for r in removals.values())

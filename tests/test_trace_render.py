@@ -1,0 +1,95 @@
+"""Program renderings (trace/render.py)."""
+
+import numpy as np
+import pytest
+
+from repro.atoms.atom import Atom, make_atoms
+from repro.atoms.permutation import Permutation
+from repro.core.params import AEMParams
+from repro.machine.streams import scan_copy
+from repro.permute.naive import permute_naive
+from repro.rounds.convert import to_round_based
+from repro.trace.program import capture
+from repro.trace.render import (
+    address_heatmap,
+    render_program,
+    render_timeline,
+    residency_profile,
+    summarize,
+)
+
+
+@pytest.fixture
+def p():
+    return AEMParams(M=32, B=4, omega=4)
+
+
+@pytest.fixture
+def scan_program(p):
+    return capture(p, make_atoms(range(16)), lambda m, a: scan_copy(m, a))
+
+
+@pytest.fixture
+def round_program(p):
+    rng = np.random.default_rng(0)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 99, 128))]
+    perm = Permutation.random(128, rng)
+    prog = capture(p, atoms, permute_naive, perm, p)
+    conv, _ = to_round_based(prog)
+    return conv
+
+
+class TestSummarize:
+    def test_mentions_costs_and_blocks(self, scan_program):
+        text = summarize(scan_program)
+        assert "Qr=4" in text and "Qw=4" in text
+        assert "input blocks: 4" in text
+
+
+class TestTimeline:
+    def test_full_render_lists_every_op(self, scan_program):
+        text = render_timeline(scan_program, limit=None)
+        assert text.count("  R  ") == 4 and text.count("  W  ") == 4
+
+    def test_elides_long_programs(self, round_program):
+        text = render_timeline(round_program, limit=20)
+        assert "elided" in text
+
+    def test_round_rules_drawn(self, round_program):
+        text = render_timeline(round_program, limit=None)
+        assert "── round 1" in text
+
+    def test_write_cost_annotated(self, scan_program, p):
+        text = render_timeline(scan_program, limit=None)
+        assert f"(cost {p.omega:g})" in text
+
+
+class TestResidency:
+    def test_sparkline_peak_matches_liveness(self, scan_program, p):
+        text = residency_profile(scan_program)
+        assert f"peak {p.B} atoms" in text
+
+    def test_empty_boundaries_visible_for_round_programs(self, round_program):
+        text = residency_profile(round_program)
+        assert "peak" in text and "|" in text
+
+
+class TestHeatmap:
+    def test_counts_accesses(self, scan_program):
+        text = address_heatmap(scan_program)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("block")
+        # every data block is read once and its copy written once
+        assert any(" 1 " in line for line in lines[1:])
+
+    def test_top_limits_rows(self, round_program):
+        text = address_heatmap(round_program, top=3)
+        assert len(text.splitlines()) == 4
+
+
+class TestFullReport:
+    def test_contains_all_sections(self, round_program):
+        text = render_program(round_program)
+        assert "residency" in text
+        assert "block" in text
+        assert "Program[" in text

@@ -1,0 +1,66 @@
+"""Write-endurance (wear) tracking on the block store."""
+
+import numpy as np
+
+from repro.atoms.atom import make_atoms
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.machine.blockstore import BlockStore, WearStats
+from repro.sorting.base import SORTERS
+from repro.workloads.generators import sort_input
+
+
+class TestBlockStoreWear:
+    def test_fresh_store_has_no_wear(self):
+        stats = BlockStore(B=4).wear()
+        assert stats == WearStats(0, 0, 0, None)
+        assert stats.mean_writes == 0.0
+
+    def test_set_counts_writes(self):
+        bs = BlockStore(B=4)
+        a, b = bs.allocate(2)
+        bs.set(a, [1])
+        bs.set(a, [2])
+        bs.set(b, [3])
+        stats = bs.wear()
+        assert stats.total_writes == 3
+        assert stats.blocks_written == 2
+        assert stats.max_writes == 2
+        assert stats.hottest == a
+        assert stats.mean_writes == 1.5
+
+    def test_problem_placement_is_not_wear(self):
+        bs = BlockStore(B=4)
+        bs.load_items(range(12))
+        assert bs.wear().total_writes == 0
+
+
+class TestMachineWear:
+    def test_machine_passthrough(self):
+        p = AEMParams(M=32, B=4, omega=2)
+        m = AEMMachine(p)
+        addrs = m.load_input(make_atoms(range(4)))
+        blk = m.read(addrs[0])
+        m.write_fresh(blk)
+        assert m.wear().total_writes == 1
+
+    def test_total_wear_equals_write_ios(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        atoms = sort_input(1_000, "uniform", np.random.default_rng(0))
+        m = AEMMachine.for_algorithm(p)
+        addrs = m.load_input(atoms)
+        SORTERS["aem_mergesort"](m, addrs, p)
+        assert m.wear().total_writes == m.writes
+
+    def test_sorters_write_out_of_place(self):
+        # Fresh output regions: no block gets hammered. Pointer blocks are
+        # the only repeatedly written addresses, bounded by the number of
+        # merge rounds.
+        p = AEMParams(M=64, B=8, omega=4)
+        atoms = sort_input(2_000, "uniform", np.random.default_rng(1))
+        m = AEMMachine.for_algorithm(p)
+        addrs = m.load_input(atoms)
+        SORTERS["aem_mergesort"](m, addrs, p)
+        stats = m.wear()
+        assert stats.max_writes <= m.writes / 4  # no single hot block
+        assert stats.mean_writes < 2.5
