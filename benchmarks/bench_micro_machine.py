@@ -1,23 +1,26 @@
 """Micro-benchmarks of the simulator's primitives.
 
 These time the *simulator* (not the model): block I/O dispatch, capacity
-ledger, trace recording — the per-I/O overhead every experiment pays. They
-guard against performance regressions that would make the larger sweeps
-impractical.
+ledger, observer notification, trace recording — the per-I/O overhead
+every experiment pays. They guard against performance regressions that
+would make the larger sweeps impractical, and in particular pin the cost
+of the event bus: the no-extra-observer fast path should stay within
+noise of the seed's hard-wired counters.
 """
 
 import numpy as np
 
+from conftest import make_machine
 from repro.atoms.atom import make_atoms
 from repro.core.params import AEMParams
-from repro.machine.aem import AEMMachine
 from repro.machine.streams import scan_copy
+from repro.observe import TraceRecorder, WearMap
 
 P = AEMParams(M=256, B=16, omega=8)
 
 
-def _loaded_machine(n_atoms=4_096, record=False):
-    machine = AEMMachine.for_algorithm(P, record=record)
+def _loaded_machine(n_atoms=4_096, observers=()):
+    machine = make_machine(P, observers=observers)
     addrs = machine.load_input(make_atoms(range(n_atoms)))
     return machine, addrs
 
@@ -40,13 +43,30 @@ def test_scan_copy_throughput(benchmark):
 
 
 def test_trace_recording_overhead(benchmark):
-    machine, addrs = _loaded_machine(record=True)
+    recorder = TraceRecorder()
+    machine, addrs = _loaded_machine(observers=[recorder])
 
     def body():
-        machine.trace.clear()
+        recorder.clear()
         scan_copy(machine, addrs)
 
     benchmark(body)
+    benchmark.extra_info["ops_per_run"] = 2 * len(addrs)
+
+
+def test_observer_dispatch_overhead(benchmark):
+    """Full observer complement: recorder + wear map on every I/O."""
+    recorder = TraceRecorder()
+    wear = WearMap()
+    machine, addrs = _loaded_machine(observers=[recorder, wear])
+
+    def body():
+        recorder.clear()
+        wear.clear()
+        scan_copy(machine, addrs)
+
+    benchmark(body)
+    benchmark.extra_info["observers"] = len(machine.observers)
     benchmark.extra_info["ops_per_run"] = 2 * len(addrs)
 
 

@@ -13,6 +13,23 @@ from __future__ import annotations
 import pytest
 
 from repro.experiments import run_experiment
+from repro.machine import AEMMachine
+
+
+def make_machine(params, *, observers=(), slack: float = 4.0) -> AEMMachine:
+    """Fresh machine on the instrumented construction API.
+
+    Benchmarks attach observers here (trace recorders, wear maps) instead
+    of using legacy flags, so they measure exactly the dispatch path the
+    experiments pay.
+    """
+    return AEMMachine.for_algorithm(params, slack=slack, observers=observers)
+
+
+@pytest.fixture
+def machine_factory():
+    """Fixture form of :func:`make_machine`."""
+    return make_machine
 
 
 def run_and_report(benchmark, eid: str, *, quick: bool = True):

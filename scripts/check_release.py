@@ -29,6 +29,7 @@ MODULES = [
     "repro.flashmodel",
     "repro.flashred",
     "repro.machine",
+    "repro.observe",
     "repro.permute",
     "repro.primitives",
     "repro.rounds",

@@ -4,7 +4,10 @@ Model* (Jacob & Sitchinava, SPAA 2017).
 The package provides:
 
 * :mod:`repro.machine` — an exact (M, B, omega)-AEM cost simulator, plus
-  the symmetric EM model, the ARAM, and the unit-cost flash model;
+  the symmetric EM model, the ARAM, and the unit-cost flash model, all
+  built on one instrumented :class:`~repro.machine.core.MachineCore`;
+* :mod:`repro.observe` — the machine-event bus observers: cost accounting,
+  trace recording, wear maps, progress readout;
 * :mod:`repro.atoms` — indivisible atoms and permutations;
 * :mod:`repro.trace` — straight-line programs, recording, replay, and the
   liveness/usefulness analyses behind the Section 4 machinery;
@@ -47,8 +50,16 @@ from .machine import (
     AEMMachine,
     CapacityError,
     FlashMachine,
+    MachineCore,
     aram_machine,
     em_machine,
+)
+from .observe import (
+    CostObserver,
+    MachineObserver,
+    ProgressObserver,
+    TraceRecorder,
+    WearMap,
 )
 from .structures import ExternalPQ
 from .trace import Program, Recorder, capture
@@ -60,11 +71,17 @@ __all__ = [
     "AEMParams",
     "Atom",
     "CapacityError",
+    "CostObserver",
     "ExternalPQ",
     "FlashMachine",
+    "MachineCore",
+    "MachineObserver",
     "Permutation",
     "Program",
+    "ProgressObserver",
     "Recorder",
+    "TraceRecorder",
+    "WearMap",
     "__version__",
     "aram_machine",
     "capture",

@@ -9,11 +9,18 @@ or print the bound formulas for a parameter point::
     repro-aem permute --permuter adaptive --n 4096 --m 64 --b 8 --omega 4
     repro-aem spmxv --algorithm sort_based --n 1024 --delta 4
     repro-aem bounds --n 65536 --m 256 --b 16 --omega 8
+
+``exp``/``sort``/``permute``/``spmxv`` accept ``--json`` to emit
+machine-readable records on stdout instead of rendered tables, and the
+algorithm runners accept ``--progress`` for a live I/O/phase readout on
+stderr (a :class:`~repro.observe.ProgressObserver` on the machine's event
+bus).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from .core.bounds import (
@@ -45,17 +52,79 @@ def _add_machine_args(sub) -> None:
     sub.add_argument("--seed", type=int, default=0)
 
 
+def _add_run_args(sub) -> None:
+    """Flags shared by the algorithm runners (sort/permute/spmxv)."""
+    sub.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON record on stdout instead of the rendered readout",
+    )
+    sub.add_argument(
+        "--progress",
+        action="store_true",
+        help="live I/O/phase readout on stderr while the run executes",
+    )
+
+
+def _json_default(obj):
+    """Coerce numpy scalars/arrays so experiment records serialize."""
+    import numpy as np
+
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return str(obj)
+
+
+def _emit_json(payload) -> None:
+    print(json.dumps(payload, default=_json_default, sort_keys=True))
+
+
+def _run_observers(args) -> list:
+    """Observers requested on the command line (``--progress``)."""
+    if not getattr(args, "progress", False):
+        return []
+    from .observe import ProgressObserver
+
+    return [ProgressObserver(every=200, label=args.command)]
+
+
+def _close_observers(observers) -> None:
+    for obs in observers:
+        close = getattr(obs, "close", None)
+        if close is not None:
+            close()
+
+
 def cmd_exp(args) -> int:
     quick = not args.full
     if args.id.lower() == "all":
         results = run_all(quick=quick)
     else:
         results = [run_experiment(args.id, quick=quick)]
-    failed = 0
-    for r in results:
-        print(r.render())
-        print()
-        failed += 0 if r.passed else 1
+    failed = sum(0 if r.passed else 1 for r in results)
+    if args.json:
+        _emit_json(
+            [
+                {
+                    "eid": r.eid,
+                    "title": r.title,
+                    "claim": r.claim,
+                    "records": r.records,
+                    "checks": r.checks,
+                    "passed": r.passed,
+                    "notes": r.notes,
+                }
+                for r in results
+            ]
+        )
+    else:
+        for r in results:
+            print(r.render())
+            print()
     if failed:
         print(f"{failed} experiment(s) had failing checks", file=sys.stderr)
     return 1 if failed else 0
@@ -63,9 +132,30 @@ def cmd_exp(args) -> int:
 
 def cmd_sort(args) -> int:
     p = _params(args)
+    observers = _run_observers(args)
     rec = measure_sort(
-        args.sorter, args.n, p, distribution=args.distribution, seed=args.seed
+        args.sorter,
+        args.n,
+        p,
+        distribution=args.distribution,
+        seed=args.seed,
+        observers=observers,
     )
+    _close_observers(observers)
+    if args.json:
+        _emit_json(
+            {
+                "command": "sort",
+                "sorter": args.sorter,
+                "n": args.n,
+                "distribution": args.distribution,
+                "seed": args.seed,
+                "params": {"M": p.M, "B": p.B, "omega": p.omega},
+                "shape_upper": sort_upper_shape(args.n, p),
+                **rec,
+            }
+        )
+        return 0
     print(f"{args.sorter} on N={args.n} {args.distribution} keys, {p.describe()}")
     print(
         f"  Qr={rec['Qr']}  Qw={rec['Qw']}  Q={rec['Q']:g}  "
@@ -77,9 +167,32 @@ def cmd_sort(args) -> int:
 
 def cmd_permute(args) -> int:
     p = _params(args)
+    observers = _run_observers(args)
     rec = measure_permute(
-        args.permuter, args.n, p, family=args.family, seed=args.seed
+        args.permuter,
+        args.n,
+        p,
+        family=args.family,
+        seed=args.seed,
+        observers=observers,
     )
+    _close_observers(observers)
+    if args.json:
+        _emit_json(
+            {
+                "command": "permute",
+                "permuter": args.permuter,
+                "n": args.n,
+                "family": args.family,
+                "seed": args.seed,
+                "params": {"M": p.M, "B": p.B, "omega": p.omega},
+                "shape_naive": permute_naive_shape(args.n, p),
+                "shape_sort": sort_upper_shape(args.n, p),
+                "lower_bound_general": counting_lower_bound_general(args.n, p),
+                **rec,
+            }
+        )
+        return 0
     print(
         f"{args.permuter} permuting N={args.n} ({args.family}), {p.describe()}"
     )
@@ -94,9 +207,31 @@ def cmd_permute(args) -> int:
 
 def cmd_spmxv(args) -> int:
     p = _params(args)
+    observers = _run_observers(args)
     rec = measure_spmxv(
-        args.algorithm, args.n, args.delta, p, family=args.family, seed=args.seed
+        args.algorithm,
+        args.n,
+        args.delta,
+        p,
+        family=args.family,
+        seed=args.seed,
+        observers=observers,
     )
+    _close_observers(observers)
+    if args.json:
+        _emit_json(
+            {
+                "command": "spmxv",
+                "algorithm": args.algorithm,
+                "n": args.n,
+                "delta": args.delta,
+                "family": args.family,
+                "seed": args.seed,
+                "params": {"M": p.M, "B": p.B, "omega": p.omega},
+                **rec,
+            }
+        )
+        return 0
     print(
         f"spmxv {args.algorithm}: N={args.n}, delta={args.delta} "
         f"({args.family}), {p.describe()}"
@@ -164,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
     exp = sub.add_parser("exp", help="run experiments (e1..e14 or 'all')")
     exp.add_argument("id", help=f"experiment id: {sorted(REGISTRY)} or 'all'")
     exp.add_argument("--full", action="store_true", help="full-size sweeps")
+    exp.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the experiment records as JSON instead of rendered tables",
+    )
     exp.set_defaults(fn=cmd_exp)
 
     srt = sub.add_parser("sort", help="run one sorter with cost readout")
@@ -171,6 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
     srt.add_argument("--n", type=int, default=8_000)
     srt.add_argument("--distribution", default="uniform")
     _add_machine_args(srt)
+    _add_run_args(srt)
     srt.set_defaults(fn=cmd_sort)
 
     per = sub.add_parser("permute", help="run one permuter with cost readout")
@@ -178,6 +319,7 @@ def build_parser() -> argparse.ArgumentParser:
     per.add_argument("--n", type=int, default=4_096)
     per.add_argument("--family", default="random")
     _add_machine_args(per)
+    _add_run_args(per)
     per.set_defaults(fn=cmd_permute)
 
     sp = sub.add_parser("spmxv", help="run one SpMxV algorithm")
@@ -186,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--delta", type=int, default=4)
     sp.add_argument("--family", default="random")
     _add_machine_args(sp)
+    _add_run_args(sp)
     sp.set_defaults(fn=cmd_spmxv)
 
     bd = sub.add_parser("bounds", help="print the bound formulas for a point")

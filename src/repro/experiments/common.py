@@ -21,6 +21,7 @@ from ..atoms.permutation import Permutation
 from ..core.params import AEMParams
 from ..machine.aem import AEMMachine
 from ..machine.cost import CostSnapshot
+from ..observe.base import MachineObserver
 from ..permute.base import PERMUTERS, verify_permutation_output
 from ..sorting.base import SORTERS, verify_sorted_output
 from ..spmxv.matrix import Conformation, load_matrix, load_vector, reference_product
@@ -63,7 +64,10 @@ class ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# Measurement helpers (verified runs returning flat cost dicts).
+# Measurement helpers (verified runs returning flat cost dicts). Each
+# accepts ``observers`` — extra MachineObserver instances attached to the
+# fresh machine's event bus for the duration of the run (wear maps,
+# progress readouts, trace recorders, ...).
 # ----------------------------------------------------------------------
 def measure_sort(
     sorter: str,
@@ -74,10 +78,11 @@ def measure_sort(
     seed: int = 0,
     slack: float = 4.0,
     verify: bool = True,
+    observers: Sequence[MachineObserver] = (),
 ) -> dict:
     """Run a registered sorter on a fresh machine; returns cost fields."""
     atoms = sort_input(N, distribution, np.random.default_rng(seed))
-    machine = AEMMachine.for_algorithm(params, slack=slack)
+    machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
     addrs = machine.load_input(atoms)
     out = SORTERS[sorter](machine, addrs, params)
     if verify:
@@ -94,12 +99,13 @@ def measure_permute(
     seed: int = 0,
     slack: float = 4.0,
     verify: bool = True,
+    observers: Sequence[MachineObserver] = (),
 ) -> dict:
     """Run a registered permuter on a fresh machine; returns cost fields."""
     rng = np.random.default_rng(seed)
     atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
     perm = permutation(N, family, rng)
-    machine = AEMMachine.for_algorithm(params, slack=slack)
+    machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
     addrs = machine.load_input(atoms)
     out = PERMUTERS[permuter](machine, addrs, perm, params)
     if verify:
@@ -117,10 +123,11 @@ def measure_spmxv(
     seed: int = 0,
     slack: float = 4.0,
     verify: bool = True,
+    observers: Sequence[MachineObserver] = (),
 ) -> dict:
     """Run an SpMxV algorithm on a fresh machine; returns cost fields."""
     conf, values, x = spmxv_instance(N, delta, family, np.random.default_rng(seed))
-    machine = AEMMachine.for_algorithm(params, slack=slack)
+    machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
     ma = load_matrix(machine, conf, values)
     xa = load_vector(machine, x)
     fn = {"naive": spmxv_naive, "sort_based": spmxv_sort_based}[algorithm]

@@ -2,15 +2,18 @@
 
 The central class is :class:`~repro.machine.aem.AEMMachine` — an
 (M, B, omega)-Asymmetric External Memory simulator with exact I/O cost
-counters, capacity-enforced internal memory, and trace recording. The
-symmetric EM model (omega = 1) and the ARAM (B = 1) are special cases;
-the unit-cost flash model is a separate machine used by the Lemma 4.3
-reduction.
+counters, capacity-enforced internal memory, and a machine-event bus
+(:mod:`repro.observe`) for trace recording, wear profiling, and any other
+per-I/O instrumentation. The symmetric EM model (omega = 1) and the ARAM
+(B = 1) are special cases; the unit-cost flash model is a separate machine
+used by the Lemma 4.3 reduction, built on the same
+:class:`~repro.machine.core.MachineCore` and emitting the same events.
 """
 
 from .aem import AEMMachine
 from .aram import aram_machine, aram_params
 from .blockstore import BlockStore, WearStats
+from .core import MachineCore
 from .cost import CostCounter, CostSnapshot
 from .em import em_machine, em_params
 from .errors import (
@@ -19,6 +22,7 @@ from .errors import (
     CapacityError,
     MachineError,
     ModelViolationError,
+    PhaseError,
     ReleaseError,
     TraceError,
 )
@@ -38,8 +42,10 @@ __all__ = [
     "CostSnapshot",
     "FlashMachine",
     "InternalMemory",
+    "MachineCore",
     "MachineError",
     "ModelViolationError",
+    "PhaseError",
     "ReleaseError",
     "TraceError",
     "WearStats",

@@ -1,16 +1,17 @@
 """The (M, B, omega)-Asymmetric External Memory machine.
 
 :class:`AEMMachine` is the substrate every algorithm in this repository runs
-on. It combines
+on. It is a thin model-semantics veneer over a shared
+:class:`~repro.machine.core.MachineCore` — blockstore, capacity ledger, and
+the machine-event bus — and charges the AEM's costs: ``1`` per read I/O,
+``omega`` per write I/O.
 
-* a :class:`~repro.machine.blockstore.BlockStore` (unbounded external
-  memory in blocks of ``B`` atoms),
-* an :class:`~repro.machine.internal.InternalMemory` ledger enforcing the
-  capacity ``M``,
-* a :class:`~repro.machine.cost.CostCounter` charging ``1`` per read I/O and
-  ``omega`` per write I/O, and
-* optional trace recording, producing the straight-line *programs* that the
-  paper's lower-bound machinery (Sections 4 and 5) operates on.
+Everything that *watches* a run is an observer on the bus
+(:mod:`repro.observe`): cost accounting with phase attribution
+(:class:`~repro.observe.CostObserver`, always attached), straight-line
+program recording (:class:`~repro.observe.TraceRecorder`, producing the
+programs the paper's Sections 4 and 5 operate on), wear profiling,
+progress display, and anything a caller brings along via ``observers=``.
 
 Model semantics implemented here:
 
@@ -34,23 +35,22 @@ on; the tests pin their peak occupancy.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterable, Iterator, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, Optional, Sequence
 
 from ..core.params import AEMParams
+from ..observe.base import MachineObserver
+from ..observe.cost import CostObserver
+from ..observe.trace import TraceRecorder
 from .blockstore import BlockStore
+from .core import MachineCore
 from .cost import CostCounter, CostSnapshot
 from .errors import BlockSizeError
 from .internal import InternalMemory
-from ..trace.ops import Op, ReadOp, WriteOp
-
-
-def _uids_of(items: Sequence) -> Tuple[Optional[int], ...]:
-    """Atom identities of a block's payload (None for identity-less data)."""
-    return tuple(getattr(it, "uid", None) for it in items)
+from ..trace.ops import Op
 
 
 class AEMMachine:
-    """An (M, B, omega)-AEM with exact cost accounting and tracing.
+    """An (M, B, omega)-AEM with exact cost accounting and instrumentation.
 
     Parameters
     ----------
@@ -64,8 +64,13 @@ class AEMMachine:
         If true (default), exceeding ``M`` resident atoms raises
         :class:`~repro.machine.errors.CapacityError`.
     record:
-        If true, every I/O is appended to :attr:`trace` as a
+        Legacy switch: attach a :class:`~repro.observe.TraceRecorder` so
+        every I/O is appended to :attr:`trace` as a
         :class:`~repro.trace.ops.ReadOp` / :class:`~repro.trace.ops.WriteOp`.
+        New code passes a ``TraceRecorder`` in ``observers`` instead.
+    observers:
+        Additional :class:`~repro.observe.MachineObserver` instances to
+        attach at construction (wear maps, progress readouts, ...).
     """
 
     def __init__(
@@ -74,13 +79,23 @@ class AEMMachine:
         *,
         enforce_capacity: bool = True,
         record: bool = False,
+        observers: Sequence[MachineObserver] = (),
     ):
         self.params = params
-        self.disk = BlockStore(params.B)
-        self.mem = InternalMemory(params.M, enforce=enforce_capacity)
-        self.counter = CostCounter(params.omega)
-        self.record = record
-        self.trace: list[Op] = []
+        self.core = MachineCore(
+            BlockStore(params.B),
+            InternalMemory(params.M, enforce=enforce_capacity),
+        )
+        self.disk = self.core.disk
+        self.mem = self.core.mem
+        self._read_cost = 1
+        self._write_cost = params.omega
+        self._cost = self.core.attach(CostObserver(omega=params.omega))
+        self._recorder: Optional[TraceRecorder] = None
+        for obs in observers:
+            self.attach(obs)
+        if record and self._recorder is None:
+            self.attach(TraceRecorder())
 
     # ------------------------------------------------------------------
     # Construction helpers.
@@ -100,16 +115,47 @@ class AEMMachine:
         return cls(physical, **kwargs)
 
     # ------------------------------------------------------------------
+    # Instrumentation.
+    # ------------------------------------------------------------------
+    def attach(self, observer: MachineObserver) -> MachineObserver:
+        """Attach an observer to this machine's event bus."""
+        self.core.attach(observer)
+        if isinstance(observer, TraceRecorder) and self._recorder is None:
+            self._recorder = observer
+        return observer
+
+    def detach(self, observer: MachineObserver) -> None:
+        self.core.detach(observer)
+        if observer is self._recorder:
+            self._recorder = None
+
+    @property
+    def observers(self) -> list[MachineObserver]:
+        return list(self.core.observers)
+
+    @property
+    def recorder(self) -> Optional[TraceRecorder]:
+        """The trace recorder, when one is attached."""
+        return self._recorder
+
+    @property
+    def record(self) -> bool:
+        """Whether I/Os are being recorded (a ``TraceRecorder`` is attached)."""
+        return self._recorder is not None
+
+    @property
+    def trace(self) -> list[Op]:
+        """The recorded op sequence (empty unless recording)."""
+        if self._recorder is None:
+            return []
+        return self._recorder.ops
+
+    # ------------------------------------------------------------------
     # Core I/O operations.
     # ------------------------------------------------------------------
     def read(self, addr: int) -> list:
         """Read one block (cost 1); its atoms become resident internally."""
-        items = list(self.disk.get(addr))
-        self.mem.acquire(len(items))
-        self.counter.add_read()
-        if self.record:
-            self.trace.append(ReadOp(addr, _uids_of(items)))
-        return items
+        return self.core.read_block(addr, self._read_cost)
 
     def peek(self, addr: int) -> list:
         """Read one block (cost 1) without keeping any of its atoms.
@@ -119,12 +165,7 @@ class AEMMachine:
         blocks to identify active arrays in §3.1). Capacity for the staging
         is still checked: the block must momentarily fit.
         """
-        items = list(self.disk.get(addr))
-        self.mem.require(len(items))
-        self.counter.add_read()
-        if self.record:
-            self.trace.append(ReadOp(addr, _uids_of(items)))
-        return items
+        return self.core.read_block(addr, self._read_cost, keep=False)
 
     def write(self, addr: int, items: Sequence) -> None:
         """Write up to ``B`` atoms to block ``addr`` (cost ``omega``)."""
@@ -132,11 +173,7 @@ class AEMMachine:
             raise BlockSizeError(
                 f"write of {len(items)} atoms exceeds block size B={self.params.B}"
             )
-        self.disk.set(addr, items)
-        self.mem.release(len(items))
-        self.counter.add_write()
-        if self.record:
-            self.trace.append(WriteOp(addr, _uids_of(items), tuple(items)))
+        self.core.write_block(addr, items, self._write_cost)
 
     def write_fresh(self, items: Sequence) -> int:
         """Allocate a new block and write ``items`` to it; returns address."""
@@ -150,21 +187,28 @@ class AEMMachine:
     def release(self, count_or_items) -> None:
         """Discard atoms from internal memory (no I/O cost)."""
         k = count_or_items if isinstance(count_or_items, int) else len(count_or_items)
-        self.mem.release(k)
+        self.core.release(k)
 
     def acquire(self, count_or_items, what: str = "atoms") -> None:
         """Account for atoms created inside internal memory (no I/O cost)."""
         k = count_or_items if isinstance(count_or_items, int) else len(count_or_items)
-        self.mem.acquire(k, what)
+        self.core.acquire(k, what)
 
     def touch(self, k: int = 1) -> None:
         """Record ``k`` internal operations (the model's time ``T``)."""
-        self.counter.touch(k)
+        self.core.touch(k)
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
-        with self.counter.phase(name):
+        with self.core.phase(name):
             yield
+
+    def round_boundary(self) -> int:
+        """Declare a round boundary (Section 4): drain memory, notify.
+
+        Returns the number of internal-memory slots that were drained.
+        """
+        return self.core.round_boundary()
 
     # ------------------------------------------------------------------
     # Allocation passthrough.
@@ -193,27 +237,32 @@ class AEMMachine:
     # Cost readout.
     # ------------------------------------------------------------------
     @property
+    def counter(self) -> CostCounter:
+        """The always-attached cost observer's counter."""
+        return self._cost.counter
+
+    @property
     def cost(self) -> float:
         """Total asymmetric cost so far, ``Q = Qr + omega * Qw``."""
-        return self.counter.Q
+        return self._cost.Q
 
     @property
     def reads(self) -> int:
-        return self.counter.reads
+        return self._cost.reads
 
     @property
     def writes(self) -> int:
-        return self.counter.writes
+        return self._cost.writes
 
     def snapshot(self) -> CostSnapshot:
-        return self.counter.snapshot()
+        return self._cost.snapshot()
 
     def wear(self):
         """Per-block write-endurance summary (see BlockStore.wear)."""
         return self.disk.wear()
 
     def describe(self) -> str:
-        return f"{self.params.describe()}: {self.counter.describe()}"
+        return f"{self.params.describe()}: {self._cost.describe()}"
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"AEMMachine({self.describe()})"

@@ -1,0 +1,183 @@
+"""The shared machine substrate: storage, ledger, and the event bus.
+
+Every memory-model machine in this repository — the (M, B, omega)-AEM and
+its EM/ARAM special cases, and the unit-cost flash model — is the same
+three ingredients with different cost semantics on top:
+
+* a :class:`~repro.machine.blockstore.BlockStore` (unbounded block-addressed
+  external memory),
+* an :class:`~repro.machine.internal.InternalMemory` ledger (the capacity
+  ``M``), and
+* a stream of *machine events* consumed by attached
+  :class:`~repro.observe.MachineObserver` instances (cost accounting,
+  trace recording, wear profiling, progress display, ...).
+
+:class:`MachineCore` packages the three. The concrete machines own a core,
+translate their model's operations into core calls, and supply the
+per-I/O ``cost`` their model charges (``1``/``omega`` for the AEM, the
+transferred volume for the flash model), so every consumer downstream sees
+one uniform event stream regardless of which model produced it.
+
+Dispatch discipline (the no-observer fast path): at attach time the core
+inspects which event handlers the observer actually *overrides* and adds
+only those to per-event callback lists. Emitting an event that nobody
+listens to is one truthiness check on an empty list; emitting to ``k``
+listeners is ``k`` bound-method calls with no intermediate event objects.
+Batching happens at the semantic level — ``touch(k)`` reports ``k``
+internal operations in one event, and block transfers are one event per
+I/O, never per atom.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from ..observe.base import EVENTS, MachineObserver
+from .blockstore import BlockStore
+from .internal import InternalMemory
+
+
+class MachineCore:
+    """Block storage + capacity ledger + observer event bus."""
+
+    def __init__(
+        self,
+        disk: BlockStore,
+        mem: InternalMemory,
+        observers: Sequence[MachineObserver] = (),
+    ):
+        self.disk = disk
+        self.mem = mem
+        self.io_count = 0  # total I/O events emitted (reads + writes)
+        self.observers: list[MachineObserver] = []
+        for name in EVENTS:
+            setattr(self, "_" + name, [])
+        for obs in observers:
+            self.attach(obs)
+
+    # ------------------------------------------------------------------
+    # Observer management.
+    # ------------------------------------------------------------------
+    def attach(self, observer: MachineObserver) -> MachineObserver:
+        """Attach ``observer``; only its overridden handlers are dispatched."""
+        if observer in self.observers:
+            raise ValueError(f"observer {observer!r} is already attached")
+        self.observers.append(observer)
+        cls = type(observer)
+        for name in EVENTS:
+            handler = getattr(cls, name, None)
+            if handler is not None and handler is not getattr(MachineObserver, name):
+                getattr(self, "_" + name).append(getattr(observer, name))
+        hook = getattr(observer, "on_attach", None)
+        if hook is not None:
+            hook(self)
+        return observer
+
+    def detach(self, observer: MachineObserver) -> None:
+        self.observers.remove(observer)
+        for name in EVENTS:
+            callbacks = getattr(self, "_" + name)
+            bound = getattr(observer, name, None)
+            if bound in callbacks:
+                callbacks.remove(bound)
+        hook = getattr(observer, "on_detach", None)
+        if hook is not None:
+            hook(self)
+
+    def find(self, kind: type) -> list:
+        """All attached observers that are instances of ``kind``."""
+        return [obs for obs in self.observers if isinstance(obs, kind)]
+
+    # ------------------------------------------------------------------
+    # Raw event emission (machines with bespoke transfer shapes, e.g. the
+    # flash model's sub-block reads, charge the store themselves and emit).
+    # ------------------------------------------------------------------
+    def emit_read(self, addr: int, items: Sequence, cost: float) -> None:
+        self.io_count += 1
+        for cb in self._on_read:
+            cb(addr, items, cost)
+
+    def emit_write(self, addr: int, items: Sequence, cost: float) -> None:
+        self.io_count += 1
+        for cb in self._on_write:
+            cb(addr, items, cost)
+
+    # ------------------------------------------------------------------
+    # Ledger-coupled block transfers (the AEM semantics).
+    # ------------------------------------------------------------------
+    def read_block(self, addr: int, cost: float, *, keep: bool = True) -> list:
+        """Read a whole block; its atoms become (or must fit as) resident.
+
+        With ``keep=True`` the atoms are acquired in the ledger (the
+        caller now owns their slots); with ``keep=False`` the ledger only
+        checks they *would* fit (peek semantics).
+        """
+        items = list(self.disk.get(addr))
+        if keep:
+            self.mem.acquire(len(items))
+        else:
+            self.mem.require(len(items))
+        self.emit_read(addr, items, cost)
+        return items
+
+    def write_block(
+        self, addr: int, items: Sequence, cost: float, *, release: bool = True
+    ) -> None:
+        """Write a block; with ``release=True`` its atoms leave the ledger."""
+        self.disk.set(addr, items)
+        if release:
+            self.mem.release(len(items))
+        self.emit_write(addr, self.disk.get(addr), cost)
+
+    # ------------------------------------------------------------------
+    # Ledger movements initiated by the program (atom creation/destruction
+    # inside internal memory).
+    # ------------------------------------------------------------------
+    def acquire(self, k: int, what: str = "atoms") -> None:
+        self.mem.acquire(k, what)
+        for cb in self._on_acquire:
+            cb(k, what)
+
+    def release(self, k: int) -> None:
+        self.mem.release(k)
+        for cb in self._on_release:
+            cb(k)
+
+    # ------------------------------------------------------------------
+    # Time, phases, rounds.
+    # ------------------------------------------------------------------
+    def touch(self, k: int = 1) -> None:
+        if k < 0:
+            raise ValueError("cannot record a negative number of touches")
+        for cb in self._on_touch:
+            cb(k)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        for cb in self._on_phase_enter:
+            cb(name)
+        try:
+            yield
+        finally:
+            for cb in self._on_phase_exit:
+                cb(name)
+
+    def round_boundary(self) -> int:
+        """Declare a round boundary: drain internal memory, notify.
+
+        Returns the number of slots that were drained. Round-based
+        programs (Section 4) have empty internal memory between rounds;
+        the declared boundaries flow into recorded programs'
+        ``round_boundaries``.
+        """
+        held = self.mem.drain()
+        for cb in self._on_round_boundary:
+            cb(self.io_count)
+        return held
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MachineCore({len(self.disk)} blocks, {self.mem!r}, "
+            f"{len(self.observers)} observers)"
+        )

@@ -22,6 +22,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator
 
+from .errors import PhaseError
+
 
 @dataclass(frozen=True)
 class CostSnapshot:
@@ -116,12 +118,37 @@ class CostCounter:
         innermost name only (joined names like ``"merge/init"`` can be used
         by callers who want hierarchy).
         """
-        self._phase_stack.append(name)
-        self._phases.setdefault(name, [0, 0, 0])
+        self.enter_phase(name)
         try:
             yield
         finally:
-            self._phase_stack.pop()
+            self.exit_phase(name)
+
+    def enter_phase(self, name: str) -> None:
+        """Push ``name``; subsequent costs are attributed to it."""
+        self._phase_stack.append(name)
+        self._phases.setdefault(name, [0, 0, 0])
+
+    def exit_phase(self, name: str | None = None) -> None:
+        """Pop the innermost phase, verifying it is ``name`` when given.
+
+        Raises :class:`~repro.machine.errors.PhaseError` on an exit with no
+        phase active or with a name that is not the innermost phase —
+        an unbalanced pop would silently misattribute everything after it.
+        """
+        if not self._phase_stack:
+            raise PhaseError(
+                f"exit_phase({name!r}) with no phase active"
+                if name is not None
+                else "exit_phase() with no phase active"
+            )
+        innermost = self._phase_stack[-1]
+        if name is not None and innermost != name:
+            raise PhaseError(
+                f"exit_phase({name!r}) but the innermost phase is "
+                f"{innermost!r}; phase enter/exit must nest"
+            )
+        self._phase_stack.pop()
 
     def phase_snapshot(self, name: str) -> CostSnapshot:
         r, w, t = self._phases.get(name, [0, 0, 0])

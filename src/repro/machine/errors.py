@@ -42,6 +42,15 @@ class TraceError(MachineError):
     """A recorded program trace is malformed or fails verification."""
 
 
+class PhaseError(MachineError):
+    """Phase enter/exit calls are unbalanced or mismatched.
+
+    Phase attribution is a stack discipline; exiting a phase that is not
+    the innermost one (or exiting with none active) would silently corrupt
+    the attribution of every I/O that follows, so it fails loudly instead.
+    """
+
+
 class ModelViolationError(MachineError):
     """An operation is not expressible in the model being simulated.
 

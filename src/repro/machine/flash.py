@@ -21,14 +21,26 @@ addressed as ``(addr, j)`` for ``j in range(Bw // Br)``, covering elements
 sub-intervals, which is exactly the constraint that makes the reduction
 non-trivial (an AEM read may use an arbitrary subset of a block; a flash
 read may not).
+
+Like the AEM machine, :class:`FlashMachine` sits on a
+:class:`~repro.machine.core.MachineCore` and emits the uniform machine
+events of :mod:`repro.observe` — with *volume-based* costs (``Br`` per
+small read, ``Bw`` per write) — so the Lemma 4.3 reduction and experiments
+E8/E9 consume the same event stream for both models, and any observer
+(trace recorder, wear map, progress readout) works here unchanged. Its
+volume accounting is a :class:`~repro.observe.CostObserver` on that bus.
 """
 
 from __future__ import annotations
 
 from typing import Sequence, Tuple
 
+from ..observe.base import MachineObserver
+from ..observe.cost import CostObserver
 from .blockstore import BlockStore
+from .core import MachineCore
 from .errors import BlockSizeError, ModelViolationError
+from .internal import InternalMemory
 
 
 class FlashMachine:
@@ -44,9 +56,20 @@ class FlashMachine:
         Read block size in elements.
     Bw:
         Write block size in elements; must be a positive multiple of ``Br``.
+    observers:
+        :class:`~repro.observe.MachineObserver` instances to attach at
+        construction; they see reads of cost ``Br`` and writes of cost
+        ``Bw``.
     """
 
-    def __init__(self, M: int, Br: int, Bw: int):
+    def __init__(
+        self,
+        M: int,
+        Br: int,
+        Bw: int,
+        *,
+        observers: Sequence[MachineObserver] = (),
+    ):
         if Br < 1 or Bw < 1:
             raise ValueError("block sizes must be positive")
         if Bw % Br != 0:
@@ -58,14 +81,19 @@ class FlashMachine:
         self.M = M
         self.Br = Br
         self.Bw = Bw
-        self.disk = BlockStore(Bw)
-        self.read_volume = 0
-        self.write_volume = 0
-        self.read_ops = 0
-        self.write_ops = 0
+        self.core = MachineCore(
+            BlockStore(Bw),
+            # The model does not enforce a capacity discipline of its own;
+            # the ledger exists so shared observers see a complete core.
+            InternalMemory(M, enforce=False),
+        )
+        self.disk = self.core.disk
+        self._cost = self.core.attach(CostObserver(omega=1.0))
+        for obs in observers:
+            self.core.attach(obs)
 
     @classmethod
-    def for_aem_reduction(cls, M: int, B: int, omega: int) -> "FlashMachine":
+    def for_aem_reduction(cls, M: int, B: int, omega: int, **kwargs) -> "FlashMachine":
         """The instantiation used by Lemma 4.3: ``Bw = B``, ``Br = B/omega``.
 
         Requires ``B > omega`` and ``omega | B`` as in the lemma statement.
@@ -82,7 +110,20 @@ class FlashMachine:
             raise ModelViolationError(
                 f"Lemma 4.3 requires omega | B (got B={B}, omega={omega})"
             )
-        return cls(M=M, Br=B // omega, Bw=B)
+        return cls(M=M, Br=B // omega, Bw=B, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Instrumentation.
+    # ------------------------------------------------------------------
+    def attach(self, observer: MachineObserver) -> MachineObserver:
+        return self.core.attach(observer)
+
+    def detach(self, observer: MachineObserver) -> None:
+        self.core.detach(observer)
+
+    @property
+    def observers(self) -> list[MachineObserver]:
+        return list(self.core.observers)
 
     # ------------------------------------------------------------------
     # Derived quantities.
@@ -96,6 +137,40 @@ class FlashMachine:
         """Total I/O volume (elements transferred), the model's cost."""
         return self.read_volume + self.write_volume
 
+    # The accounting lives in the attached CostObserver; these properties
+    # keep the historical readout (and the tests' ability to zero it).
+    @property
+    def read_volume(self) -> int:
+        return self._cost.read_cost
+
+    @read_volume.setter
+    def read_volume(self, value: int) -> None:
+        self._cost.read_cost = value
+
+    @property
+    def write_volume(self) -> int:
+        return self._cost.write_cost
+
+    @write_volume.setter
+    def write_volume(self, value: int) -> None:
+        self._cost.write_cost = value
+
+    @property
+    def read_ops(self) -> int:
+        return self._cost.reads
+
+    @read_ops.setter
+    def read_ops(self, value: int) -> None:
+        self._cost.counter.reads = value
+
+    @property
+    def write_ops(self) -> int:
+        return self._cost.writes
+
+    @write_ops.setter
+    def write_ops(self, value: int) -> None:
+        self._cost.counter.writes = value
+
     # ------------------------------------------------------------------
     # I/O operations.
     # ------------------------------------------------------------------
@@ -106,8 +181,7 @@ class FlashMachine:
                 f"write of {len(items)} elements exceeds write block size {self.Bw}"
             )
         self.disk.set(addr, items)
-        self.write_volume += self.Bw
-        self.write_ops += 1
+        self.core.emit_write(addr, self.disk.get(addr), self.Bw)
 
     def write_fresh(self, items: Sequence) -> int:
         addr = self.disk.allocate_one()
@@ -126,9 +200,9 @@ class FlashMachine:
             )
         items = self.disk.get(addr)
         lo, hi = j * self.Br, (j + 1) * self.Br
-        self.read_volume += self.Br
-        self.read_ops += 1
-        return tuple(items[lo:hi])
+        segment = items[lo:hi]
+        self.core.emit_read(addr, segment, self.Br)
+        return segment
 
     def read_covering(self, addr: int, lo: int, hi: int) -> Tuple:
         """Read the minimal set of read blocks covering interval [lo, hi).

@@ -1,0 +1,42 @@
+"""Machine instrumentation: one event bus under every memory model.
+
+Every machine in :mod:`repro.machine` (the AEM, its EM/ARAM special cases,
+and the unit-cost flash model) is built on a shared
+:class:`~repro.machine.core.MachineCore` that emits a uniform stream of
+*machine events* — one per I/O, ledger movement, phase transition, and
+round boundary. Anything that wants per-I/O observability implements the
+:class:`MachineObserver` protocol and attaches to a machine; the machine
+itself stays a thin model-semantics veneer.
+
+The observers shipped here re-implement what used to be hard-wired into
+the machines:
+
+* :class:`CostObserver` — the ``Q = Qr + omega*Qw`` accounting with named
+  phase attribution (wraps a :class:`~repro.machine.cost.CostCounter`);
+  for the flash model the same observer accumulates I/O *volume*.
+* :class:`TraceRecorder` — straight-line program recording (the successor
+  of the ``record=True`` flag), emitting the exact
+  :class:`~repro.trace.ops.ReadOp` / :class:`~repro.trace.ops.WriteOp`
+  sequences the Section 4–5 lower-bound machinery consumes.
+* :class:`WearMap` — per-block write-endurance histogram (NVM wear).
+* :class:`ProgressObserver` — live I/O/phase readout for long CLI runs.
+
+Dispatch is cheap by construction: a machine core keeps one callback list
+per event kind, populated only with observers that *override* that event,
+so un-observed events cost a single truthiness check.
+"""
+
+from .base import EVENTS, MachineObserver
+from .cost import CostObserver
+from .progress import ProgressObserver
+from .trace import TraceRecorder
+from .wear import WearMap
+
+__all__ = [
+    "EVENTS",
+    "CostObserver",
+    "MachineObserver",
+    "ProgressObserver",
+    "TraceRecorder",
+    "WearMap",
+]

@@ -1,0 +1,92 @@
+"""The machine-event observer protocol.
+
+:class:`MachineObserver` is a base class of no-op handlers, one per event a
+:class:`~repro.machine.core.MachineCore` can emit. Subclasses override only
+the events they care about; the core inspects each attached observer and
+builds per-event dispatch lists from the *overridden* methods only, so an
+observer that ignores an event adds zero cost to it.
+
+Event vocabulary (``EVENTS``):
+
+``on_read(addr, items, cost)``
+    One read I/O brought ``items`` (a sequence of atoms) in from external
+    block ``addr``. ``cost`` is the model's charge for the transfer: ``1``
+    on an AEM/EM/ARAM machine, the read-block size ``Br`` (the I/O volume)
+    on a flash machine.
+``on_write(addr, items, cost)``
+    One write I/O sent ``items`` to block ``addr``; ``cost`` is ``omega``
+    on an AEM machine and the write-block size ``Bw`` on a flash machine.
+``on_acquire(k, what)`` / ``on_release(k)``
+    ``k`` internal-memory slots were explicitly claimed/discarded by the
+    program (atom creation/destruction inside internal memory). The
+    implicit ledger movements of ``read``/``write`` are *not* re-emitted —
+    they are derivable from the I/O events themselves.
+``on_touch(k)``
+    ``k`` internal operations (the model's time ``T``), batched: algorithms
+    report whole chunks of internal work in one event.
+``on_phase_enter(name)`` / ``on_phase_exit(name)``
+    Lexical phase boundaries (cost attribution, progress display).
+``on_round_boundary(index)``
+    The program declared a round boundary (Section 4's round-based
+    programs): internal memory has just been drained. ``index`` is the
+    machine's running I/O count at the boundary.
+
+Handlers must not mutate ``items``; the sequence is shared with the
+running algorithm (observation is free in the model and must stay free in
+the simulation).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+EVENTS = (
+    "on_read",
+    "on_write",
+    "on_acquire",
+    "on_release",
+    "on_touch",
+    "on_phase_enter",
+    "on_phase_exit",
+    "on_round_boundary",
+)
+
+
+class MachineObserver:
+    """No-op base implementation of every machine event handler.
+
+    Subclass and override the events you need. ``on_attach`` /
+    ``on_detach`` are lifecycle hooks, not dispatched events: they run
+    once when the observer joins/leaves a machine core and receive the
+    core itself (e.g. to inspect its block store or parameters).
+    """
+
+    def on_attach(self, core) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_detach(self, core) -> None:  # pragma: no cover - trivial
+        pass
+
+    def on_read(self, addr: int, items: Sequence, cost: float) -> None:
+        pass
+
+    def on_write(self, addr: int, items: Sequence, cost: float) -> None:
+        pass
+
+    def on_acquire(self, k: int, what: str) -> None:
+        pass
+
+    def on_release(self, k: int) -> None:
+        pass
+
+    def on_touch(self, k: int) -> None:
+        pass
+
+    def on_phase_enter(self, name: str) -> None:
+        pass
+
+    def on_phase_exit(self, name: str) -> None:
+        pass
+
+    def on_round_boundary(self, index: int) -> None:
+        pass

@@ -1,0 +1,99 @@
+"""Cost accounting as an observer.
+
+:class:`CostObserver` is the event-bus re-implementation of the accounting
+that used to be hard-wired into :class:`~repro.machine.aem.AEMMachine` and
+:class:`~repro.machine.flash.FlashMachine`. It wraps a
+:class:`~repro.machine.cost.CostCounter`, so everything downstream —
+snapshots, ``Q = Qr + omega*Qw``, named phase attribution — keeps its exact
+legacy semantics, and additionally accumulates the *model cost* each event
+carries: on an AEM machine that sum is redundant with the counter, on a
+flash machine it is the I/O volume (``Br`` per small read, ``Bw`` per
+write), which is that model's notion of cost.
+
+Every machine attaches one of these at construction; ``machine.counter``,
+``machine.snapshot()`` and friends read through to it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..machine.cost import CostCounter, CostSnapshot
+from .base import MachineObserver
+
+
+class CostObserver(MachineObserver):
+    """Count reads/writes/touches and attribute them to phases.
+
+    Parameters
+    ----------
+    omega:
+        The write/read cost ratio of the machine being observed (``1`` for
+        symmetric models, including the flash model, whose asymmetry lives
+        in the per-event ``cost`` instead).
+    counter:
+        An existing :class:`CostCounter` to drive, for callers that share
+        one counter across machines; a fresh one is created by default.
+    """
+
+    def __init__(self, omega: float = 1.0, counter: Optional[CostCounter] = None):
+        self.counter = counter if counter is not None else CostCounter(omega)
+        # Accumulated per-event costs. For the AEM these mirror the counter
+        # (read_cost == Qr, write_cost == omega*Qw); for the flash model
+        # they are the read/write I/O volumes.
+        self.read_cost: float = 0
+        self.write_cost: float = 0
+
+    # ------------------------------------------------------------------
+    # Event handlers.
+    # ------------------------------------------------------------------
+    def on_read(self, addr: int, items: Sequence, cost: float) -> None:
+        self.counter.add_read()
+        self.read_cost += cost
+
+    def on_write(self, addr: int, items: Sequence, cost: float) -> None:
+        self.counter.add_write()
+        self.write_cost += cost
+
+    def on_touch(self, k: int) -> None:
+        self.counter.touch(k)
+
+    def on_phase_enter(self, name: str) -> None:
+        self.counter.enter_phase(name)
+
+    def on_phase_exit(self, name: str) -> None:
+        self.counter.exit_phase(name)
+
+    # ------------------------------------------------------------------
+    # Readout (the CostCounter surface, passed through).
+    # ------------------------------------------------------------------
+    @property
+    def reads(self) -> int:
+        return self.counter.reads
+
+    @property
+    def writes(self) -> int:
+        return self.counter.writes
+
+    @property
+    def Q(self) -> float:
+        return self.counter.Q
+
+    @property
+    def total_cost(self) -> float:
+        """Sum of per-event costs (the flash model's total volume)."""
+        return self.read_cost + self.write_cost
+
+    def snapshot(self) -> CostSnapshot:
+        return self.counter.snapshot()
+
+    def reset(self) -> None:
+        self.counter.reset()
+        self.read_cost = 0
+        self.write_cost = 0
+
+    def describe(self) -> str:
+        return self.counter.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CostObserver({self.describe()})"

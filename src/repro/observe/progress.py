@@ -1,0 +1,96 @@
+"""Live progress readout for long-running simulations.
+
+:class:`ProgressObserver` renders a single updating status line — I/O
+counts, current phase, declared rounds — to a stream (stderr by default).
+The CLI attaches one when invoked with ``--progress``, so full-size sweeps
+show where they are instead of going silent for minutes.
+
+Rendering is rate-limited by event count (``every``), not wall clock, to
+keep the observer deterministic and cheap: between renders an event costs
+two integer increments and a comparison.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Optional, Sequence
+
+from .base import MachineObserver
+
+
+class ProgressObserver(MachineObserver):
+    """Emit a ``\\r``-refreshed ``Qr/Qw/phase`` status line.
+
+    Parameters
+    ----------
+    stream:
+        Where to render (default ``sys.stderr``).
+    every:
+        Render after this many I/O events (default 1000).
+    label:
+        Prefix identifying the run (e.g. the algorithm name).
+    """
+
+    def __init__(
+        self,
+        stream: Optional[IO[str]] = None,
+        *,
+        every: int = 1000,
+        label: str = "",
+    ):
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.stream = stream if stream is not None else sys.stderr
+        self.every = every
+        self.label = label
+        self.reads = 0
+        self.writes = 0
+        self.rounds = 0
+        self._phases: list[str] = []
+        self._pending = 0
+
+    # ------------------------------------------------------------------
+    # Event handlers.
+    # ------------------------------------------------------------------
+    def on_read(self, addr: int, items: Sequence, cost: float) -> None:
+        self.reads += 1
+        self._tick()
+
+    def on_write(self, addr: int, items: Sequence, cost: float) -> None:
+        self.writes += 1
+        self._tick()
+
+    def on_phase_enter(self, name: str) -> None:
+        self._phases.append(name)
+        self._render()
+
+    def on_phase_exit(self, name: str) -> None:
+        if self._phases:
+            self._phases.pop()
+
+    def on_round_boundary(self, index: int) -> None:
+        self.rounds += 1
+
+    # ------------------------------------------------------------------
+    # Rendering.
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self._pending += 1
+        if self._pending >= self.every:
+            self._render()
+
+    def _render(self) -> None:
+        self._pending = 0
+        phase = "/".join(self._phases) if self._phases else "-"
+        prefix = f"[{self.label}] " if self.label else ""
+        line = f"{prefix}Qr={self.reads} Qw={self.writes} phase={phase}"
+        if self.rounds:
+            line += f" rounds={self.rounds}"
+        self.stream.write("\r" + line.ljust(78))
+        self.stream.flush()
+
+    def close(self) -> None:
+        """Render a final line and move off the status line."""
+        self._render()
+        self.stream.write("\n")
+        self.stream.flush()

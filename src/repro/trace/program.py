@@ -158,16 +158,25 @@ class Recorder:
         program = rec.finish(out)
 
     The recorder snapshots the external memory at construction-input time so
-    the program carries everything replay needs.
+    the program carries everything replay needs. Recording itself is a
+    :class:`~repro.observe.TraceRecorder` observer on the machine's event
+    bus; a machine passed in must already have one attached (construct it
+    with ``observers=[TraceRecorder()]`` or the legacy ``record=True``).
     """
 
     def __init__(self, params: AEMParams, *, machine: "Optional[AEMMachine]" = None):
         from ..machine.aem import AEMMachine  # deferred: breaks import cycle
+        from ..observe.trace import TraceRecorder
 
         self.params = params
-        self.machine = machine or AEMMachine.for_algorithm(params, record=True)
-        if not self.machine.record:
-            raise TraceError("the recorder's machine must have record=True")
+        self.machine = machine or AEMMachine.for_algorithm(
+            params, observers=[TraceRecorder()]
+        )
+        if self.machine.recorder is None:
+            raise TraceError(
+                "the recorder's machine must have a TraceRecorder attached "
+                "(construct it with observers=[TraceRecorder()] or record=True)"
+            )
         self._input_addrs: list[int] = []
         self._initial: Optional[Dict[int, Tuple]] = None
 
@@ -183,12 +192,14 @@ class Recorder:
     def finish(self, output_addrs: Sequence[int]) -> Program:
         if self._initial is None:
             raise TraceError("set_input/load_input must be called before finish")
+        recorder = self.machine.recorder
         return Program(
             params=self.params,
             initial_disk=self._initial,
             ops=list(self.machine.trace),
             input_addrs=list(self._input_addrs),
             output_addrs=list(output_addrs),
+            round_boundaries=list(recorder.round_boundaries) if recorder else [],
         )
 
 

@@ -1,5 +1,7 @@
 """CLI smoke tests (argument wiring and output sanity)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -75,3 +77,62 @@ class TestCommands:
         )
         out = capsys.readouterr().out
         assert "round-based" in out and "── round" in out
+
+
+class TestJsonOutput:
+    def test_sort_json(self, capsys):
+        assert (
+            main(["sort", "--n", "300", "--m", "64", "--b", "8",
+                  "--omega", "2", "--json"])
+            == 0
+        )
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["command"] == "sort" and rec["sorter"] == "aem_mergesort"
+        assert rec["Q"] == rec["Qr"] + 2 * rec["Qw"]
+        assert rec["params"] == {"M": 64, "B": 8, "omega": 2}
+
+    def test_permute_json(self, capsys):
+        assert (
+            main(["permute", "--n", "256", "--m", "64", "--b", "8",
+                  "--omega", "2", "--json"])
+            == 0
+        )
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["command"] == "permute"
+        assert {"Qr", "Qw", "Q", "lower_bound_general"} <= set(rec)
+
+    def test_spmxv_json(self, capsys):
+        assert (
+            main(["spmxv", "--n", "64", "--delta", "2", "--m", "64",
+                  "--b", "8", "--omega", "2", "--json"])
+            == 0
+        )
+        rec = json.loads(capsys.readouterr().out)
+        assert rec["command"] == "spmxv" and rec["delta"] == 2
+
+    def test_exp_json(self, capsys):
+        assert main(["exp", "e12", "--json"]) == 0
+        results = json.loads(capsys.readouterr().out)
+        assert len(results) == 1
+        assert results[0]["eid"] == "E12" and results[0]["passed"] is True
+        assert isinstance(results[0]["records"], list)
+
+    def test_json_matches_rendered_costs(self, capsys):
+        args = ["sort", "--n", "300", "--m", "64", "--b", "8", "--omega", "2"]
+        assert main(args + ["--json"]) == 0
+        rec = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        rendered = capsys.readouterr().out
+        assert f"Qr={rec['Qr']}" in rendered and f"Qw={rec['Qw']}" in rendered
+
+
+class TestProgress:
+    def test_sort_progress_renders_to_stderr(self, capsys):
+        assert (
+            main(["sort", "--n", "300", "--m", "64", "--b", "8",
+                  "--omega", "2", "--progress"])
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "Qr=" in captured.err and "[sort]" in captured.err
+        assert "Qr=" in captured.out  # normal readout still printed

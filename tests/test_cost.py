@@ -3,6 +3,7 @@
 import pytest
 
 from repro.machine.cost import CostCounter, CostSnapshot
+from repro.machine.errors import PhaseError
 
 
 class TestCounter:
@@ -111,3 +112,35 @@ class TestPhases:
         with c.phase("p"):
             c.add_write()
         assert set(c.phases) == {"p"}
+
+    def test_explicit_enter_exit(self):
+        c = CostCounter()
+        c.enter_phase("scan")
+        c.add_read()
+        c.exit_phase("scan")
+        assert c.phase_snapshot("scan").reads == 1
+
+    def test_exit_without_enter_raises(self):
+        c = CostCounter()
+        with pytest.raises(PhaseError, match="no phase active"):
+            c.exit_phase("scan")
+        with pytest.raises(PhaseError, match="no phase active"):
+            c.exit_phase()
+
+    def test_mismatched_exit_raises(self):
+        c = CostCounter()
+        c.enter_phase("outer")
+        c.enter_phase("inner")
+        with pytest.raises(PhaseError, match="innermost"):
+            c.exit_phase("outer")
+        # attribution is uncorrupted: "inner" is still the active phase
+        c.add_read()
+        assert c.phase_snapshot("inner").reads == 1
+
+    def test_anonymous_exit_pops_innermost(self):
+        c = CostCounter()
+        c.enter_phase("a")
+        c.enter_phase("b")
+        c.exit_phase()
+        c.add_read()
+        assert c.phase_snapshot("a").reads == 1

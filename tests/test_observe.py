@@ -1,0 +1,339 @@
+"""The instrumentation bus: MachineCore dispatch and the shipped observers.
+
+Pins the refactor's contract: event ordering matches execution order, the
+TraceRecorder observer is op-for-op identical to the legacy ``record=True``
+flag, WearMap totals equal the cost counters, the flash machine emits
+through the same bus, and a run with no extra observers costs exactly what
+the seed's hard-wired counters reported.
+"""
+
+import io
+
+import pytest
+
+from repro.core.params import AEMParams
+from repro.experiments.common import measure_sort
+from repro.machine.aem import AEMMachine
+from repro.machine.core import MachineCore
+from repro.machine.flash import FlashMachine
+from repro.observe import (
+    CostObserver,
+    MachineObserver,
+    ProgressObserver,
+    TraceRecorder,
+    WearMap,
+)
+from repro.sorting.base import SORTERS
+from repro.trace.ops import ReadOp, WriteOp
+from repro.workloads.generators import sort_input
+
+P = AEMParams(M=64, B=8, omega=4)
+
+# The pinned golden instance of test_golden_costs.py: aem_mergesort,
+# N=2000 uniform keys, seed 42 on (M=64, B=8, omega=4).
+GOLDEN_QR, GOLDEN_QW = 4848, 613
+
+
+class EventLog(MachineObserver):
+    """Record every event as a (name, payload) tuple, in order."""
+
+    def __init__(self):
+        self.events = []
+
+    def on_read(self, addr, items, cost):
+        self.events.append(("read", addr, len(items), cost))
+
+    def on_write(self, addr, items, cost):
+        self.events.append(("write", addr, len(items), cost))
+
+    def on_acquire(self, k, what):
+        self.events.append(("acquire", k, what))
+
+    def on_release(self, k):
+        self.events.append(("release", k))
+
+    def on_touch(self, k):
+        self.events.append(("touch", k))
+
+    def on_phase_enter(self, name):
+        self.events.append(("phase_enter", name))
+
+    def on_phase_exit(self, name):
+        self.events.append(("phase_exit", name))
+
+    def on_round_boundary(self, index):
+        self.events.append(("round", index))
+
+
+def _sort_machine(**kwargs) -> tuple[AEMMachine, list]:
+    atoms = sort_input(200, "uniform", __import__("numpy").random.default_rng(7))
+    machine = AEMMachine.for_algorithm(P, **kwargs)
+    addrs = machine.load_input(atoms)
+    return machine, addrs
+
+
+class TestDispatch:
+    def test_event_ordering_follows_execution(self):
+        log = EventLog()
+        machine = AEMMachine(P, observers=[log])
+        addrs = machine.load_input(range(8))  # placement emits nothing
+        assert log.events == []
+        with machine.phase("work"):
+            items = machine.read(addrs[0])
+            machine.touch(3)
+            out = machine.allocate_one()
+            machine.write(out, items)
+        machine.acquire(2, "sums")
+        machine.release(2)
+        drained = machine.round_boundary()
+        assert drained == 0
+        assert log.events == [
+            ("phase_enter", "work"),
+            ("read", addrs[0], 8, 1),
+            ("touch", 3),
+            ("write", out, 8, P.omega),
+            ("phase_exit", "work"),
+            ("acquire", 2, "sums"),
+            ("release", 2),
+            ("round", 2),  # index = I/O count at the boundary
+        ]
+
+    def test_only_overridden_handlers_are_dispatched(self):
+        class WritesOnly(MachineObserver):
+            def __init__(self):
+                self.writes = 0
+
+            def on_write(self, addr, items, cost):
+                self.writes += 1
+
+        obs = WritesOnly()
+        machine = AEMMachine(P, observers=[obs])
+        core = machine.core
+        assert obs.on_write in getattr(core, "_on_write")
+        assert all(obs.on_read is not cb for cb in getattr(core, "_on_read"))
+        machine.acquire(2)
+        addr = machine.write_fresh([1, 2])
+        machine.release(machine.read(addr))
+        assert obs.writes == 1
+
+    def test_attach_detach(self):
+        machine = AEMMachine(P)
+        wear = machine.attach(WearMap())
+        machine.acquire(1)
+        a = machine.write_fresh([1])
+        machine.detach(wear)
+        machine.read(a)
+        machine.write(a, [2])
+        assert wear.total_writes == 1  # only the write seen while attached
+        assert wear not in machine.observers
+
+    def test_double_attach_rejected(self):
+        machine = AEMMachine(P)
+        wear = machine.attach(WearMap())
+        with pytest.raises(ValueError):
+            machine.attach(wear)
+
+    def test_on_attach_hook_receives_core(self):
+        seen = []
+
+        class Hooked(MachineObserver):
+            def on_attach(self, core):
+                seen.append(core)
+
+        machine = AEMMachine(P, observers=[Hooked()])
+        assert seen == [machine.core]
+
+    def test_round_boundary_drains_memory(self):
+        machine, addrs = _sort_machine()
+        machine.read(addrs[0])
+        assert machine.mem.occupancy > 0
+        drained = machine.round_boundary()
+        assert drained == 8
+        assert machine.mem.occupancy == 0
+
+
+class TestTraceRecorderEquivalence:
+    def test_identical_to_legacy_record_flag_on_mergesort(self):
+        """Acceptance: legacy record=True and TraceRecorder produce the
+        same Op sequence for aem_mergesort on a pinned instance."""
+        import numpy as np
+
+        runs = []
+        for kwargs in ({"record": True}, {"observers": [TraceRecorder()]}):
+            atoms = sort_input(500, "uniform", np.random.default_rng(42))
+            machine = AEMMachine.for_algorithm(P, **kwargs)
+            addrs = machine.load_input(atoms)
+            SORTERS["aem_mergesort"](machine, addrs, P)
+            runs.append(list(machine.trace))
+        legacy, bus = runs
+        assert len(legacy) > 0
+        assert legacy == bus
+
+    def test_ops_match_machine_counters(self):
+        rec = TraceRecorder()
+        machine, addrs = _sort_machine(observers=[rec])
+        SORTERS["aem_mergesort"](machine, addrs, P)
+        assert sum(1 for op in rec.ops if op.is_read) == machine.reads
+        assert sum(1 for op in rec.ops if not op.is_read) == machine.writes
+
+    def test_record_flag_reuses_supplied_recorder(self):
+        rec = TraceRecorder()
+        machine = AEMMachine(P, record=True, observers=[rec])
+        assert machine.recorder is rec
+        assert sum(isinstance(o, TraceRecorder) for o in machine.observers) == 1
+
+    def test_trace_property_without_recorder_is_empty(self):
+        machine = AEMMachine(P)
+        assert machine.trace == [] and not machine.record
+
+    def test_round_boundaries_recorded_as_op_indices(self):
+        rec = TraceRecorder()
+        machine = AEMMachine(P, observers=[rec])
+        machine.acquire(2)
+        a = machine.write_fresh([1, 2])
+        machine.round_boundary()
+        machine.release(machine.read(a))
+        machine.round_boundary()
+        assert rec.round_boundaries == [1, 2]
+
+
+class TestWearMap:
+    def test_totals_equal_cost_snapshot_writes(self):
+        wear = WearMap()
+        machine, addrs = _sort_machine(observers=[wear])
+        SORTERS["aem_mergesort"](machine, addrs, P)
+        snap = machine.snapshot()
+        assert wear.total_writes == snap.writes
+        assert wear.stats().total_writes == machine.disk.wear().total_writes
+
+    def test_histogram_and_hottest(self):
+        wear = WearMap()
+        machine = AEMMachine(P, observers=[wear])
+        machine.acquire(1)
+        a = machine.write_fresh([1])
+        machine.read(a)
+        machine.write(a, [2])
+        machine.acquire(1)
+        b = machine.write_fresh([3])
+        assert wear.counts == {a: 2, b: 1}
+        assert wear.hottest == a and wear.max_writes == 2
+        assert wear.histogram() == {1: 1, 2: 1}
+        wear.clear()
+        assert wear.total_writes == 0 and wear.hottest is None
+
+
+class TestCostObserver:
+    def test_no_observer_run_matches_seed_golden_costs(self):
+        """Acceptance: a plain measure_sort reports the exact pre-refactor
+        (Qr, Qw, Q) — the pinned golden constants."""
+        rec = measure_sort("aem_mergesort", 2000, P, seed=42)
+        assert (rec["Qr"], rec["Qw"]) == (GOLDEN_QR, GOLDEN_QW)
+        assert rec["Q"] == GOLDEN_QR + P.omega * GOLDEN_QW
+
+    def test_extra_observers_do_not_change_costs(self):
+        plain = measure_sort("aem_mergesort", 2000, P, seed=42)
+        watched = measure_sort(
+            "aem_mergesort",
+            2000,
+            P,
+            seed=42,
+            observers=[TraceRecorder(), WearMap(), EventLog()],
+        )
+        assert plain == watched
+
+    def test_aem_read_write_costs(self):
+        machine = AEMMachine(P)
+        machine.acquire(2)
+        a = machine.write_fresh([1, 2])
+        machine.release(machine.read(a))
+        cost = machine._cost
+        assert cost.read_cost == 1 and cost.write_cost == P.omega
+        assert cost.total_cost == 1 + P.omega
+
+
+class TestFlashEvents:
+    def test_flash_emits_through_the_same_bus(self):
+        """Acceptance: FlashMachine drives the shared event stream."""
+        log = EventLog()
+        rec = TraceRecorder()
+        fm = FlashMachine(M=64, Br=2, Bw=8, observers=[log, rec])
+        addr = fm.write_fresh(list(range(8)))
+        fm.read_small(addr, 1)
+        fm.read_covering(addr, 3, 7)
+        assert log.events[0] == ("write", addr, 8, 8)  # cost = Bw volume
+        assert all(e[3] == 2 for e in log.events[1:])  # cost = Br volume
+        # one explicit small read + three covering [3, 7) at Br=2
+        assert [type(op) for op in rec.ops] == [WriteOp, ReadOp, ReadOp, ReadOp, ReadOp]
+        assert fm.volume == 8 + 4 * 2
+        assert fm.read_ops == 4 and fm.write_ops == 1
+
+    def test_flash_volume_accounting_unchanged(self):
+        fm = FlashMachine(M=64, Br=2, Bw=8)
+        addr = fm.write_fresh(list(range(8)))
+        fm.read_small(addr, 0)
+        assert (fm.read_volume, fm.write_volume) == (2, 8)
+        fm.read_volume = 0  # tests historically zero these in-place
+        fm.read_ops = 0
+        assert fm.read_volume == 0 and fm.read_ops == 0 and fm.volume == 8
+
+    def test_wear_map_on_flash(self):
+        wear = WearMap()
+        fm = FlashMachine(M=64, Br=2, Bw=8, observers=[wear])
+        addr = fm.write_fresh(list(range(8)))
+        fm.write_block(addr, list(range(8)))
+        assert wear.counts == {addr: 2}
+
+
+class TestProgressObserver:
+    def test_renders_counts_and_phase(self):
+        buf = io.StringIO()
+        prog = ProgressObserver(buf, every=1, label="run")
+        machine = AEMMachine(P, observers=[prog])
+        with machine.phase("scan"):
+            machine.acquire(2)
+            a = machine.write_fresh([1, 2])
+            machine.release(machine.read(a))
+        prog.close()
+        out = buf.getvalue()
+        assert "[run]" in out and "Qr=1" in out and "Qw=1" in out
+        assert "phase=scan" in out
+        assert out.endswith("\n")
+
+    def test_rate_limiting(self):
+        buf = io.StringIO()
+        prog = ProgressObserver(buf, every=1000)
+        machine = AEMMachine(P, observers=[prog])
+        machine.acquire(1)
+        a = machine.write_fresh([1])
+        machine.release(machine.read(a))
+        assert buf.getvalue() == ""  # below the render threshold
+
+    def test_rejects_bad_every(self):
+        with pytest.raises(ValueError):
+            ProgressObserver(io.StringIO(), every=0)
+
+
+class TestMachineCore:
+    def test_standalone_core(self):
+        from repro.machine.blockstore import BlockStore
+        from repro.machine.internal import InternalMemory
+
+        log = EventLog()
+        core = MachineCore(BlockStore(4), InternalMemory(16), observers=[log])
+        addr = core.disk.allocate_one()
+        core.write_block(addr, [1, 2], 3.0, release=False)
+        got = core.read_block(addr, 1.0)
+        assert got == [1, 2]
+        assert core.io_count == 2
+        assert [e[0] for e in log.events] == ["write", "read"]
+
+    def test_import_order_observe_first(self):
+        """repro.observe must be importable before repro.machine."""
+        import subprocess
+        import sys
+
+        code = "import repro.observe, repro.machine; print('ok')"
+        out = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert out.returncode == 0 and out.stdout.strip() == "ok"
