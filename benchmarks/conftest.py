@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.engine import ExperimentConfig
 from repro.experiments import run_experiment
 from repro.machine import AEMMachine
 
@@ -32,10 +33,17 @@ def machine_factory():
     return make_machine
 
 
-def run_and_report(benchmark, eid: str, *, quick: bool = True):
-    """Run one experiment exactly once under the benchmark timer."""
+def run_and_report(benchmark, eid: str, *, quick: bool = True, config=None):
+    """Run one experiment exactly once under the benchmark timer.
+
+    Benchmarks measure the execution cost itself, so the default config is
+    serial and cache-less — a cache hit would time the JSON loader, not
+    the simulator. Pass an explicit :class:`ExperimentConfig` to benchmark
+    other engine policies (e.g. parallel fan-out).
+    """
+    cfg = config or ExperimentConfig.from_quick(quick)
     result = benchmark.pedantic(
-        run_experiment, args=(eid,), kwargs={"quick": quick}, rounds=1, iterations=1
+        run_experiment, args=(eid, cfg), rounds=1, iterations=1
     )
     benchmark.extra_info["experiment"] = result.eid
     benchmark.extra_info["title"] = result.title

@@ -58,7 +58,9 @@ def check_experiments() -> int:
     from repro.experiments import run_all
 
     t0 = time.time()
-    results = run_all(quick=True)
+    from repro.engine import ExperimentConfig
+
+    results = run_all(ExperimentConfig(budget="quick"))
     failed = [r.eid for r in results if not r.passed]
     print(
         f"[{'ok' if not failed else 'FAIL'}] experiment suite: "

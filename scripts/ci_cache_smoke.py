@@ -1,0 +1,111 @@
+#!/usr/bin/env python
+"""CI smoke test for the sweep engine's acceptance criteria.
+
+Asserts, against the real experiment suite (quick mode):
+
+1. ``exp all --jobs 2`` emits byte-identical records to the serial run;
+2. a cold cached run misses on every measurement and a repeated run hits
+   the cache 100% (0 executed, 0 misses) while still emitting identical
+   output;
+3. a warm rerun of a measurement-dominated experiment is at least 5x
+   faster than its cold run.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/ci_cache_smoke.py
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+import os
+import re
+import sys
+import tempfile
+import time
+
+from repro.cli import main
+
+# The experiment used for the wall-clock assertion. Its runtime is
+# dominated by engine-routed measure_* calls, so a warm cache removes
+# nearly all of its work; the full suite also contains experiments that
+# do no cached measurements, which would dilute a suite-wide ratio.
+TIMED_EID = "e13"
+MIN_SPEEDUP = 5.0
+
+_STATS = re.compile(
+    r"\[engine\] (\d+) sweep\(s\), (\d+) measurement\(s\): "
+    r"(\d+) executed, (\d+) cache hit\(s\), (\d+) miss\(es\)"
+)
+
+
+def run(args: list[str]) -> tuple[float, str, str]:
+    out, err = io.StringIO(), io.StringIO()
+    t0 = time.perf_counter()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        rc = main(args)
+    elapsed = time.perf_counter() - t0
+    if rc != 0:
+        sys.stderr.write(err.getvalue())
+        raise SystemExit(f"`repro-aem {' '.join(args)}` exited with {rc}")
+    return elapsed, out.getvalue(), err.getvalue()
+
+
+def stats(err: str) -> tuple[int, int, int, int, int]:
+    m = _STATS.search(err)
+    if m is None:
+        raise SystemExit(f"no [engine] stats line in stderr:\n{err}")
+    return tuple(int(g) for g in m.groups())  # type: ignore[return-value]
+
+
+def check(ok: bool, label: str) -> None:
+    print(f"  [{'PASS' if ok else 'FAIL'}] {label}")
+    if not ok:
+        raise SystemExit(1)
+
+
+def main_smoke() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-cache-smoke-") as cache:
+        print("== serial vs parallel (no cache) ==")
+        _, serial_out, _ = run(["exp", "all", "--no-cache"])
+        _, parallel_out, _ = run(["exp", "all", "--no-cache", "--jobs", "2"])
+        check(parallel_out == serial_out, "--jobs 2 output identical to serial")
+
+        print("== cold cached run ==")
+        _, cold_out, cold_err = run(
+            ["exp", "all", "--jobs", "2", "--cache-dir", cache]
+        )
+        _, measured, executed, hits, misses = stats(cold_err)
+        check(cold_out == serial_out, "cached run output identical to serial")
+        check(measured > 0 and executed == measured, "cold run executes everything")
+        check(hits == 0 and misses == measured, "cold run misses on every measurement")
+
+        print("== warm cached rerun ==")
+        _, warm_out, warm_err = run(
+            ["exp", "all", "--jobs", "2", "--cache-dir", cache]
+        )
+        _, measured2, executed2, hits2, misses2 = stats(warm_err)
+        check(warm_out == cold_out, "warm rerun output identical")
+        check(measured2 == measured, "warm rerun sees the same measurements")
+        check(
+            executed2 == 0 and misses2 == 0 and hits2 == measured,
+            "warm rerun is 100% cache hits (0 executed, 0 misses)",
+        )
+
+        print(f"== warm speedup ({TIMED_EID}) ==")
+        timed_cache = os.path.join(cache, "timed")  # fresh dir: exp all above already warmed `cache`
+        t_cold, _, _ = run(["exp", TIMED_EID, "--cache-dir", timed_cache])
+        t_warm, _, _ = run(["exp", TIMED_EID, "--cache-dir", timed_cache])
+        speedup = t_cold / max(t_warm, 1e-9)
+        check(
+            speedup >= MIN_SPEEDUP,
+            f"warm rerun {speedup:.1f}x faster (cold {t_cold:.2f}s, "
+            f"warm {t_warm:.2f}s, need >= {MIN_SPEEDUP:.0f}x)",
+        )
+
+    print("cache smoke: all checks passed")
+
+
+if __name__ == "__main__":
+    main_smoke()

@@ -16,11 +16,12 @@ import csv
 import sys
 from pathlib import Path
 
+from repro.engine import ExperimentConfig
 from repro.experiments import REGISTRY, run_experiment
 
 
 def export(eid: str, outdir: Path, *, quick: bool) -> Path:
-    result = run_experiment(eid, quick=quick)
+    result = run_experiment(eid, ExperimentConfig.from_quick(quick))
     fields: list[str] = []
     for rec in result.records:
         for key in rec:

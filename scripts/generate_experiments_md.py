@@ -11,6 +11,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.engine import ExperimentConfig
 from repro.experiments import run_all
 
 PREAMBLE = """\
@@ -50,7 +51,7 @@ def main() -> int:
     args = ap.parse_args()
 
     t0 = time.time()
-    results = run_all(quick=args.quick)
+    results = run_all(ExperimentConfig.from_quick(args.quick))
     elapsed = time.time() - t0
 
     parts = [PREAMBLE]

@@ -24,7 +24,11 @@ The package provides:
 * :mod:`repro.spmxv` — sparse-matrix dense-vector multiplication: layouts,
   the direct and sorting-based algorithms, and the Theorem 5.1 bound;
 * :mod:`repro.workloads`, :mod:`repro.analysis` — generators, curve
-  fitting, sweeps and tables for the experiment suite.
+  fitting, sweeps and tables for the experiment suite;
+* :mod:`repro.engine` — the sweep-execution engine: process-pool fan-out
+  with deterministic record ordering, a content-addressed on-disk
+  measurement cache (resumable sweeps), and :class:`ExperimentConfig`,
+  the one object describing how an experiment run executes.
 
 Quickstart::
 
@@ -38,6 +42,7 @@ Quickstart::
 """
 
 from .atoms import Atom, Permutation, make_atoms
+from .engine import ExperimentConfig, ResultCache, SweepEngine, use_engine
 from .core import (
     AEMParams,
     counting_lower_bound,
@@ -54,6 +59,7 @@ from .machine import (
     aram_machine,
     em_machine,
 )
+from .machine.cost import CostRecord
 from .observe import (
     CostObserver,
     MachineObserver,
@@ -64,7 +70,7 @@ from .observe import (
 from .structures import ExternalPQ
 from .trace import Program, Recorder, capture
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AEMMachine",
@@ -72,6 +78,8 @@ __all__ = [
     "Atom",
     "CapacityError",
     "CostObserver",
+    "CostRecord",
+    "ExperimentConfig",
     "ExternalPQ",
     "FlashMachine",
     "MachineCore",
@@ -80,11 +88,14 @@ __all__ = [
     "Program",
     "ProgressObserver",
     "Recorder",
+    "ResultCache",
+    "SweepEngine",
     "TraceRecorder",
     "WearMap",
     "__version__",
     "aram_machine",
     "capture",
+    "use_engine",
     "counting_lower_bound",
     "counting_lower_bound_general",
     "em_machine",

@@ -1,7 +1,7 @@
 """Measurement analysis: curve fitting, sweeps, and text tables."""
 
 from .fit import FitResult, fit_constant, growth_exponent
-from .sweep import column, grid, sweep
+from .sweep import column, grid, sweep, sweep_map
 from .tables import format_table
 
 __all__ = [
@@ -12,4 +12,5 @@ __all__ = [
     "grid",
     "growth_exponent",
     "sweep",
+    "sweep_map",
 ]

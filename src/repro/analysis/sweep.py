@@ -2,15 +2,19 @@
 
 A sweep runs a measurement function over a grid of configurations and
 collects flat record dicts, which the table renderer and the fitters
-consume directly. Deliberately minimal: deterministic order, no
-parallelism (the simulator's costs are exact counters, and runs are
-seconds, not hours).
+consume directly. Execution is delegated to the *ambient*
+:class:`~repro.engine.core.SweepEngine` (see :func:`repro.engine.use_engine`):
+with no engine installed, sweeps run exactly as before — deterministic
+serial order, no caching; under an engine they gain process-pool fan-out
+and on-disk memoization while keeping the record stream identical.
 """
 
 from __future__ import annotations
 
 import itertools
 from typing import Callable, Dict, Iterable, Iterator, Mapping, Sequence
+
+from ..engine.core import ambient_engine
 
 
 def grid(**axes: Sequence) -> Iterator[Dict]:
@@ -26,13 +30,19 @@ def sweep(
 ) -> list[Dict]:
     """Run ``measure(**config)`` for each config; each record is the config
     merged with the measurement dict (measurement keys win on clashes)."""
-    records: list[Dict] = []
-    for config in configs:
-        result = measure(**config)
-        rec = dict(config)
-        rec.update(result)
-        records.append(rec)
-    return records
+    return ambient_engine().sweep(measure, configs)
+
+
+def sweep_map(
+    measure: Callable,
+    configs: Iterable[Mapping],
+) -> list:
+    """Raw measurement results in config order (no config merging).
+
+    The engine-backed building block experiments use when they post-process
+    measurements themselves (custom record shapes, cross-config checks).
+    """
+    return ambient_engine().map(measure, configs)
 
 
 def column(records: Sequence[Mapping], key: str) -> list:

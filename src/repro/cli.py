@@ -5,6 +5,7 @@ or print the bound formulas for a parameter point::
 
     repro-aem exp e1                  # one experiment (quick mode)
     repro-aem exp all --full          # the whole suite, full-size sweeps
+    repro-aem exp all --jobs 4        # fan sweeps out over 4 processes
     repro-aem sort --sorter aem_mergesort --n 8000 --m 128 --b 16 --omega 8
     repro-aem permute --permuter adaptive --n 4096 --m 64 --b 8 --omega 4
     repro-aem spmxv --algorithm sort_based --n 1024 --delta 4
@@ -15,6 +16,14 @@ machine-readable records on stdout instead of rendered tables, and the
 algorithm runners accept ``--progress`` for a live I/O/phase readout on
 stderr (a :class:`~repro.observe.ProgressObserver` on the machine's event
 bus).
+
+``exp`` runs execute on the sweep engine (:mod:`repro.engine`):
+``--jobs N`` fans measurements out over N worker processes with the record
+stream identical to a serial run, and measurements are memoized under
+``.repro-cache/`` (``--cache-dir`` to relocate, ``--no-cache`` to disable)
+so a repeated or killed-and-restarted run replays completed measurements
+instantly. Engine statistics (executed / cache hits / misses) are printed
+to stderr after the run.
 """
 
 from __future__ import annotations
@@ -35,6 +44,7 @@ from .core.counting import (
 )
 from .core.params import AEMParams
 from .core.regimes import boundary_B, classify, min_branch
+from .engine import ExperimentConfig, default_cache_dir, use_engine
 from .experiments import REGISTRY, run_all, run_experiment
 from .experiments.common import measure_permute, measure_sort, measure_spmxv
 from .permute.base import PERMUTERS
@@ -100,11 +110,18 @@ def _close_observers(observers) -> None:
 
 
 def cmd_exp(args) -> int:
-    quick = not args.full
-    if args.id.lower() == "all":
-        results = run_all(quick=quick)
-    else:
-        results = [run_experiment(args.id, quick=quick)]
+    config = ExperimentConfig(
+        budget="full" if args.full else "quick",
+        jobs=args.jobs,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+    )
+    engine = config.make_engine()
+    with use_engine(engine):
+        if args.id.lower() == "all":
+            results = run_all(config)
+        else:
+            results = [run_experiment(args.id, config)]
     failed = sum(0 if r.passed else 1 for r in results)
     if args.json:
         _emit_json(
@@ -125,6 +142,7 @@ def cmd_exp(args) -> int:
         for r in results:
             print(r.render())
             print()
+    engine.report()
     if failed:
         print(f"{failed} experiment(s) had failing checks", file=sys.stderr)
     return 1 if failed else 0
@@ -296,13 +314,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = ap.add_subparsers(dest="command", required=True)
 
-    exp = sub.add_parser("exp", help="run experiments (e1..e14 or 'all')")
+    exp = sub.add_parser("exp", help="run experiments (e1..e17, a1..a3, or 'all')")
     exp.add_argument("id", help=f"experiment id: {sorted(REGISTRY)} or 'all'")
     exp.add_argument("--full", action="store_true", help="full-size sweeps")
     exp.add_argument(
         "--json",
         action="store_true",
         help="emit the experiment records as JSON instead of rendered tables",
+    )
+    exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep fan-out (default 1 = serial; "
+        "records are identical either way)",
+    )
+    exp.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoize measurements on disk (--no-cache to disable)",
+    )
+    exp.add_argument(
+        "--cache-dir",
+        default=default_cache_dir(),
+        help="measurement cache root (default: .repro-cache/ or "
+        "$REPRO_CACHE_DIR)",
     )
     exp.set_defaults(fn=cmd_exp)
 

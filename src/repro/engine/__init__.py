@@ -1,0 +1,48 @@
+"""Sweep-execution engine: parallel fan-out, on-disk memoization, resume.
+
+Layering::
+
+    experiments  ──>  analysis.sweep helpers  ──>  ambient SweepEngine
+                                                      │
+                                   ProcessPoolExecutor┤ ResultCache
+                                     (jobs > 1)       │ (.repro-cache/)
+
+* :class:`SweepEngine` — runs ``measure(**config)`` grids; parallel
+  output is record-identical to serial (deterministic re-ordering).
+* :class:`ResultCache` — content-addressed JSON store keyed on
+  (measure qualname, config, sweep seed, package version); atomic writes
+  make killed sweeps resumable.
+* :class:`ExperimentConfig` — the one object describing how a run
+  executes (budget, seed, jobs, cache policy, observers); successor of
+  the ``quick`` flag.
+* :func:`use_engine` / :func:`active_engine` — ambient-engine plumbing
+  the sweep helpers route through.
+"""
+
+from .cache import (
+    MISS,
+    CacheStats,
+    ResultCache,
+    cache_key,
+    canonical,
+    default_cache_dir,
+    function_id,
+)
+from .config import ExperimentConfig
+from .core import EngineStats, SweepEngine, active_engine, ambient_engine, use_engine
+
+__all__ = [
+    "MISS",
+    "CacheStats",
+    "EngineStats",
+    "ExperimentConfig",
+    "ResultCache",
+    "SweepEngine",
+    "active_engine",
+    "ambient_engine",
+    "cache_key",
+    "canonical",
+    "default_cache_dir",
+    "function_id",
+    "use_engine",
+]

@@ -1,0 +1,223 @@
+"""Content-addressed on-disk cache for sweep measurements.
+
+Every measurement the sweep engine runs is memoized as one JSON file under
+a cache root (``.repro-cache/`` by default). The file name is the cache
+*key*: a SHA-256 over the canonical JSON encoding of
+
+* the measure function's ``module:qualname``,
+* the full config dict (dataclasses such as :class:`~repro.core.params.
+  AEMParams` are encoded field-by-field with their class name),
+* the sweep-level seed (the :class:`~repro.engine.config.ExperimentConfig`
+  seed, distinct from any per-measurement ``seed`` entry inside the
+  config), and
+* the repro package version.
+
+Changing any component — a config value, the seed, the package version —
+changes the key, so stale entries are never *served*; they are simply
+orphaned until :meth:`ResultCache.clear` wipes the root. Entries are
+written atomically (tmp file + rename), which is what makes killed sweeps
+resumable: every measurement that completed before the kill replays as a
+hit on the next run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Optional
+
+from ..machine.cost import CostRecord
+
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Environment override for the cache root (used by tests and CI to keep
+#: cache traffic out of the working tree).
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
+
+
+def _package_version() -> str:
+    from repro import __version__
+
+    return __version__
+
+
+def canonical(obj: Any) -> Any:
+    """A JSON-serializable canonical form of a config value.
+
+    Dataclasses carry their class name so two parameter types with the
+    same fields hash differently; mappings are key-sorted so dict ordering
+    never changes a key; numpy scalars collapse to plain numbers.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        enc = {"__dataclass__": type(obj).__qualname__}
+        for f in dataclasses.fields(obj):
+            enc[f.name] = canonical(getattr(obj, f.name))
+        return enc
+    if isinstance(obj, Mapping):
+        return {
+            str(k): canonical(v)
+            for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical(x) for x in obj]
+    if isinstance(obj, (bool, int, float, str)) or obj is None:
+        return obj
+    # numpy scalars (without importing numpy here)
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return canonical(item())
+    return repr(obj)
+
+
+def function_id(fn: Callable) -> str:
+    """Stable identity of a measure function: ``module:qualname``."""
+    return f"{getattr(fn, '__module__', '?')}:{getattr(fn, '__qualname__', repr(fn))}"
+
+
+def cache_key(
+    measure: Callable,
+    config: Mapping,
+    *,
+    seed: Optional[int] = None,
+    version: Optional[str] = None,
+) -> str:
+    """The content hash a measurement is filed under."""
+    payload = {
+        "measure": function_id(measure),
+        "config": canonical(dict(config)),
+        "seed": seed,
+        "version": version if version is not None else _package_version(),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, CostRecord):
+        return {"__cost_record__": value.as_dict()}
+    return canonical(value) if not isinstance(value, (dict, list)) else value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "__cost_record__" in value:
+        return CostRecord(**value["__cost_record__"])
+    return value
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "lookups": self.lookups,
+        }
+
+
+_MISS = object()
+
+
+@dataclass
+class ResultCache:
+    """One-JSON-file-per-measurement cache under ``root``.
+
+    ``version`` defaults to the installed repro version; passing another
+    string lets tests exercise version-bump invalidation without touching
+    the package.
+    """
+
+    root: Path = field(default_factory=lambda: Path(default_cache_dir()))
+    version: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root)
+        if self.version is None:
+            self.version = _package_version()
+        self.stats = CacheStats()
+
+    def key(
+        self, measure: Callable, config: Mapping, *, seed: Optional[int] = None
+    ) -> str:
+        return cache_key(measure, config, seed=seed, version=self.version)
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Any:
+        """The cached value for ``key``, or the sentinel :data:`MISS`."""
+        path = self.path(key)
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return _MISS
+        self.stats.hits += 1
+        return _decode_value(entry["value"])
+
+    def put(self, key: str, value: Any, *, meta: Optional[dict] = None) -> None:
+        """Store ``value`` atomically (a killed run never leaves torn files)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        entry = {"value": _encode_value(value), "meta": meta or {}}
+        blob = json.dumps(entry, sort_keys=True, default=_json_fallback)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(blob)
+            os.replace(tmp, self.path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+#: Public name for the miss sentinel (identity-compared).
+MISS = _MISS
+
+
+def _json_fallback(obj):
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    return repr(obj)

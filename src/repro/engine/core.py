@@ -1,0 +1,250 @@
+"""The sweep-execution engine: parallel fan-out + memoization.
+
+A :class:`SweepEngine` runs ``measure(**config)`` over a list of configs
+and returns results *in config order*, whatever the execution strategy:
+
+* ``jobs=1`` — the exact serial loop the old ``analysis.sweep.sweep``
+  performed, unchanged semantics;
+* ``jobs>1`` — fan-out over a ``concurrent.futures.ProcessPoolExecutor``.
+  Futures are submitted and collected in submission order, so the record
+  stream is byte-identical to the serial run (the simulator's costs are
+  exact deterministic counters; only wall-clock changes);
+* with a :class:`~repro.engine.cache.ResultCache` attached, each
+  measurement is looked up before it is scheduled and stored the moment it
+  completes — a killed sweep resumes by replaying the completed prefix as
+  cache hits.
+
+Experiments never hold an engine; they call the module-level sweep
+helpers in :mod:`repro.analysis.sweep`, which route through the *ambient*
+engine installed by :func:`use_engine` (the CLI and
+``run_experiment``/``run_all`` install one built from their
+:class:`~repro.engine.config.ExperimentConfig`). With no ambient engine a
+serial, cache-less default is used, so library behavior without opt-in is
+exactly the pre-engine behavior.
+"""
+
+from __future__ import annotations
+
+import inspect
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from .cache import MISS, ResultCache, function_id
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters for one engine's lifetime."""
+
+    executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    sweeps: int = 0
+
+    @property
+    def measurements(self) -> int:
+        """Total measurements served (executed + replayed from cache)."""
+        return self.executed + self.cache_hits
+
+    def as_dict(self) -> dict:
+        return {
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "sweeps": self.sweeps,
+            "measurements": self.measurements,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.sweeps} sweep(s), {self.measurements} measurement(s): "
+            f"{self.executed} executed, {self.cache_hits} cache hit(s), "
+            f"{self.cache_misses} miss(es)"
+        )
+
+
+def _call(measure: Callable, config: Mapping) -> Any:
+    return measure(**config)
+
+
+def _accepts_observers(measure: Callable) -> bool:
+    try:
+        return "observers" in inspect.signature(measure).parameters
+    except (TypeError, ValueError):
+        return False
+
+
+class SweepEngine:
+    """Executes measurement sweeps; see the module docstring.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for fan-out; ``1`` means in-process serial.
+    cache:
+        Optional :class:`ResultCache`; ``None`` disables memoization.
+    seed:
+        Sweep-level seed folded into every cache key (config-level seeds
+        are part of the config itself).
+    observers:
+        Extra machine observers injected into every measure call that
+        accepts an ``observers`` keyword. Observers force serial,
+        cache-less execution: they must see the machine events, which
+        neither a worker process nor a cache replay can deliver.
+    """
+
+    def __init__(
+        self,
+        *,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        seed: Optional[int] = None,
+        observers: Sequence = (),
+    ):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = int(jobs)
+        self.cache = cache
+        self.seed = seed
+        self.observers = tuple(observers)
+        self.stats = EngineStats()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # ------------------------------------------------------------------
+    # Execution.
+    # ------------------------------------------------------------------
+    def map(self, measure: Callable, configs: Iterable[Mapping]) -> List[Any]:
+        """``[measure(**c) for c in configs]`` in config order.
+
+        Cache hits are returned without executing; misses run serially or
+        on the pool and are stored as they complete.
+        """
+        self.stats.sweeps += 1
+        configs = [dict(c) for c in configs]
+        if self.observers and _accepts_observers(measure):
+            # Observed runs must happen here and now, unmemoized.
+            return [
+                self._execute_local(measure, {**c, "observers": self.observers})
+                for c in configs
+            ]
+
+        results: List[Any] = [None] * len(configs)
+        pending: List[tuple] = []  # (index, key-or-None, config)
+        for i, config in enumerate(configs):
+            if self.cache is not None:
+                key = self.cache.key(measure, config, seed=self.seed)
+                value = self.cache.get(key)
+                if value is not MISS:
+                    results[i] = value
+                    self.stats.cache_hits += 1
+                    continue
+                self.stats.cache_misses += 1
+                pending.append((i, key, config))
+            else:
+                pending.append((i, None, config))
+
+        if self.jobs > 1 and len(pending) > 1:
+            pool = self._ensure_pool()
+            futures = [
+                (i, key, config, pool.submit(_call, measure, config))
+                for i, key, config in pending
+            ]
+            for i, key, config, fut in futures:
+                results[i] = self._finish(measure, key, config, fut.result())
+        else:
+            for i, key, config in pending:
+                results[i] = self._finish(
+                    measure, key, config, _call(measure, config)
+                )
+        return results
+
+    def sweep(self, measure: Callable, configs: Iterable[Mapping]) -> List[Dict]:
+        """Config-merged flat records (the classic sweep contract)."""
+        configs = [dict(c) for c in configs]
+        records = []
+        for config, result in zip(configs, self.map(measure, configs)):
+            rec = dict(config)
+            as_dict = getattr(result, "as_dict", None)
+            rec.update(as_dict() if callable(as_dict) else result)
+            records.append(rec)
+        return records
+
+    def measure(self, measure: Callable, **config) -> Any:
+        """One measurement through the engine (cached like any sweep point)."""
+        return self.map(measure, [config])[0]
+
+    def _execute_local(self, measure: Callable, config: Mapping) -> Any:
+        self.stats.executed += 1
+        return _call(measure, config)
+
+    def _finish(
+        self, measure: Callable, key: Optional[str], config: Mapping, value: Any
+    ) -> Any:
+        self.stats.executed += 1
+        if self.cache is not None and key is not None:
+            self.cache.put(
+                key,
+                value,
+                meta={"measure": function_id(measure), "config_keys": sorted(config)},
+            )
+        return value
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def report(self, stream=None) -> None:
+        """One-line stats readout (stderr by default)."""
+        print(f"[engine] {self.stats.describe()}", file=stream or sys.stderr)
+
+
+# ----------------------------------------------------------------------
+# The ambient engine.
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[SweepEngine] = None
+_DEFAULT = SweepEngine()  # serial, cache-less: pre-engine semantics
+
+
+def active_engine() -> Optional[SweepEngine]:
+    """The engine installed by :func:`use_engine`, or ``None``."""
+    return _ACTIVE
+
+
+def ambient_engine() -> SweepEngine:
+    """The engine sweeps route through: the active one or the serial default."""
+    return _ACTIVE if _ACTIVE is not None else _DEFAULT
+
+
+@contextmanager
+def use_engine(engine: SweepEngine) -> Iterator[SweepEngine]:
+    """Install ``engine`` as the ambient engine for the ``with`` block.
+
+    Nesting restores the previous engine on exit; the engine's worker pool
+    is shut down when the installing block exits.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = engine
+    try:
+        yield engine
+    finally:
+        _ACTIVE = previous
+        engine.close()

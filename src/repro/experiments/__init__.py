@@ -31,20 +31,26 @@ from . import (  # noqa: F401 — importing registers each experiment
 )
 from .common import (
     REGISTRY,
+    ExperimentConfig,
     ExperimentResult,
+    experiment_order,
     measure_permute,
     measure_sort,
     measure_spmxv,
+    natural_key,
     run_all,
     run_experiment,
 )
 
 __all__ = [
     "REGISTRY",
+    "ExperimentConfig",
     "ExperimentResult",
+    "experiment_order",
     "measure_permute",
     "measure_sort",
     "measure_spmxv",
+    "natural_key",
     "run_all",
     "run_experiment",
 ]

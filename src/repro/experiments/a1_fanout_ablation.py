@@ -25,7 +25,7 @@ from ..sorting.base import verify_sorted_output
 from ..sorting.mergesort import sort_run
 from ..sorting.runs import run_of_input
 from ..workloads.generators import sort_input
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 def _levels(N: int, p: AEMParams, d: int) -> int:
@@ -36,7 +36,8 @@ def _levels(N: int, p: AEMParams, d: int) -> int:
 
 
 @register("a1")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     p = AEMParams(M=64, B=8, omega=8)  # fanout omega*m = 64
     N = 6_000 if quick else 20_000
     fanouts = [2, 4, 8, 16, 32, 64]

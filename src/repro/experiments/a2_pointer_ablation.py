@@ -10,13 +10,15 @@ per round" overhead — which should be a small fraction of the total.
 
 from __future__ import annotations
 
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.params import AEMParams
-from .common import ExperimentResult, measure_sort, register
+from .common import ExperimentConfig, ExperimentResult, measure_sort, register
 
 
 @register("a2")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     N = 8_000 if quick else 24_000
     res = ExperimentResult(
         eid="A2",
@@ -28,10 +30,18 @@ def run(*, quick: bool = True) -> ExperimentResult:
     )
     rows = []
     overheads = []
-    for M, B, omega in [(128, 16, 1), (128, 16, 2), (128, 16, 4), (256, 32, 4)]:
+    points = [(128, 16, 1), (128, 16, 2), (128, 16, 4), (256, 32, 4)]
+    a2_recs = sweep_map(
+        measure_sort,
+        [
+            {"sorter": s, "N": N, "params": AEMParams(M=M, B=B, omega=omega), "seed": 88}
+            for M, B, omega in points
+            for s in ("aem_mergesort", "pointer_mergesort")
+        ],
+    )
+    for i, (M, B, omega) in enumerate(points):
         p = AEMParams(M=M, B=B, omega=omega)
-        ext = measure_sort("aem_mergesort", N, p, seed=88)
-        internal = measure_sort("pointer_mergesort", N, p, seed=88)
+        ext, internal = a2_recs[2 * i], a2_recs[2 * i + 1]
         overhead = ext["Q"] / internal["Q"] - 1.0
         overheads.append(overhead)
         rows.append(

@@ -19,7 +19,7 @@ from ..spmxv.layouts import load_matrix_row_major, spmxv_naive_row_major
 from ..spmxv.matrix import load_matrix, load_vector, reference_product
 from ..spmxv.naive import spmxv_naive
 from ..workloads.generators import spmxv_instance
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 def _measure(p, conf, values, x, *, layout):
@@ -39,7 +39,8 @@ def _measure(p, conf, values, x, *, layout):
 
 
 @register("a3")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     p = AEMParams(M=128, B=16, omega=8)
     N = 1_024 if quick else 4_096
     deltas = [2, 4, 8]

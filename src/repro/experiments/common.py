@@ -11,6 +11,8 @@ output.
 
 from __future__ import annotations
 
+import re
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Sequence
 
@@ -19,12 +21,13 @@ import numpy as np
 from ..atoms.atom import Atom
 from ..atoms.permutation import Permutation
 from ..core.params import AEMParams
+from ..engine import ExperimentConfig, active_engine, use_engine
 from ..machine.aem import AEMMachine
-from ..machine.cost import CostSnapshot
+from ..machine.cost import CostRecord, CostSnapshot
 from ..observe.base import MachineObserver
 from ..permute.base import PERMUTERS, verify_permutation_output
 from ..sorting.base import SORTERS, verify_sorted_output
-from ..spmxv.matrix import Conformation, load_matrix, load_vector, reference_product
+from ..spmxv.matrix import load_matrix, load_vector, verify_spmxv_output
 from ..spmxv.naive import spmxv_naive
 from ..spmxv.sort_based import spmxv_sort_based
 from ..workloads.generators import permutation, sort_input, spmxv_instance
@@ -64,10 +67,13 @@ class ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# Measurement helpers (verified runs returning flat cost dicts). Each
-# accepts ``observers`` — extra MachineObserver instances attached to the
-# fresh machine's event bus for the duration of the run (wear maps,
-# progress readouts, trace recorders, ...).
+# Measurement helpers (verified runs returning typed CostRecords, which
+# read like flat cost dicts). Each accepts ``observers`` — extra
+# MachineObserver instances attached to the fresh machine's event bus for
+# the duration of the run (wear maps, progress readouts, trace
+# recorders, ...). All three are top-level functions taking only picklable
+# arguments, so the sweep engine can fan them out to worker processes and
+# memoize them by content hash.
 # ----------------------------------------------------------------------
 def measure_sort(
     sorter: str,
@@ -79,7 +85,7 @@ def measure_sort(
     slack: float = 4.0,
     verify: bool = True,
     observers: Sequence[MachineObserver] = (),
-) -> dict:
+) -> CostRecord:
     """Run a registered sorter on a fresh machine; returns cost fields."""
     atoms = sort_input(N, distribution, np.random.default_rng(seed))
     machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
@@ -100,7 +106,7 @@ def measure_permute(
     slack: float = 4.0,
     verify: bool = True,
     observers: Sequence[MachineObserver] = (),
-) -> dict:
+) -> CostRecord:
     """Run a registered permuter on a fresh machine; returns cost fields."""
     rng = np.random.default_rng(seed)
     atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
@@ -124,7 +130,7 @@ def measure_spmxv(
     slack: float = 4.0,
     verify: bool = True,
     observers: Sequence[MachineObserver] = (),
-) -> dict:
+) -> CostRecord:
     """Run an SpMxV algorithm on a fresh machine; returns cost fields."""
     conf, values, x = spmxv_instance(N, delta, family, np.random.default_rng(seed))
     machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
@@ -133,33 +139,21 @@ def measure_spmxv(
     fn = {"naive": spmxv_naive, "sort_based": spmxv_sort_based}[algorithm]
     out = fn(machine, ma, xa, conf, params)
     if verify:
-        y = machine.collect_output(out)
-        ref = reference_product(conf, values, x)
-        err = max(
-            (abs(a - b) for a, b in zip(y, ref)), default=0.0
-        )
-        if len(y) != N or err > 1e-9 * max(1.0, conf.H):
-            raise AssertionError(
-                f"spmxv output mismatch: len={len(y)} vs {N}, err={err}"
-            )
+        verify_spmxv_output(machine, conf, values, x, out)
     return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
 
 
-def _cost_fields(snap: CostSnapshot, *, peak: int) -> dict:
-    return {
-        "Q": snap.Q,
-        "Qr": snap.reads,
-        "Qw": snap.writes,
-        "T": snap.touches,
-        "peak_mem": peak,
-    }
+def _cost_fields(snap: CostSnapshot, *, peak: int) -> CostRecord:
+    return CostRecord.from_snapshot(snap, peak=peak)
 
 
 # ----------------------------------------------------------------------
 # Registry (populated by repro.experiments.__init__).
 # ----------------------------------------------------------------------
-Runner = Callable[..., ExperimentResult]
+Runner = Callable[[ExperimentConfig], ExperimentResult]
 REGISTRY: Dict[str, Runner] = {}
+
+_EID_RE = re.compile(r"([a-z]+)(\d+)")
 
 
 def register(eid: str) -> Callable[[Runner], Runner]:
@@ -170,13 +164,72 @@ def register(eid: str) -> Callable[[Runner], Runner]:
     return deco
 
 
-def run_experiment(eid: str, *, quick: bool = True) -> ExperimentResult:
-    """Run one experiment by id (``"e1"``..``"e14"``)."""
+def natural_key(eid: str) -> tuple:
+    """Sort key putting ``e2`` before ``e10`` (plain sort puts it after)."""
+    m = _EID_RE.fullmatch(eid.lower())
+    if m:
+        return (m.group(1), int(m.group(2)))
+    return (eid.lower(), -1)
+
+
+def experiment_order() -> list[str]:
+    """Registered experiment ids in natural order (a1..a3, e1..e17)."""
+    return sorted(REGISTRY, key=natural_key)
+
+
+def _resolve_config(
+    config: Optional[ExperimentConfig], quick: Optional[bool]
+) -> ExperimentConfig:
+    """Coerce the (config, legacy quick) pair into one ExperimentConfig."""
+    if quick is not None:
+        if config is not None:
+            raise TypeError("pass either config= or the legacy quick=, not both")
+        warnings.warn(
+            "quick= is deprecated; pass ExperimentConfig(budget='quick'|'full')",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return ExperimentConfig.from_quick(quick)
+    return config if config is not None else ExperimentConfig()
+
+
+def _run_under_engine(runner: Runner, config: ExperimentConfig) -> ExperimentResult:
+    if active_engine() is not None:
+        # A caller (the CLI, run_all, a test) already installed an engine;
+        # share it so cache/pool state and stats aggregate across runs.
+        return runner(config)
+    with use_engine(config.make_engine()):
+        return runner(config)
+
+
+def run_experiment(
+    eid: str,
+    config: Optional[ExperimentConfig] = None,
+    *,
+    quick: Optional[bool] = None,
+) -> ExperimentResult:
+    """Run one experiment by id (``"e1"``..``"e17"``, ``"a1"``..``"a3"``).
+
+    ``config`` carries the execution policy (budget, jobs, cache, seed,
+    observers); the keyword ``quick=`` is a deprecated alias for
+    ``ExperimentConfig(budget=...)``.
+    """
     key = eid.lower()
     if key not in REGISTRY:
         raise KeyError(f"unknown experiment {eid!r}; available: {sorted(REGISTRY)}")
-    return REGISTRY[key](quick=quick)
+    cfg = _resolve_config(config, quick)
+    return _run_under_engine(REGISTRY[key], cfg)
 
 
-def run_all(*, quick: bool = True) -> list[ExperimentResult]:
-    return [REGISTRY[k](quick=quick) for k in sorted(REGISTRY)]
+def run_all(
+    config: Optional[ExperimentConfig] = None,
+    *,
+    quick: Optional[bool] = None,
+) -> list[ExperimentResult]:
+    """Run every registered experiment, in natural id order."""
+    cfg = _resolve_config(config, quick)
+    ids = experiment_order()
+    if active_engine() is not None:
+        return [REGISTRY[k](cfg) for k in ids]
+    with use_engine(cfg.make_engine()):
+        return [REGISTRY[k](cfg) for k in ids]

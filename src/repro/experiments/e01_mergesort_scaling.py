@@ -9,14 +9,16 @@ sweep of N at fixed (M, B, omega), the ratio of measured cost to the shape
 from __future__ import annotations
 
 from ..analysis.fit import fit_constant, growth_exponent
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.bounds import sort_read_shape, sort_upper_shape, sort_write_shape
 from ..core.params import AEMParams
-from .common import ExperimentResult, measure_sort, register
+from .common import ExperimentConfig, ExperimentResult, measure_sort, register
 
 
 @register("e1")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     p = AEMParams(M=256, B=16, omega=8)
     # Start above the base-case size omega*M = 2048 so every point
     # exercises real merge levels (the base case is E12's subject).
@@ -32,20 +34,22 @@ def run(*, quick: bool = True) -> ExperimentResult:
     measured, shapes = [], []
     measured_r, shapes_r = [], []
     measured_w, shapes_w = [], []
-    for N in Ns:
-        rec = measure_sort("aem_mergesort", N, p, seed=N)
+    recs = sweep_map(
+        measure_sort,
+        [{"sorter": "aem_mergesort", "N": N, "params": p, "seed": N} for N in Ns],
+    )
+    for N, rec in zip(Ns, recs):
         shape = sort_upper_shape(N, p)
         rows.append(
-            [N, rec["Qr"], rec["Qw"], rec["Q"], shape, rec["Q"] / shape]
+            [N, rec.Qr, rec.Qw, rec.Q, shape, rec.Q / shape]
         )
-        measured.append(rec["Q"])
+        measured.append(rec.Q)
         shapes.append(shape)
-        measured_r.append(rec["Qr"])
+        measured_r.append(rec.Qr)
         shapes_r.append(sort_read_shape(N, p))
-        measured_w.append(rec["Qw"])
+        measured_w.append(rec.Qw)
         shapes_w.append(sort_write_shape(N, p))
-        rec.update({"N": N, "shape": shape})
-        res.records.append(rec)
+        res.records.append({**rec.as_dict(), "N": N, "shape": shape})
 
     fit = fit_constant(measured, shapes)
     fit_r = fit_constant(measured_r, shapes_r)

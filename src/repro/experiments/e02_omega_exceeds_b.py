@@ -12,15 +12,17 @@ omega with a stable cost constant.
 from __future__ import annotations
 
 from ..analysis.fit import fit_constant
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.bounds import sort_upper_shape
 from ..core.params import AEMParams
 from ..machine.errors import CapacityError
-from .common import ExperimentResult, measure_sort, register
+from .common import ExperimentConfig, ExperimentResult, measure_sort, register
 
 
 @register("e2")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     M, B = 128, 16
     # Keep N > omega*M throughout so the merge (and hence the pointer
     # table) is actually exercised at every omega.
@@ -39,9 +41,19 @@ def run(*, quick: bool = True) -> ExperimentResult:
     ours_measured, ours_shapes = [], []
     pointer_failed_at = None
     pointer_ok_through = 0
-    for omega in omegas:
-        p = AEMParams(M=M, B=B, omega=omega)
-        ours = measure_sort("aem_mergesort", N, p, seed=17, slack=2.0)
+    # The paper's variant is exception-free, so its sweep fans out through
+    # the engine; the pointer variant is *expected* to raise CapacityError
+    # at large omega, which is a per-call control-flow probe, so it stays
+    # inline.
+    params = [AEMParams(M=M, B=B, omega=omega) for omega in omegas]
+    ours_recs = sweep_map(
+        measure_sort,
+        [
+            {"sorter": "aem_mergesort", "N": N, "params": p, "seed": 17, "slack": 2.0}
+            for p in params
+        ],
+    )
+    for omega, p, ours in zip(omegas, params, ours_recs):
         shape = sort_upper_shape(N, p)
         ours_measured.append(ours["Q"])
         ours_shapes.append(shape)

@@ -12,14 +12,16 @@ omega.
 from __future__ import annotations
 
 from ..analysis.fit import growth_exponent
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.bounds import sort_levels
 from ..core.params import AEMParams
-from .common import ExperimentResult, measure_sort, register
+from .common import ExperimentConfig, ExperimentResult, measure_sort, register
 
 
 @register("e3")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     M, B = 128, 16
     N = 8_000 if quick else 32_000
     omegas = [1, 2, 4, 8, 16, 32]
@@ -33,9 +35,15 @@ def run(*, quick: bool = True) -> ExperimentResult:
     )
     rows = []
     qrs, qws = [], []
-    for omega in omegas:
-        p = AEMParams(M=M, B=B, omega=omega)
-        rec = measure_sort("aem_mergesort", N, p, seed=23)
+    params = [AEMParams(M=M, B=B, omega=omega) for omega in omegas]
+    recs = sweep_map(
+        measure_sort,
+        [
+            {"sorter": "aem_mergesort", "N": N, "params": p, "seed": 23}
+            for p in params
+        ],
+    )
+    for omega, p, rec in zip(omegas, params, recs):
         levels = sort_levels(N, p)
         rows.append(
             [

@@ -20,7 +20,7 @@ from ..machine.aem import AEMMachine
 from ..sorting.base import verify_sorted_output
 from ..sorting.merge import MergeStats, multiway_merge
 from ..sorting.runs import Run
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 def _build_runs(machine: AEMMachine, k: int, per_run: int, rng) -> tuple[list, list]:
@@ -36,7 +36,8 @@ def _build_runs(machine: AEMMachine, k: int, per_run: int, rng) -> tuple[list, l
 
 
 @register("e4")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     p = AEMParams(M=128, B=16, omega=4)
     k = p.fanout  # omega * m runs
     sizes = [250, 500, 1_000] if quick else [250, 500, 1_000, 2_000, 4_000]

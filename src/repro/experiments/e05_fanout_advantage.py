@@ -11,13 +11,15 @@ predicted ratio within a constant.
 from __future__ import annotations
 
 from ..analysis.tables import format_table
+from ..analysis.sweep import sweep_map
 from ..core.bounds import em_sort_shape, sort_upper_shape
 from ..core.params import AEMParams
-from .common import ExperimentResult, measure_sort, register
+from .common import ExperimentConfig, ExperimentResult, measure_sort, register
 
 
 @register("e5")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     # A small m makes the log-base gap dominate the constants: with m = 2
     # the EM mergesort is a binary merge (log_2 levels) while the AEM
     # fan-out omega*m collapses the tree to 2 levels for omega >= 16.
@@ -35,10 +37,17 @@ def run(*, quick: bool = True) -> ExperimentResult:
     )
     rows = []
     advantages = []
-    for omega in omegas:
+    recs = sweep_map(
+        measure_sort,
+        [
+            {"sorter": s, "N": N, "params": AEMParams(M=M, B=B, omega=omega), "seed": 5}
+            for omega in omegas
+            for s in ("aem_mergesort", "em_mergesort")
+        ],
+    )
+    for i, omega in enumerate(omegas):
         p = AEMParams(M=M, B=B, omega=omega)
-        ours = measure_sort("aem_mergesort", N, p, seed=5)
-        baseline = measure_sort("em_mergesort", N, p, seed=5)
+        ours, baseline = recs[2 * i], recs[2 * i + 1]
         predicted = em_sort_shape(N, p) / sort_upper_shape(N, p)
         measured = baseline["Q"] / ours["Q"]
         advantages.append(measured)

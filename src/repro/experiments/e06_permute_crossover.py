@@ -10,14 +10,16 @@ measured costs within a small tolerance.
 
 from __future__ import annotations
 
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.params import AEMParams
 from ..core.regimes import find_crossover
-from .common import ExperimentResult, measure_permute, register
+from .common import ExperimentConfig, ExperimentResult, measure_permute, register
 
 
 @register("e6")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     N = 4_096 if quick else 16_384
     omega = 8
     Bs = [2, 4, 8, 16, 32, 64]
@@ -33,11 +35,30 @@ def run(*, quick: bool = True) -> ExperimentResult:
     rows = []
     winners = []
     adaptive_overhead = []
+    strategies = ["naive", "sort_based", "adaptive"]
+    recs = sweep_map(
+        measure_permute,
+        [
+            {
+                "permuter": s,
+                "N": N,
+                "params": AEMParams(M=8 * B, B=B, omega=omega),
+                "seed": 9,
+            }
+            for B in Bs
+            for s in strategies
+        ],
+    )
+    by_point = {
+        (B, s): rec
+        for (B, s), rec in zip(
+            ((B, s) for B in Bs for s in strategies), recs
+        )
+    }
     for B in Bs:
-        p = AEMParams(M=8 * B, B=B, omega=omega)
-        naive = measure_permute("naive", N, p, seed=9)
-        sortb = measure_permute("sort_based", N, p, seed=9)
-        adaptive = measure_permute("adaptive", N, p, seed=9)
+        naive = by_point[(B, "naive")]
+        sortb = by_point[(B, "sort_based")]
+        adaptive = by_point[(B, "adaptive")]
         best = min(naive["Q"], sortb["Q"])
         winner = "naive" if naive["Q"] <= sortb["Q"] else "sort"
         winners.append(winner)

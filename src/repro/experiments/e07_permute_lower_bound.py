@@ -27,13 +27,15 @@ from ..core.counting import (
 )
 from ..core.params import AEMParams
 from ..permute.naive import permute_naive
+from ..analysis.sweep import sweep_map
 from ..rounds.convert import to_round_based
 from ..trace.program import capture
-from .common import ExperimentResult, measure_permute, register
+from .common import ExperimentConfig, ExperimentResult, measure_permute, register
 
 
 @register("e7")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     grid = [
         (4_096, AEMParams(M=64, B=8, omega=4)),
         (4_096, AEMParams(M=256, B=16, omega=8)),
@@ -57,11 +59,18 @@ def run(*, quick: bool = True) -> ExperimentResult:
     rows = []
     sound = True
     tight_ratios = []
-    for N, p in grid:
+    perm_recs = sweep_map(
+        measure_permute,
+        [
+            {"permuter": s, "N": N, "params": p, "seed": N % 97}
+            for N, p in grid
+            for s in ("naive", "sort_based")
+        ],
+    )
+    for i, (N, p) in enumerate(grid):
         lb = counting_lower_bound_general(N, p)
         shape = theorem_4_5_shape(N, p)
-        naive = measure_permute("naive", N, p, seed=N % 97)
-        sortb = measure_permute("sort_based", N, p, seed=N % 97)
+        naive, sortb = perm_recs[2 * i], perm_recs[2 * i + 1]
         best = min(naive["Q"], sortb["Q"])
         sound &= lb <= naive["Q"] and lb <= sortb["Q"]
         # Tightness is a statement about the asymptotic shapes: the best

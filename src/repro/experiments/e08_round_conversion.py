@@ -22,11 +22,12 @@ from ..permute.sort_based import permute_sort_based
 from ..trace.program import capture
 from ..rounds.convert import to_round_based
 from ..rounds.verify import verify_round_based
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e8")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     configs = [
         ("naive", permute_naive, 800, AEMParams(M=64, B=8, omega=4)),
         ("sort_based", permute_sort_based, 800, AEMParams(M=64, B=8, omega=4)),

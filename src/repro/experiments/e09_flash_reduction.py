@@ -27,11 +27,12 @@ from ..permute.naive import permute_naive
 from ..permute.sort_based import permute_sort_based
 from ..rounds.convert import to_round_based
 from ..trace.program import capture
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e9")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     configs = [
         ("naive", permute_naive, 512, AEMParams(M=64, B=8, omega=4)),
         ("sort_based", permute_sort_based, 512, AEMParams(M=64, B=8, omega=4)),

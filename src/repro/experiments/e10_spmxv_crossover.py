@@ -13,14 +13,16 @@ density, with the winner set by the omega regime.
 
 from __future__ import annotations
 
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.params import AEMParams
 from ..spmxv.bounds import spmxv_naive_shape, spmxv_sort_shape
-from .common import ExperimentResult, measure_spmxv, register
+from .common import ExperimentConfig, ExperimentResult, measure_spmxv, register
 
 
 @register("e10")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     N = 1_024 if quick else 4_096
     delta = 4
     M, B = 256, 16
@@ -37,10 +39,23 @@ def run(*, quick: bool = True) -> ExperimentResult:
     )
     rows = []
     winners = []
-    for omega in omegas:
+    pairs = sweep_map(
+        measure_spmxv,
+        [
+            {
+                "algorithm": alg,
+                "N": N,
+                "delta": delta,
+                "params": AEMParams(M=M, B=B, omega=omega),
+                "seed": omega,
+            }
+            for omega in omegas
+            for alg in ("naive", "sort_based")
+        ],
+    )
+    for i, omega in enumerate(omegas):
         p = AEMParams(M=M, B=B, omega=omega)
-        naive = measure_spmxv("naive", N, delta, p, seed=omega)
-        sortb = measure_spmxv("sort_based", N, delta, p, seed=omega)
+        naive, sortb = pairs[2 * i], pairs[2 * i + 1]
         winner = "direct" if naive["Q"] <= sortb["Q"] else "sort"
         winners.append(winner)
         rows.append(
@@ -73,9 +88,16 @@ def run(*, quick: bool = True) -> ExperimentResult:
     p8 = AEMParams(M=M, B=B, omega=8)
     deltas = [1, 2, 4, 8, 16] if quick else [1, 2, 4, 8, 16, 32]
     drows = []
-    for d in deltas:
-        naive = measure_spmxv("naive", N, d, p8, seed=d)
-        sortb = measure_spmxv("sort_based", N, d, p8, seed=d)
+    dpairs = sweep_map(
+        measure_spmxv,
+        [
+            {"algorithm": alg, "N": N, "delta": d, "params": p8, "seed": d}
+            for d in deltas
+            for alg in ("naive", "sort_based")
+        ],
+    )
+    for i, d in enumerate(deltas):
+        naive, sortb = dpairs[2 * i], dpairs[2 * i + 1]
         drows.append([d, d * N, naive["Q"], sortb["Q"]])
         res.records.append(
             {"delta": d, "naive_Q": naive["Q"], "sort_Q": sortb["Q"]}

@@ -22,11 +22,13 @@ from ..spmxv.bounds import (
     theorem_5_1_applicable,
     theorem_5_1_exact,
 )
-from .common import ExperimentResult, measure_spmxv, register
+from ..analysis.sweep import sweep_map
+from .common import ExperimentConfig, ExperimentResult, measure_spmxv, register
 
 
 @register("e11")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     grid = [
         (2_048, 2, AEMParams(M=64, B=8, omega=2)),
         (2_048, 4, AEMParams(M=64, B=8, omega=2)),
@@ -49,13 +51,20 @@ def run(*, quick: bool = True) -> ExperimentResult:
     rows = []
     sound = True
     shape_ratios = []
-    for N, delta, p in grid:
+    spmxv_recs = sweep_map(
+        measure_spmxv,
+        [
+            {"algorithm": a, "N": N, "delta": delta, "params": p, "seed": N % 31}
+            for N, delta, p in grid
+            for a in ("naive", "sort_based")
+        ],
+    )
+    for i, (N, delta, p) in enumerate(grid):
         lb = theorem_5_1_exact(N, delta, p)
         rounds_lb = spmxv_min_rounds(N, delta, p)
         general = spmxv_counting_general(N, delta, p)
         applicable = theorem_5_1_applicable(N, delta, p)
-        naive = measure_spmxv("naive", N, delta, p, seed=N % 31)
-        sortb = measure_spmxv("sort_based", N, delta, p, seed=N % 31)
+        naive, sortb = spmxv_recs[2 * i], spmxv_recs[2 * i + 1]
         best = min(naive["Q"], sortb["Q"])
         sound &= max(lb.cost, general) <= naive["Q"] and max(
             lb.cost, general

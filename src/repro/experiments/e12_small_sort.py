@@ -18,11 +18,11 @@ from ..sorting.base import verify_sorted_output
 from ..sorting.runs import run_of_input
 from ..sorting.small import small_sort
 from ..workloads.generators import sort_input
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e12")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
     p = AEMParams(M=128, B=16, omega=8)
     cap = p.base_case_size()  # omega * M
     fractions = [0.1, 0.25, 0.5, 0.75, 1.0]

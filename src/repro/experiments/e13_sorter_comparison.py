@@ -15,10 +15,11 @@ sort at cost ``O(omega*n*log_{omega m} n)``. Empirically:
 from __future__ import annotations
 
 from ..analysis.fit import fit_constant
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.bounds import em_sort_shape, heapsort_shape, sort_upper_shape
 from ..core.params import AEMParams
-from .common import ExperimentResult, measure_sort, register
+from .common import ExperimentConfig, ExperimentResult, measure_sort, register
 
 AEM_SORTERS = ["aem_mergesort", "aem_samplesort", "aem_heapsort", "aem_pqsort"]
 
@@ -36,7 +37,8 @@ SHAPES = {
 
 
 @register("e13")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     p = AEMParams(M=128, B=16, omega=8)
     Ns = [4_000, 8_000, 16_000] if quick else [4_000, 8_000, 16_000, 32_000]
     distributions = ["uniform", "sorted", "reversed", "few_distinct"]
@@ -49,14 +51,24 @@ def run(*, quick: bool = True) -> ExperimentResult:
         ),
     )
     costs: dict[tuple, float] = {}
-    for sorter in AEM_SORTERS:
-        for N in Ns:
-            for dist in distributions:
-                rec = measure_sort(sorter, N, p, distribution=dist, seed=N)
-                costs[(sorter, N, dist)] = rec["Q"]
-                res.records.append(
-                    {"sorter": sorter, "N": N, "distribution": dist, **rec}
-                )
+    points = [
+        (sorter, N, dist)
+        for sorter in AEM_SORTERS
+        for N in Ns
+        for dist in distributions
+    ]
+    recs = sweep_map(
+        measure_sort,
+        [
+            {"sorter": s, "N": N, "params": p, "distribution": d, "seed": N}
+            for s, N, d in points
+        ],
+    )
+    for (sorter, N, dist), rec in zip(points, recs):
+        costs[(sorter, N, dist)] = rec["Q"]
+        res.records.append(
+            {"sorter": sorter, "N": N, "distribution": dist, **rec}
+        )
 
     # Scaling table + fits on uniform inputs.
     rows = [[N] + [costs[(s, N, "uniform")] for s in AEM_SORTERS] for N in Ns]

@@ -17,11 +17,12 @@ from ..analysis.tables import format_table
 from ..core.counting import counting_lower_bound, theorem_4_5_shape
 from ..core.params import AEMParams
 from ..core.regimes import Regime, boundary_B, min_branch
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e14")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     N = 1 << 16 if quick else 1 << 20
     omega = 8
     Bs = [2, 4, 8, 16, 32, 64, 128] if quick else [2, 4, 8, 16, 32, 64, 128, 256]

@@ -11,15 +11,17 @@ story implicit in the model.
 
 from __future__ import annotations
 
+from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.bounds import sort_levels, sort_upper_shape
 from ..core.counting import counting_lower_bound_general
 from ..core.params import AEMParams
-from .common import ExperimentResult, measure_sort, register
+from .common import ExperimentConfig, ExperimentResult, measure_sort, register
 
 
 @register("e15")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     N = 16_384 if quick else 65_536
     B, omega = 8, 8
     Ms = [16, 32, 64, 128, 256, 512]
@@ -34,9 +36,15 @@ def run(*, quick: bool = True) -> ExperimentResult:
     rows = []
     costs, lbs = [], []
     sound = True
-    for M in Ms:
-        p = AEMParams(M=M, B=B, omega=omega)
-        rec = measure_sort("aem_mergesort", N, p, seed=15)
+    params = [AEMParams(M=M, B=B, omega=omega) for M in Ms]
+    recs = sweep_map(
+        measure_sort,
+        [
+            {"sorter": "aem_mergesort", "N": N, "params": p, "seed": 15}
+            for p in params
+        ],
+    )
+    for M, p, rec in zip(Ms, params, recs):
         lb = counting_lower_bound_general(N, p)
         sound &= lb <= rec["Q"]
         costs.append(rec["Q"])

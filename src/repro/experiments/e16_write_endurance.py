@@ -19,13 +19,14 @@ from ..core.params import AEMParams
 from ..machine.aem import AEMMachine
 from ..sorting.base import SORTERS, verify_sorted_output
 from ..workloads.generators import sort_input
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 NAMES = ["aem_mergesort", "aem_samplesort", "aem_heapsort", "aem_pqsort", "em_mergesort"]
 
 
 @register("e16")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     p = AEMParams(M=64, B=8, omega=16)
     N = 8_000 if quick else 32_000
     res = ExperimentResult(

@@ -22,7 +22,7 @@ from ..permute.base import verify_permutation_output
 from ..permute.naive import permute_naive
 from ..permute.sort_based import permute_sort_based
 from ..primitives.transpose import transpose
-from .common import ExperimentResult, register
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 def _measure(p, rows, cols, fn, seed=0):
@@ -39,7 +39,8 @@ def _measure(p, rows, cols, fn, seed=0):
 
 
 @register("e17")
-def run(*, quick: bool = True) -> ExperimentResult:
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
     # The gap's driver: the naive gather pays ~B reads per output block on
     # the transpose instance (each output block collects a column segment
     # scattered across B input blocks), so best-generic/tiled approaches

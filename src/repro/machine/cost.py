@@ -19,7 +19,7 @@ which the experiment tables use to show where reads and writes go.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict, Iterator
 
 from .errors import PhaseError
@@ -63,6 +63,57 @@ class CostSnapshot:
             f"Qr={self.reads} Qw={self.writes} Q={self.Q:g} "
             f"(T={self.touches}, omega={self.omega:g})"
         )
+
+
+@dataclass(frozen=True)
+class CostRecord:
+    """The typed result of one verified measurement run.
+
+    The measurement helpers (``measure_sort`` and friends) return one of
+    these instead of an ad-hoc dict. It is both a dataclass (``rec.Q``,
+    equality, pickling across sweep-engine workers) and a read-only mapping
+    (``rec["Q"]``, ``{**rec}``, ``set(rec)``), so sweep records and the
+    JSON/CLI paths keep working unchanged.
+    """
+
+    Q: float
+    Qr: int
+    Qw: int
+    T: int
+    peak_mem: int
+
+    @classmethod
+    def from_snapshot(cls, snap: CostSnapshot, *, peak: int) -> "CostRecord":
+        return cls(
+            Q=snap.Q,
+            Qr=snap.reads,
+            Qw=snap.writes,
+            T=snap.touches,
+            peak_mem=peak,
+        )
+
+    def as_dict(self) -> dict:
+        """Flat dict form, the shape sweep records are built from."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    # Read-only mapping surface -----------------------------------------
+    def keys(self):
+        return self.as_dict().keys()
+
+    def __getitem__(self, key: str):
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def __iter__(self):
+        return iter(self.as_dict())
+
+    def __len__(self) -> int:
+        return len(fields(self))
+
+    def __contains__(self, key: object) -> bool:
+        return any(f.name == key for f in fields(self))
 
 
 class CostCounter:

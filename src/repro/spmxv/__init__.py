@@ -21,9 +21,11 @@ from .layouts import (
 )
 from .matrix import (
     Conformation,
+    SpmxvVerificationError,
     load_matrix,
     load_vector,
     reference_product,
+    verify_spmxv_output,
 )
 from .naive import spmxv_naive
 from .semiring import BOOLEAN, INTEGER, MAX_PLUS, REAL, SEMIRINGS, Semiring
@@ -39,6 +41,7 @@ __all__ = [
     "Semiring",
     "SpmxvCountingBound",
     "SpmxvRoundBound",
+    "SpmxvVerificationError",
     "load_matrix",
     "log2_configs_per_round",
     "load_matrix_row_major",
@@ -57,4 +60,5 @@ __all__ = [
     "tau",
     "theorem_5_1_applicable",
     "theorem_5_1_exact",
+    "verify_spmxv_output",
 ]

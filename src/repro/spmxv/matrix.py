@@ -160,3 +160,35 @@ def reference_product(
             y[i] = semiring.add(y[i], semiring.mul(values[p], x[j]))
             p += 1
     return y
+
+
+class SpmxvVerificationError(AssertionError):
+    """An SpMxV run produced a wrong output vector."""
+
+
+def verify_spmxv_output(
+    machine: AEMMachine,
+    conf: Conformation,
+    values: Sequence[float],
+    x: Sequence[float],
+    output_addrs: Sequence[int],
+) -> list[float]:
+    """Check the output vector against the dense reference; returns it.
+
+    The counterpart of :func:`~repro.sorting.base.verify_sorted_output` /
+    :func:`~repro.permute.base.verify_permutation_output` for SpMxV runs.
+    Raises :class:`SpmxvVerificationError` on a length or value mismatch.
+    Inspection is cost-free by design.
+    """
+    y = machine.collect_output(output_addrs)
+    if len(y) != conf.N:
+        raise SpmxvVerificationError(
+            f"spmxv output mismatch: len={len(y)} vs {conf.N}"
+        )
+    ref = reference_product(conf, values, x)
+    err = max((abs(a - b) for a, b in zip(y, ref)), default=0.0)
+    if err > 1e-9 * max(1.0, conf.H):
+        raise SpmxvVerificationError(
+            f"spmxv output mismatch: len={len(y)} vs {conf.N}, err={err}"
+        )
+    return y

@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.params import AEMParams
+from repro.engine.cache import CACHE_DIR_ENV
 from repro.machine.aem import AEMMachine
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache_dir(tmp_path_factory):
+    """Point the measurement cache at a per-session temp dir.
+
+    Keeps cache traffic from CLI/engine tests out of the working tree and
+    guarantees no test run is ever served entries written by an earlier
+    checkout of the code.
+    """
+    previous = os.environ.get(CACHE_DIR_ENV)
+    os.environ[CACHE_DIR_ENV] = str(tmp_path_factory.mktemp("repro-cache"))
+    yield
+    if previous is None:
+        os.environ.pop(CACHE_DIR_ENV, None)
+    else:
+        os.environ[CACHE_DIR_ENV] = previous
 
 
 @pytest.fixture

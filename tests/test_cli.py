@@ -16,6 +16,17 @@ class TestParser:
         args = build_parser().parse_args(["exp", "e1", "--full"])
         assert args.id == "e1" and args.full
 
+    def test_exp_engine_flags(self):
+        args = build_parser().parse_args(
+            ["exp", "all", "--jobs", "4", "--no-cache", "--cache-dir", "/tmp/c"]
+        )
+        assert args.jobs == 4 and args.cache is False
+        assert args.cache_dir == "/tmp/c"
+
+    def test_exp_engine_defaults(self):
+        args = build_parser().parse_args(["exp", "e1"])
+        assert args.jobs == 1 and args.cache is True
+
     def test_sort_defaults(self):
         args = build_parser().parse_args(["sort"])
         assert args.sorter == "aem_mergesort" and args.m == 128
@@ -124,6 +135,37 @@ class TestJsonOutput:
         assert main(args) == 0
         rendered = capsys.readouterr().out
         assert f"Qr={rec['Qr']}" in rendered and f"Qw={rec['Qw']}" in rendered
+
+
+class TestExpEngine:
+    # e5 is the smallest engine-routed experiment (8 measurements through
+    # sweep_map), so its cache/parallel behavior exercises the real path.
+    def test_exp_parallel_output_matches_serial(self, capsys, tmp_path):
+        base = ["exp", "e5", "--no-cache"]
+        assert main(base) == 0
+        serial = capsys.readouterr().out
+        assert main(base + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_exp_warm_cache_rerun_hits(self, capsys, tmp_path):
+        args = ["exp", "e5", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "[engine]" in cold.err and "0 cache hit(s)" in cold.err
+        assert "8 executed" in cold.err and "8 miss(es)" in cold.err
+        assert len(list(tmp_path.iterdir())) == 8
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # records identical from cache replay
+        assert "0 executed" in warm.err and "8 cache hit(s)" in warm.err
+        assert "0 miss(es)" in warm.err
+
+    def test_exp_no_cache_never_writes(self, capsys, tmp_path):
+        args = ["exp", "e5", "--no-cache", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []
 
 
 class TestProgress:

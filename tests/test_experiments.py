@@ -7,7 +7,8 @@ under a minute.
 
 import pytest
 
-from repro.experiments import REGISTRY, run_experiment
+from repro.engine import ExperimentConfig
+from repro.experiments import REGISTRY, experiment_order, natural_key, run_experiment
 from repro.experiments.common import (
     ExperimentResult,
     measure_permute,
@@ -15,8 +16,10 @@ from repro.experiments.common import (
     measure_spmxv,
 )
 from repro.core.params import AEMParams
+from repro.machine.cost import CostRecord
 
 ALL_IDS = sorted(REGISTRY)
+QUICK = ExperimentConfig(budget="quick")
 
 
 def test_registry_has_all_experiments_and_ablations():
@@ -29,9 +32,20 @@ def test_unknown_experiment_rejected():
         run_experiment("e99")
 
 
+def test_experiment_order_is_natural():
+    assert experiment_order() == (
+        ["a1", "a2", "a3"] + [f"e{i}" for i in range(1, 18)]
+    )
+
+
+def test_natural_key_orders_numerically():
+    ids = ["e10", "e2", "e1", "a1", "e11", "a3"]
+    assert sorted(ids, key=natural_key) == ["a1", "a3", "e1", "e2", "e10", "e11"]
+
+
 @pytest.mark.parametrize("eid", ALL_IDS)
 def test_experiment_passes(eid):
-    result = run_experiment(eid, quick=True)
+    result = run_experiment(eid, QUICK)
     assert isinstance(result, ExperimentResult)
     failing = [name for name, ok in result.checks.items() if not ok]
     assert not failing, f"{eid} failing checks: {failing}\n\n{result.render()}"
@@ -40,7 +54,7 @@ def test_experiment_passes(eid):
 
 
 def test_render_contains_checks():
-    r = run_experiment("e12", quick=True)
+    r = run_experiment("e12", QUICK)
     text = r.render()
     assert "PASS" in text and r.title in text and r.claim in text
 
@@ -49,6 +63,7 @@ class TestMeasureHelpers:
     def test_measure_sort_fields(self):
         p = AEMParams(M=64, B=8, omega=4)
         rec = measure_sort("aem_mergesort", 200, p)
+        assert isinstance(rec, CostRecord)
         assert set(rec) >= {"Q", "Qr", "Qw", "T", "peak_mem"}
         assert rec["Q"] == rec["Qr"] + p.omega * rec["Qw"]
 
@@ -67,3 +82,19 @@ class TestMeasureHelpers:
         a = measure_sort("aem_mergesort", 300, p, seed=5)
         b = measure_sort("aem_mergesort", 300, p, seed=5)
         assert a == b
+
+    def test_cost_record_mapping_surface(self):
+        p = AEMParams(M=64, B=8, omega=4)
+        rec = measure_sort("aem_mergesort", 200, p)
+        assert {**rec} == rec.as_dict()
+        assert rec.as_dict() == {
+            "Q": rec.Q,
+            "Qr": rec.Qr,
+            "Qw": rec.Qw,
+            "T": rec.T,
+            "peak_mem": rec.peak_mem,
+        }
+        assert "Q" in rec and "bogus" not in rec
+        assert len(rec) == 5
+        with pytest.raises(KeyError):
+            rec["bogus"]
