@@ -1,0 +1,28 @@
+#!/usr/bin/env python
+"""Benchmark-trajectory entry point (CI and direct use).
+
+Runs the pinned benchmark suite, writes a ``BENCH_<stamp>.json``
+trajectory point, and exits nonzero when any case's wall time exceeds
+the committed baseline (``benchmarks/BENCH_baseline.json``) by the
+configured slowdown threshold. The threshold is defined in one place —
+:data:`repro.telemetry.bench.DEFAULT_THRESHOLD` — and overridable via
+``REPRO_BENCH_THRESHOLD`` or ``--threshold``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py
+    PYTHONPATH=src python scripts/bench_trajectory.py --write-baseline
+    PYTHONPATH=src python scripts/bench_trajectory.py --out-dir bench-out --threshold 3
+
+Equivalent to ``repro-aem bench`` with the same flags; see
+``docs/observability.md`` for the full workflow.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.telemetry.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

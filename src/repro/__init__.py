@@ -28,7 +28,11 @@ The package provides:
 * :mod:`repro.engine` — the sweep-execution engine: process-pool fan-out
   with deterministic record ordering, a content-addressed on-disk
   measurement cache (resumable sweeps), and :class:`ExperimentConfig`,
-  the one object describing how an experiment run executes.
+  the one object describing how an experiment run executes;
+* :mod:`repro.telemetry` — durable observability artifacts: a labeled
+  metrics registry fed by :class:`MetricsObserver`, Chrome-trace/Perfetto
+  export (:class:`PerfettoObserver`), JSONL run manifests, engine task
+  spans, and the ``BENCH_*.json`` benchmark-trajectory gate.
 
 Quickstart::
 
@@ -68,6 +72,13 @@ from .observe import (
     WearMap,
 )
 from .structures import ExternalPQ
+from .telemetry import (
+    ChromeTraceBuilder,
+    EngineTelemetry,
+    MetricsObserver,
+    MetricsRegistry,
+    PerfettoObserver,
+)
 from .trace import Program, Recorder, capture
 
 __version__ = "1.1.0"
@@ -77,14 +88,19 @@ __all__ = [
     "AEMParams",
     "Atom",
     "CapacityError",
+    "ChromeTraceBuilder",
     "CostObserver",
     "CostRecord",
+    "EngineTelemetry",
     "ExperimentConfig",
     "ExternalPQ",
     "FlashMachine",
     "MachineCore",
     "MachineObserver",
+    "MetricsObserver",
+    "MetricsRegistry",
     "Permutation",
+    "PerfettoObserver",
     "Program",
     "ProgressObserver",
     "Recorder",

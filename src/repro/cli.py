@@ -24,6 +24,15 @@ stream identical to a serial run, and measurements are memoized under
 so a repeated or killed-and-restarted run replays completed measurements
 instantly. Engine statistics (executed / cache hits / misses) are printed
 to stderr after the run.
+
+``--telemetry-dir DIR`` (on ``exp`` and the algorithm runners) turns a
+run into durable artifacts (:mod:`repro.telemetry`): one JSONL record
+appended to ``DIR/manifest.jsonl`` (config, costs, wall time, engine
+stats, package version) and a ``DIR/trace.json`` loadable in
+``ui.perfetto.dev`` — machine phases as spans and I/O counter tracks for
+the algorithm runners, engine worker-lane task spans for ``exp``.
+``repro-aem bench`` runs the benchmark trajectory suite and gates wall
+times against the committed baseline (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -31,6 +40,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
+from pathlib import Path
+from typing import Optional
 
 from .core.bounds import (
     permute_lower_shape,
@@ -74,6 +86,16 @@ def _add_run_args(sub) -> None:
         action="store_true",
         help="live I/O/phase readout on stderr while the run executes",
     )
+    _add_telemetry_arg(sub)
+
+
+def _add_telemetry_arg(sub) -> None:
+    sub.add_argument(
+        "--telemetry-dir",
+        default=None,
+        help="append a run-manifest JSONL record and write a Perfetto "
+        "trace.json under this directory",
+    )
 
 
 def _json_default(obj):
@@ -109,6 +131,50 @@ def _close_observers(observers) -> None:
             close()
 
 
+def _telemetry_observers(args) -> tuple[list, Optional[tuple]]:
+    """``(observers, (metrics, perfetto))`` for a --telemetry-dir run."""
+    if not getattr(args, "telemetry_dir", None):
+        return [], None
+    from .telemetry import MetricsObserver, PerfettoObserver
+
+    metrics = MetricsObserver()
+    perfetto = PerfettoObserver(label=args.command)
+    return [metrics, perfetto], (metrics, perfetto)
+
+
+def _finish_run_telemetry(args, tel, *, config: dict, cost, wall_s: float) -> None:
+    """Write the trace.json and append the manifest record for one run."""
+    if tel is None:
+        return
+    from .telemetry import append_record, run_record
+
+    metrics, perfetto = tel
+    perfetto.write(Path(args.telemetry_dir) / "trace.json")
+    append_record(
+        args.telemetry_dir,
+        run_record(
+            args.command,
+            config=config,
+            cost={**cost},
+            wall_s=wall_s,
+            metrics=metrics.summary(),
+        ),
+    )
+
+
+def _engine_summary(engine) -> dict:
+    """The engine's run statistics as one structured dict."""
+    summary = {
+        "jobs": engine.jobs,
+        "cache_enabled": engine.cache is not None,
+        **engine.stats.as_dict(),
+    }
+    if engine.telemetry is not None:
+        summary["busy_s"] = engine.telemetry.busy_seconds()
+        summary["utilization"] = engine.telemetry.utilization(engine.jobs)
+    return summary
+
+
 def cmd_exp(args) -> int:
     config = ExperimentConfig(
         budget="full" if args.full else "quick",
@@ -117,32 +183,63 @@ def cmd_exp(args) -> int:
         cache_dir=args.cache_dir,
     )
     engine = config.make_engine()
+    if args.telemetry_dir:
+        from .telemetry import EngineTelemetry
+
+        engine.telemetry = EngineTelemetry()
+    t0 = time.perf_counter()
     with use_engine(engine):
         if args.id.lower() == "all":
             results = run_all(config)
         else:
             results = [run_experiment(args.id, config)]
+    wall_s = time.perf_counter() - t0
     failed = sum(0 if r.passed else 1 for r in results)
     if args.json:
         _emit_json(
-            [
-                {
-                    "eid": r.eid,
-                    "title": r.title,
-                    "claim": r.claim,
-                    "records": r.records,
-                    "checks": r.checks,
-                    "passed": r.passed,
-                    "notes": r.notes,
-                }
-                for r in results
-            ]
+            {
+                "results": [
+                    {
+                        "eid": r.eid,
+                        "title": r.title,
+                        "claim": r.claim,
+                        "records": r.records,
+                        "checks": r.checks,
+                        "passed": r.passed,
+                        "notes": r.notes,
+                    }
+                    for r in results
+                ],
+                "engine": _engine_summary(engine),
+            }
         )
     else:
         for r in results:
             print(r.render())
             print()
     engine.report()
+    if args.telemetry_dir:
+        from .telemetry import append_record, run_record
+
+        engine.telemetry.to_trace().write(Path(args.telemetry_dir) / "trace.json")
+        append_record(
+            args.telemetry_dir,
+            run_record(
+                "exp",
+                config={
+                    "id": args.id,
+                    "budget": config.budget,
+                    "jobs": args.jobs,
+                    "cache": args.cache,
+                },
+                wall_s=wall_s,
+                engine=_engine_summary(engine),
+                results=[
+                    {"eid": r.eid, "passed": r.passed, "checks": r.checks}
+                    for r in results
+                ],
+            ),
+        )
     if failed:
         print(f"{failed} experiment(s) had failing checks", file=sys.stderr)
     return 1 if failed else 0
@@ -151,15 +248,30 @@ def cmd_exp(args) -> int:
 def cmd_sort(args) -> int:
     p = _params(args)
     observers = _run_observers(args)
+    tel_observers, tel = _telemetry_observers(args)
+    t0 = time.perf_counter()
     rec = measure_sort(
         args.sorter,
         args.n,
         p,
         distribution=args.distribution,
         seed=args.seed,
-        observers=observers,
+        observers=observers + tel_observers,
     )
     _close_observers(observers)
+    _finish_run_telemetry(
+        args,
+        tel,
+        config={
+            "sorter": args.sorter,
+            "n": args.n,
+            "distribution": args.distribution,
+            "seed": args.seed,
+            "params": {"M": p.M, "B": p.B, "omega": p.omega},
+        },
+        cost=rec,
+        wall_s=time.perf_counter() - t0,
+    )
     if args.json:
         _emit_json(
             {
@@ -186,15 +298,30 @@ def cmd_sort(args) -> int:
 def cmd_permute(args) -> int:
     p = _params(args)
     observers = _run_observers(args)
+    tel_observers, tel = _telemetry_observers(args)
+    t0 = time.perf_counter()
     rec = measure_permute(
         args.permuter,
         args.n,
         p,
         family=args.family,
         seed=args.seed,
-        observers=observers,
+        observers=observers + tel_observers,
     )
     _close_observers(observers)
+    _finish_run_telemetry(
+        args,
+        tel,
+        config={
+            "permuter": args.permuter,
+            "n": args.n,
+            "family": args.family,
+            "seed": args.seed,
+            "params": {"M": p.M, "B": p.B, "omega": p.omega},
+        },
+        cost=rec,
+        wall_s=time.perf_counter() - t0,
+    )
     if args.json:
         _emit_json(
             {
@@ -226,6 +353,8 @@ def cmd_permute(args) -> int:
 def cmd_spmxv(args) -> int:
     p = _params(args)
     observers = _run_observers(args)
+    tel_observers, tel = _telemetry_observers(args)
+    t0 = time.perf_counter()
     rec = measure_spmxv(
         args.algorithm,
         args.n,
@@ -233,9 +362,23 @@ def cmd_spmxv(args) -> int:
         p,
         family=args.family,
         seed=args.seed,
-        observers=observers,
+        observers=observers + tel_observers,
     )
     _close_observers(observers)
+    _finish_run_telemetry(
+        args,
+        tel,
+        config={
+            "algorithm": args.algorithm,
+            "n": args.n,
+            "delta": args.delta,
+            "family": args.family,
+            "seed": args.seed,
+            "params": {"M": p.M, "B": p.B, "omega": p.omega},
+        },
+        cost=rec,
+        wall_s=time.perf_counter() - t0,
+    )
     if args.json:
         _emit_json(
             {
@@ -341,6 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="measurement cache root (default: .repro-cache/ or "
         "$REPRO_CACHE_DIR)",
     )
+    _add_telemetry_arg(exp)
     exp.set_defaults(fn=cmd_exp)
 
     srt = sub.add_parser("sort", help="run one sorter with cost readout")
@@ -387,6 +531,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_machine_args(ins)
     ins.set_defaults(fn=cmd_inspect)
+
+    from .telemetry import bench as bench_mod
+
+    bn = sub.add_parser(
+        "bench",
+        help="run the benchmark suite, emit a BENCH_<stamp>.json trajectory "
+        "point, and gate against the committed baseline",
+    )
+    bench_mod.add_arguments(bn)
+    bn.set_defaults(fn=bench_mod.run)
     return ap
 
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import inspect
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -77,6 +78,10 @@ def _accepts_observers(measure: Callable) -> bool:
         return False
 
 
+def _task_label(measure: Callable, index: int) -> str:
+    return f"{getattr(measure, '__name__', 'measure')}[{index}]"
+
+
 class SweepEngine:
     """Executes measurement sweeps; see the module docstring.
 
@@ -94,6 +99,14 @@ class SweepEngine:
         accepts an ``observers`` keyword. Observers force serial,
         cache-less execution: they must see the machine events, which
         neither a worker process nor a cache replay can deliver.
+    telemetry:
+        Optional task-span recorder (duck-typed; see
+        :class:`repro.telemetry.EngineTelemetry`). When set, the engine
+        reports one ``record_task(label, start, end, cache_hit=...)``
+        per measurement: cache hits as zero-width spans, serial
+        executions with exact bounds, pool executions as
+        submit-to-completion intervals. ``None`` (the default) skips
+        every timing call — library runs pay nothing.
     """
 
     def __init__(
@@ -103,6 +116,7 @@ class SweepEngine:
         cache: Optional[ResultCache] = None,
         seed: Optional[int] = None,
         observers: Sequence = (),
+        telemetry=None,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -110,6 +124,7 @@ class SweepEngine:
         self.cache = cache
         self.seed = seed
         self.observers = tuple(observers)
+        self.telemetry = telemetry
         self.stats = EngineStats()
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -123,12 +138,17 @@ class SweepEngine:
         on the pool and are stored as they complete.
         """
         self.stats.sweeps += 1
+        telemetry = self.telemetry
         configs = [dict(c) for c in configs]
         if self.observers and _accepts_observers(measure):
             # Observed runs must happen here and now, unmemoized.
             return [
-                self._execute_local(measure, {**c, "observers": self.observers})
-                for c in configs
+                self._execute_local(
+                    measure,
+                    {**c, "observers": self.observers},
+                    label=_task_label(measure, i),
+                )
+                for i, c in enumerate(configs)
             ]
 
         results: List[Any] = [None] * len(configs)
@@ -140,6 +160,11 @@ class SweepEngine:
                 if value is not MISS:
                     results[i] = value
                     self.stats.cache_hits += 1
+                    if telemetry is not None:
+                        now = time.perf_counter()
+                        telemetry.record_task(
+                            _task_label(measure, i), now, now, cache_hit=True
+                        )
                     continue
                 self.stats.cache_misses += 1
                 pending.append((i, key, config))
@@ -148,17 +173,42 @@ class SweepEngine:
 
         if self.jobs > 1 and len(pending) > 1:
             pool = self._ensure_pool()
-            futures = [
-                (i, key, config, pool.submit(_call, measure, config))
-                for i, key, config in pending
-            ]
-            for i, key, config, fut in futures:
+            done_at: Dict[int, float] = {}
+
+            def _mark_done(index: int):
+                # Runs on the executor's collector thread the moment the
+                # future resolves — the closest the parent can get to the
+                # worker's own completion time.
+                def cb(_fut) -> None:
+                    done_at[index] = time.perf_counter()
+
+                return cb
+
+            futures = []
+            for i, key, config in pending:
+                submitted = time.perf_counter()
+                fut = pool.submit(_call, measure, config)
+                if telemetry is not None:
+                    fut.add_done_callback(_mark_done(i))
+                futures.append((i, key, config, submitted, fut))
+            for i, key, config, submitted, fut in futures:
                 results[i] = self._finish(measure, key, config, fut.result())
+                if telemetry is not None:
+                    telemetry.record_task(
+                        _task_label(measure, i),
+                        submitted,
+                        done_at.get(i, time.perf_counter()),
+                    )
         else:
             for i, key, config in pending:
+                started = time.perf_counter()
                 results[i] = self._finish(
                     measure, key, config, _call(measure, config)
                 )
+                if telemetry is not None:
+                    telemetry.record_task(
+                        _task_label(measure, i), started, time.perf_counter()
+                    )
         return results
 
     def sweep(self, measure: Callable, configs: Iterable[Mapping]) -> List[Dict]:
@@ -176,9 +226,16 @@ class SweepEngine:
         """One measurement through the engine (cached like any sweep point)."""
         return self.map(measure, [config])[0]
 
-    def _execute_local(self, measure: Callable, config: Mapping) -> Any:
+    def _execute_local(
+        self, measure: Callable, config: Mapping, *, label: str = "measure"
+    ) -> Any:
         self.stats.executed += 1
-        return _call(measure, config)
+        if self.telemetry is None:
+            return _call(measure, config)
+        started = time.perf_counter()
+        value = _call(measure, config)
+        self.telemetry.record_task(label, started, time.perf_counter())
+        return value
 
     def _finish(
         self, measure: Callable, key: Optional[str], config: Mapping, value: Any

@@ -37,6 +37,29 @@ from ..observe.base import EVENTS, MachineObserver
 from .blockstore import BlockStore
 from .internal import InternalMemory
 
+#: Lifecycle hooks, called at attach/detach rather than dispatched.
+_LIFECYCLE = ("on_attach", "on_detach")
+
+
+def _validate_handler_names(observer: MachineObserver) -> None:
+    """Reject ``on_*`` methods that match no machine event.
+
+    Overriding is opt-in by name, so a typo'd handler (``on_raed``)
+    would otherwise just never fire. Every class in the observer's MRO
+    below :class:`MachineObserver` is checked, so typos in mixins and
+    base classes surface too.
+    """
+    allowed = set(EVENTS) | set(_LIFECYCLE)
+    for klass in type(observer).__mro__:
+        if klass in (MachineObserver, object):
+            continue
+        for name, value in vars(klass).items():
+            if name.startswith("on_") and callable(value) and name not in allowed:
+                raise ValueError(
+                    f"{klass.__name__}.{name} matches no machine event; "
+                    f"known events are {EVENTS} (plus lifecycle {_LIFECYCLE})"
+                )
+
 
 class MachineCore:
     """Block storage + capacity ledger + observer event bus."""
@@ -60,9 +83,16 @@ class MachineCore:
     # Observer management.
     # ------------------------------------------------------------------
     def attach(self, observer: MachineObserver) -> MachineObserver:
-        """Attach ``observer``; only its overridden handlers are dispatched."""
+        """Attach ``observer``; only its overridden handlers are dispatched.
+
+        Handler names are validated against the event vocabulary: an
+        ``on_``-prefixed method that matches no known event (``on_raed``)
+        raises :class:`ValueError` here, at attach time, instead of
+        silently never firing.
+        """
         if observer in self.observers:
             raise ValueError(f"observer {observer!r} is already attached")
+        _validate_handler_names(observer)
         self.observers.append(observer)
         cls = type(observer)
         for name in EVENTS:

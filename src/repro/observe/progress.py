@@ -5,6 +5,12 @@ counts, current phase, declared rounds — to a stream (stderr by default).
 The CLI attaches one when invoked with ``--progress``, so full-size sweeps
 show where they are instead of going silent for minutes.
 
+The carriage-return frames only render *live* when the stream is a TTY
+(or ``REPRO_PROGRESS=1`` forces them, or the caller passes
+``live=True``): a piped CI log gets exactly one final summary line from
+``close()`` instead of thousands of ``\\r`` frames. Counting continues
+either way, so the final line is always accurate.
+
 Rendering is rate-limited by event count (``every``), not wall clock, to
 keep the observer deterministic and cheap: between renders an event costs
 two integer increments and a comparison.
@@ -12,10 +18,24 @@ two integer increments and a comparison.
 
 from __future__ import annotations
 
+import os
 import sys
 from typing import IO, Optional, Sequence
 
 from .base import MachineObserver
+
+#: Environment override: force live frames even on a non-TTY stream.
+PROGRESS_ENV = "REPRO_PROGRESS"
+
+
+def _stream_is_live(stream: IO[str]) -> bool:
+    if os.environ.get(PROGRESS_ENV, "") == "1":
+        return True
+    isatty = getattr(stream, "isatty", None)
+    try:
+        return bool(isatty()) if callable(isatty) else False
+    except (OSError, ValueError):  # closed or exotic streams
+        return False
 
 
 class ProgressObserver(MachineObserver):
@@ -29,6 +49,11 @@ class ProgressObserver(MachineObserver):
         Render after this many I/O events (default 1000).
     label:
         Prefix identifying the run (e.g. the algorithm name).
+    live:
+        Whether to render intermediate ``\\r`` frames. ``None`` (the
+        default) auto-detects: frames render only when ``stream`` is a
+        TTY or ``REPRO_PROGRESS=1`` is set. ``close()`` always writes
+        the final summary line and flushes, live or not.
     """
 
     def __init__(
@@ -37,12 +62,14 @@ class ProgressObserver(MachineObserver):
         *,
         every: int = 1000,
         label: str = "",
+        live: Optional[bool] = None,
     ):
         if every < 1:
             raise ValueError(f"every must be >= 1, got {every}")
         self.stream = stream if stream is not None else sys.stderr
         self.every = every
         self.label = label
+        self.live = _stream_is_live(self.stream) if live is None else bool(live)
         self.reads = 0
         self.writes = 0
         self.rounds = 0
@@ -74,6 +101,14 @@ class ProgressObserver(MachineObserver):
     # ------------------------------------------------------------------
     # Rendering.
     # ------------------------------------------------------------------
+    def _line(self) -> str:
+        phase = "/".join(self._phases) if self._phases else "-"
+        prefix = f"[{self.label}] " if self.label else ""
+        line = f"{prefix}Qr={self.reads} Qw={self.writes} phase={phase}"
+        if self.rounds:
+            line += f" rounds={self.rounds}"
+        return line
+
     def _tick(self) -> None:
         self._pending += 1
         if self._pending >= self.every:
@@ -81,16 +116,20 @@ class ProgressObserver(MachineObserver):
 
     def _render(self) -> None:
         self._pending = 0
-        phase = "/".join(self._phases) if self._phases else "-"
-        prefix = f"[{self.label}] " if self.label else ""
-        line = f"{prefix}Qr={self.reads} Qw={self.writes} phase={phase}"
-        if self.rounds:
-            line += f" rounds={self.rounds}"
-        self.stream.write("\r" + line.ljust(78))
+        if not self.live:
+            return
+        self.stream.write("\r" + self._line().ljust(78))
         self.stream.flush()
 
     def close(self) -> None:
-        """Render a final line and move off the status line."""
-        self._render()
-        self.stream.write("\n")
+        """Write the final summary line and flush.
+
+        On a live stream this replaces the in-place status line and moves
+        off it; on a piped stream it is the *only* output the observer
+        ever produces.
+        """
+        if self.live:
+            self.stream.write("\r" + self._line().ljust(78) + "\n")
+        else:
+            self.stream.write(self._line() + "\n")
         self.stream.flush()

@@ -1,0 +1,147 @@
+"""Engine-side telemetry: per-task wall time and worker utilization.
+
+:class:`EngineTelemetry` is the recorder a
+:class:`~repro.engine.core.SweepEngine` drives when one is assigned to
+its ``telemetry`` attribute. The engine reports one
+:class:`TaskSpan` per measurement — cache hits as zero-width spans,
+serial executions with exact start/end, pool executions as
+submit-to-completion intervals (queueing included; the parent process
+cannot see inside a worker, and the interval is what utilization math
+needs anyway). The engine stays import-free of this package: it calls
+``telemetry.record_task(...)`` on whatever duck-typed object it holds,
+so library users pay nothing and custom recorders are trivial.
+
+Readouts:
+
+* :meth:`EngineTelemetry.summary` — task counts, busy/wall seconds, and
+  ``utilization = busy / (wall * jobs)``, the fraction of the worker
+  pool that was doing measurement work;
+* :meth:`EngineTelemetry.to_trace` — the spans as Chrome-trace ``X``
+  events, greedily packed onto lanes (a span goes to the first lane
+  whose previous span already ended), so the Perfetto view shows true
+  concurrency without overlapping boxes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from .perfetto import ENGINE_PID, ChromeTraceBuilder
+
+
+@dataclass(frozen=True)
+class TaskSpan:
+    """One engine-served measurement: wall-clock interval + provenance."""
+
+    label: str
+    start: float
+    end: float
+    cache_hit: bool = False
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class EngineTelemetry:
+    """Collects :class:`TaskSpan` records from a sweep engine."""
+
+    def __init__(self) -> None:
+        self.spans: list[TaskSpan] = []
+        self.t0 = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # The engine-facing surface (duck-typed; see SweepEngine.telemetry).
+    # ------------------------------------------------------------------
+    def record_task(
+        self, label: str, start: float, end: float, *, cache_hit: bool = False
+    ) -> None:
+        if end < start:
+            raise ValueError(f"span for {label!r} ends before it starts")
+        self.spans.append(TaskSpan(label, start, end, cache_hit))
+
+    # ------------------------------------------------------------------
+    # Readout.
+    # ------------------------------------------------------------------
+    @property
+    def tasks(self) -> int:
+        return len(self.spans)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for s in self.spans if s.cache_hit)
+
+    def busy_seconds(self) -> float:
+        return sum(s.duration for s in self.spans)
+
+    def wall_seconds(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - self.t0
+
+    def utilization(self, jobs: int = 1) -> float:
+        """Busy fraction of a ``jobs``-wide pool over the engine's wall time."""
+        wall = self.wall_seconds()
+        if wall <= 0 or jobs < 1:
+            return 0.0
+        return self.busy_seconds() / (wall * jobs)
+
+    def summary(self, jobs: Optional[int] = None) -> dict:
+        out = {
+            "tasks": self.tasks,
+            "cache_hits": self.cache_hits,
+            "executed": self.tasks - self.cache_hits,
+            "busy_s": self.busy_seconds(),
+            "wall_s": self.wall_seconds(),
+        }
+        if jobs is not None:
+            out["jobs"] = jobs
+            out["utilization"] = self.utilization(jobs)
+        return out
+
+    # ------------------------------------------------------------------
+    # Trace export.
+    # ------------------------------------------------------------------
+    def to_trace(
+        self,
+        builder: Optional[ChromeTraceBuilder] = None,
+        *,
+        pid: int = ENGINE_PID,
+        label: str = "sweep engine",
+    ) -> ChromeTraceBuilder:
+        """Render the spans as complete events on greedily-packed lanes."""
+        if builder is None:
+            builder = ChromeTraceBuilder()
+        builder.process_name(pid, label)
+        lanes: list[float] = []  # lane index -> end time of its last span
+        assignments = []
+        for span in sorted(self.spans, key=lambda s: s.start):
+            for lane, free_at in enumerate(lanes):
+                if span.start >= free_at:
+                    lanes[lane] = span.end
+                    break
+            else:
+                lane = len(lanes)
+                lanes.append(span.end)
+            assignments.append((span, lane))
+        for lane in range(len(lanes)):
+            builder.thread_name(pid, lane + 1, f"worker lane {lane}")
+        for span, lane in assignments:
+            builder.complete(
+                span.label,
+                (span.start - self.t0) * 1e6,
+                span.duration * 1e6,
+                pid=pid,
+                tid=lane + 1,
+                cat="engine",
+                args={"cache_hit": span.cache_hit},
+            )
+        return builder
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EngineTelemetry({self.tasks} tasks, "
+            f"{self.cache_hits} cache hits, busy {self.busy_seconds():.3f}s)"
+        )

@@ -1,0 +1,235 @@
+"""A lightweight labeled metrics registry (counters, gauges, histograms).
+
+The simulator's event bus (:mod:`repro.observe`) delivers raw machine
+events; this module gives them somewhere durable to land. A
+:class:`MetricsRegistry` holds named metric *families*, each family fans
+out into label-keyed series (``reads_total{phase="merge"}``), and the
+whole registry collects into one JSON-able dict — the shape the run
+manifest (:mod:`repro.telemetry.manifest`) embeds per invocation.
+
+The design borrows the Prometheus vocabulary but none of its machinery:
+
+* :class:`Counter` — monotonically increasing float (``inc``);
+* :class:`Gauge` — a settable point value (``set``/``inc``);
+* :class:`Histogram` — stores observations exactly and answers
+  percentile queries. Simulator runs observe at most one value per
+  block/phase/task, so exact storage is cheaper than maintaining the
+  usual bucket scheme and keeps percentiles precise.
+
+Nothing here touches the per-I/O hot path: a registry only does work
+when a :class:`~repro.telemetry.observer.MetricsObserver` is attached to
+a machine, and the machine core's empty-callback-list fast path already
+guarantees un-observed events cost one truthiness check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+_DEFAULT_PERCENTILES = (0.5, 0.9, 0.99)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self.value += amount
+
+    def as_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (settable, unlike a counter)."""
+
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def as_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Exact-storage histogram with percentile readout.
+
+    ``observe`` appends; ``percentile(q)`` answers by nearest-rank over
+    the sorted observations (no interpolation — the observed values are
+    exact integers like per-block write counts, and a rank statistic
+    should be one of them).
+    """
+
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return sum(self.values)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile; ``q`` in [0, 1]. 0 with no data."""
+        if not 0 <= q <= 1:
+            raise ValueError(f"percentile q must be in [0, 1], got {q}")
+        if not self.values:
+            return 0
+        ordered = sorted(self.values)
+        rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(
+        self, percentiles: Sequence[float] = _DEFAULT_PERCENTILES
+    ) -> dict:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "max": max(self.values, default=0),
+            **{f"p{int(q * 100)}": self.percentile(q) for q in percentiles},
+        }
+
+    def as_value(self) -> dict:
+        return self.summary()
+
+
+class MetricFamily:
+    """One named metric, fanned out over label values.
+
+    ``labels(phase="merge")`` returns the series for that label
+    combination, creating it on first use. A family declared with no
+    label names has exactly one series, reachable as ``family.labels()``
+    or through the passthrough ``inc``/``set``/``observe``.
+    """
+
+    def __init__(self, factory, name: str, help: str, label_names: Tuple[str, ...]):
+        self._factory = factory
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self._series: Dict[Tuple[str, ...], object] = {}
+
+    @property
+    def kind(self) -> str:
+        return self._factory.kind
+
+    def labels(self, **labels: str):
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        key = tuple(str(labels[n]) for n in self.label_names)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = self._factory()
+        return series
+
+    # Passthrough for label-less families.
+    def _solo(self):
+        if self.label_names:
+            raise ValueError(
+                f"metric {self.name!r} has labels {self.label_names}; "
+                "address a series with .labels(...)"
+            )
+        return self.labels()
+
+    def inc(self, amount: float = 1) -> None:
+        self._solo().inc(amount)
+
+    def set(self, value: float) -> None:
+        self._solo().set(value)
+
+    def observe(self, value: float) -> None:
+        self._solo().observe(value)
+
+    def series(self) -> Iterable[Tuple[Mapping[str, str], object]]:
+        for key, metric in self._series.items():
+            yield dict(zip(self.label_names, key)), metric
+
+    def collect(self) -> dict:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "series": [
+                {"labels": labels, "value": metric.as_value()}
+                for labels, metric in self.series()
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named metric families, collected into one JSON-able dict."""
+
+    def __init__(self) -> None:
+        self._families: Dict[str, MetricFamily] = {}
+
+    def _register(self, factory, name: str, help: str, labels) -> MetricFamily:
+        existing = self._families.get(name)
+        if existing is not None:
+            if existing.kind != factory.kind or existing.label_names != tuple(labels):
+                raise ValueError(
+                    f"metric {name!r} already registered as a "
+                    f"{existing.kind} with labels {existing.label_names}"
+                )
+            return existing
+        family = MetricFamily(factory, name, help, tuple(labels))
+        self._families[name] = family
+        return family
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> MetricFamily:
+        return self._register(Histogram, name, help, labels)
+
+    def get(self, name: str) -> Optional[MetricFamily]:
+        return self._families.get(name)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._families
+
+    def __iter__(self):
+        return iter(self._families.values())
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def collect(self) -> dict:
+        """The whole registry as ``{name: {kind, help, series}}``."""
+        return {
+            name: family.collect()
+            for name, family in sorted(self._families.items())
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MetricsRegistry({len(self)} families)"

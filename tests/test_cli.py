@@ -123,10 +123,23 @@ class TestJsonOutput:
 
     def test_exp_json(self, capsys):
         assert main(["exp", "e12", "--json"]) == 0
-        results = json.loads(capsys.readouterr().out)
+        payload = json.loads(capsys.readouterr().out)
+        results = payload["results"]
         assert len(results) == 1
         assert results[0]["eid"] == "E12" and results[0]["passed"] is True
         assert isinstance(results[0]["records"], list)
+        engine = payload["engine"]
+        assert engine["jobs"] == 1 and engine["cache_enabled"] is True
+        assert {"executed", "cache_hits", "cache_misses", "measurements"} <= set(engine)
+
+    def test_exp_json_engine_counts_cache_hits(self, capsys, tmp_path):
+        args = ["exp", "e5", "--json", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold = json.loads(capsys.readouterr().out)["engine"]
+        assert cold["executed"] == 8 and cold["cache_hits"] == 0
+        assert main(args) == 0
+        warm = json.loads(capsys.readouterr().out)["engine"]
+        assert warm["executed"] == 0 and warm["cache_hits"] == 8
 
     def test_json_matches_rendered_costs(self, capsys):
         args = ["sort", "--n", "300", "--m", "64", "--b", "8", "--omega", "2"]
@@ -178,3 +191,82 @@ class TestProgress:
         captured = capsys.readouterr()
         assert "Qr=" in captured.err and "[sort]" in captured.err
         assert "Qr=" in captured.out  # normal readout still printed
+
+    def test_progress_on_pipe_is_single_line(self, capsys, monkeypatch):
+        """A captured (non-TTY) stderr gets the close() summary only."""
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        assert (
+            main(["sort", "--n", "300", "--m", "64", "--b", "8",
+                  "--omega", "2", "--progress"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "\r" not in err
+        assert err.count("[sort]") == 1
+
+
+class TestTelemetryDir:
+    def test_sort_writes_manifest_and_trace(self, capsys, tmp_path):
+        from repro.telemetry import validate_trace
+        from repro.telemetry.manifest import read_manifest
+
+        assert (
+            main(["sort", "--n", "300", "--m", "64", "--b", "8", "--omega", "2",
+                  "--telemetry-dir", str(tmp_path)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        records = read_manifest(tmp_path)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["command"] == "sort" and rec["config"]["n"] == 300
+        assert rec["cost"]["Q"] == rec["cost"]["Qr"] + 2 * rec["cost"]["Qw"]
+        assert rec["wall_s"] > 0 and "version" in rec
+        # The metrics aggregate agrees with the printed cost readout.
+        assert f"Qr={rec['metrics']['reads']}" in out
+        assert rec["metrics"]["wear"]["blocks_written"] > 0
+        trace = json.loads((tmp_path / "trace.json").read_text())
+        validate_trace(trace)
+        assert any(e["ph"] == "B" for e in trace["traceEvents"])
+
+    def test_exp_writes_manifest_and_engine_trace(self, capsys, tmp_path):
+        """Acceptance: `repro-aem exp e1 --telemetry-dir OUT` leaves a
+        JSONL manifest record and a schema-valid trace.json behind."""
+        from repro.telemetry import validate_trace
+        from repro.telemetry.manifest import read_manifest
+
+        tel = tmp_path / "out"
+        assert (
+            main(["exp", "e1", "--no-cache", "--telemetry-dir", str(tel)]) == 0
+        )
+        capsys.readouterr()
+        records = read_manifest(tel)
+        assert len(records) == 1
+        rec = records[0]
+        assert rec["command"] == "exp" and rec["config"]["id"] == "e1"
+        assert rec["engine"]["executed"] > 0
+        assert rec["results"][0]["eid"] == "E1" and rec["results"][0]["passed"]
+        trace = json.loads((tel / "trace.json").read_text())
+        validate_trace(trace)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == rec["engine"]["measurements"]
+
+    def test_manifest_appends_across_runs(self, capsys, tmp_path):
+        from repro.telemetry.manifest import read_manifest
+
+        base = ["--n", "128", "--m", "64", "--b", "8", "--omega", "2",
+                "--telemetry-dir", str(tmp_path)]
+        assert main(["permute"] + base) == 0
+        assert main(["spmxv", "--delta", "2"] + base) == 0
+        capsys.readouterr()
+        commands = [r["command"] for r in read_manifest(tmp_path)]
+        assert commands == ["permute", "spmxv"]
+
+
+class TestBenchCommand:
+    def test_bench_parser_wired(self):
+        args = build_parser().parse_args(
+            ["bench", "--repeats", "3", "--threshold", "1.5", "--no-gate"]
+        )
+        assert args.repeats == 3 and args.threshold == 1.5 and args.no_gate
+        assert args.fn.__module__ == "repro.telemetry.bench"

@@ -287,7 +287,7 @@ class TestFlashEvents:
 class TestProgressObserver:
     def test_renders_counts_and_phase(self):
         buf = io.StringIO()
-        prog = ProgressObserver(buf, every=1, label="run")
+        prog = ProgressObserver(buf, every=1, label="run", live=True)
         machine = AEMMachine(P, observers=[prog])
         with machine.phase("scan"):
             machine.acquire(2)
@@ -301,7 +301,7 @@ class TestProgressObserver:
 
     def test_rate_limiting(self):
         buf = io.StringIO()
-        prog = ProgressObserver(buf, every=1000)
+        prog = ProgressObserver(buf, every=1000, live=True)
         machine = AEMMachine(P, observers=[prog])
         machine.acquire(1)
         a = machine.write_fresh([1])
@@ -311,6 +311,84 @@ class TestProgressObserver:
     def test_rejects_bad_every(self):
         with pytest.raises(ValueError):
             ProgressObserver(io.StringIO(), every=0)
+
+    def test_non_tty_stream_suppresses_frames(self, monkeypatch):
+        """A piped stream gets exactly one line, from close()."""
+        monkeypatch.delenv("REPRO_PROGRESS", raising=False)
+        buf = io.StringIO()  # not a TTY
+        prog = ProgressObserver(buf, every=1, label="run")
+        assert prog.live is False
+        machine = AEMMachine(P, observers=[prog])
+        with machine.phase("scan"):
+            machine.acquire(2)
+            a = machine.write_fresh([1, 2])
+            machine.release(machine.read(a))
+        assert buf.getvalue() == ""  # no \r frames while running
+        prog.close()
+        out = buf.getvalue()
+        assert out == "[run] Qr=1 Qw=1 phase=-\n"  # one final line, no \r
+        assert prog.reads == 1 and prog.writes == 1  # counting continued
+
+    def test_env_forces_live_frames(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        buf = io.StringIO()
+        prog = ProgressObserver(buf, every=1)
+        assert prog.live is True
+        machine = AEMMachine(P, observers=[prog])
+        machine.acquire(1)
+        a = machine.write_fresh([1])
+        machine.release(machine.read(a))
+        assert "\r" in buf.getvalue()  # frames rendered despite non-TTY
+
+    def test_explicit_live_beats_autodetect(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROGRESS", "1")
+        prog = ProgressObserver(io.StringIO(), live=False)
+        assert prog.live is False
+
+
+class TestHandlerNameValidation:
+    def test_typoed_handler_rejected_at_attach(self):
+        """Regression: a misspelled override fails loudly, not silently."""
+
+        class Typo(MachineObserver):
+            def on_raed(self, addr, items, cost):  # sic
+                pass
+
+        with pytest.raises(ValueError, match="on_raed"):
+            AEMMachine(P, observers=[Typo()])
+
+    def test_typo_in_base_class_also_rejected(self):
+        class BadBase(MachineObserver):
+            def on_rite(self, addr, items, cost):  # sic
+                pass
+
+        class Derived(BadBase):
+            def on_read(self, addr, items, cost):
+                pass
+
+        machine = AEMMachine(P)
+        with pytest.raises(ValueError, match="on_rite"):
+            machine.attach(Derived())
+
+    def test_lifecycle_hooks_allowed(self):
+        class Hooked(MachineObserver):
+            def on_attach(self, core):
+                pass
+
+            def on_detach(self, core):
+                pass
+
+        AEMMachine(P, observers=[Hooked()])  # must not raise
+
+    def test_non_event_helpers_allowed(self):
+        class Helper(MachineObserver):
+            def summarize(self):
+                return {}
+
+            def _on_private(self):
+                pass
+
+        AEMMachine(P, observers=[Helper()])  # must not raise
 
 
 class TestMachineCore:

@@ -1,0 +1,218 @@
+"""The Chrome-trace/Perfetto exporter: schema validity and round-tripping.
+
+The contract (ISSUE 3 satellite): an emitted ``trace.json`` is
+schema-valid Chrome trace-event format — required keys on every event,
+monotonic timestamps per track, matched ``B``/``E`` pairs — and
+round-trips through ``json.loads``. The checks here are deliberately
+independent re-implementations where it matters, so they also pin
+:func:`repro.telemetry.validate_trace` itself.
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.params import AEMParams
+from repro.machine.aem import AEMMachine
+from repro.sorting.base import SORTERS
+from repro.telemetry import ChromeTraceBuilder, PerfettoObserver, validate_trace
+from repro.telemetry.engine_metrics import EngineTelemetry
+from repro.telemetry.perfetto import REQUIRED_EVENT_KEYS
+from repro.workloads.generators import sort_input
+
+P = AEMParams(M=64, B=8, omega=4)
+
+
+def sorted_trace(n: int = 500) -> dict:
+    """Run a mergesort with a PerfettoObserver attached; export its trace."""
+    obs = PerfettoObserver(label="test sort")
+    atoms = sort_input(n, "uniform", np.random.default_rng(3))
+    machine = AEMMachine.for_algorithm(P, observers=[obs])
+    addrs = machine.load_input(atoms)
+    SORTERS["aem_mergesort"](machine, addrs, P)
+    obs.close()
+    return obs.builder.trace()
+
+
+class TestBuilder:
+    def test_phase_kinds(self):
+        b = ChromeTraceBuilder()
+        b.process_name(1, "proc")
+        b.begin("span", 0)
+        b.counter("ctr", 1, {"x": 2})
+        b.instant("mark", 2)
+        b.end("span", 3)
+        b.complete("task", 0, 5, pid=2)
+        assert [e["ph"] for e in b.events] == ["M", "B", "C", "i", "E", "X"]
+        validate_trace(b.trace())
+
+    def test_write_to_stream_and_path(self, tmp_path):
+        b = ChromeTraceBuilder()
+        b.begin("s", 0)
+        b.end("s", 1)
+        buf = io.StringIO()
+        b.write(buf)
+        path = tmp_path / "nested" / "trace.json"
+        b.write(path)  # creates parents
+        assert json.loads(buf.getvalue()) == json.loads(path.read_text())
+
+    def test_trace_sorts_multi_source_events_by_ts(self):
+        b = ChromeTraceBuilder()
+        b.complete("late", 10, 1, tid=2)
+        b.begin("early", 0)
+        b.end("early", 5)
+        ts = [e["ts"] for e in b.trace()["traceEvents"]]
+        assert ts == sorted(ts)
+        validate_trace(b.trace())
+
+
+class TestObserverTrace:
+    def test_round_trips_through_json(self):
+        trace = sorted_trace()
+        again = json.loads(json.dumps(trace))
+        assert again == trace
+        validate_trace(again)
+
+    def test_every_event_has_required_keys(self):
+        for ev in sorted_trace()["traceEvents"]:
+            for key in REQUIRED_EVENT_KEYS:
+                assert key in ev, f"missing {key} in {ev}"
+            assert isinstance(ev["ts"], (int, float))
+
+    def test_ts_monotonic_per_track(self):
+        last = {}
+        for ev in sorted_trace()["traceEvents"]:
+            if ev["ph"] == "M":
+                continue
+            track = (ev["pid"], ev["tid"])
+            assert ev["ts"] >= last.get(track, float("-inf"))
+            last[track] = ev["ts"]
+
+    def test_b_e_pairs_match(self):
+        stacks = {}
+        opened = 0
+        for ev in sorted_trace()["traceEvents"]:
+            track = (ev["pid"], ev["tid"])
+            if ev["ph"] == "B":
+                stacks.setdefault(track, []).append(ev["name"])
+                opened += 1
+            elif ev["ph"] == "E":
+                assert stacks[track], "E without open B"
+                assert stacks[track].pop() == ev["name"]
+        assert opened > 0, "a mergesort run must declare phases"
+        assert all(not s for s in stacks.values())
+
+    def test_counter_tracks_follow_ios(self):
+        trace = sorted_trace(200)
+        counters = [e for e in trace["traceEvents"] if e["ph"] == "C"]
+        io_samples = [e for e in counters if e["name"] == "I/O"]
+        assert io_samples, "I/O counter track missing"
+        final = io_samples[-1]["args"]
+        # Reproduce the run without the observer: counts must agree.
+        atoms = sort_input(200, "uniform", np.random.default_rng(3))
+        machine = AEMMachine.for_algorithm(P)
+        SORTERS["aem_mergesort"](machine, machine.load_input(atoms), P)
+        assert final == {"Qr": machine.reads, "Qw": machine.writes}
+
+    def test_every_throttles_counter_samples(self):
+        dense = sorted_trace(200)
+        obs = PerfettoObserver(every=50, label="sparse")
+        atoms = sort_input(200, "uniform", np.random.default_rng(3))
+        machine = AEMMachine.for_algorithm(P, observers=[obs])
+        SORTERS["aem_mergesort"](machine, machine.load_input(atoms), P)
+        obs.close()
+        sparse = obs.builder.trace()
+        n_dense = sum(1 for e in dense["traceEvents"] if e["ph"] == "C")
+        n_sparse = sum(1 for e in sparse["traceEvents"] if e["ph"] == "C")
+        assert 0 < n_sparse < n_dense / 10
+        validate_trace(sparse)
+
+    def test_close_ends_open_phases(self):
+        obs = PerfettoObserver()
+        machine = AEMMachine(P, observers=[obs])
+        machine.core.phase("outer").__enter__()  # abandon mid-phase
+        machine.acquire(1)
+        machine.write_fresh([1])
+        obs.close()
+        validate_trace(obs.builder.trace())
+
+    def test_rejects_bad_every(self):
+        with pytest.raises(ValueError):
+            PerfettoObserver(every=0)
+
+    def test_round_boundary_becomes_instant(self):
+        obs = PerfettoObserver()
+        machine = AEMMachine(P, observers=[obs])
+        machine.acquire(1)
+        machine.write_fresh([1])
+        machine.round_boundary()
+        obs.close()
+        instants = [
+            e for e in obs.builder.trace()["traceEvents"] if e["ph"] == "i"
+        ]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "round boundary"
+
+
+class TestEngineSpans:
+    def test_engine_trace_is_valid_and_lane_packed(self):
+        tel = EngineTelemetry()
+        t = tel.t0
+        tel.record_task("a[0]", t + 0.0, t + 1.0)
+        tel.record_task("b[1]", t + 0.5, t + 1.5)  # overlaps a -> new lane
+        tel.record_task("c[2]", t + 1.2, t + 2.0)  # fits after a on lane 0
+        trace = tel.to_trace().trace()
+        validate_trace(trace)
+        spans = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        assert len(spans) == 3
+        assert {e["tid"] for e in spans} == {1, 2}
+
+    def test_cache_hits_marked(self):
+        tel = EngineTelemetry()
+        now = tel.t0 + 0.1
+        tel.record_task("hit[0]", now, now, cache_hit=True)
+        spans = [
+            e for e in tel.to_trace().trace()["traceEvents"] if e["ph"] == "X"
+        ]
+        assert spans[0]["args"]["cache_hit"] is True
+        assert spans[0]["dur"] == 0
+
+
+class TestValidateTrace:
+    def test_rejects_missing_key(self):
+        with pytest.raises(ValueError, match="missing required key"):
+            validate_trace({"traceEvents": [{"name": "x", "ph": "B", "ts": 0, "pid": 1}]})
+
+    def test_rejects_backwards_ts(self):
+        events = [
+            {"name": "a", "ph": "i", "ts": 5, "pid": 1, "tid": 1, "s": "t"},
+            {"name": "b", "ph": "i", "ts": 4, "pid": 1, "tid": 1, "s": "t"},
+        ]
+        with pytest.raises(ValueError, match="backwards"):
+            validate_trace({"traceEvents": events})
+
+    def test_rejects_unmatched_begin(self):
+        events = [{"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1}]
+        with pytest.raises(ValueError, match="unclosed"):
+            validate_trace({"traceEvents": events})
+
+    def test_rejects_mismatched_end_name(self):
+        events = [
+            {"name": "a", "ph": "B", "ts": 0, "pid": 1, "tid": 1},
+            {"name": "z", "ph": "E", "ts": 1, "pid": 1, "tid": 1},
+        ]
+        with pytest.raises(ValueError, match="closes open"):
+            validate_trace({"traceEvents": events})
+
+    def test_rejects_non_numeric_counter(self):
+        events = [
+            {"name": "c", "ph": "C", "ts": 0, "pid": 1, "tid": 1, "args": {"v": "hi"}}
+        ]
+        with pytest.raises(ValueError, match="numeric"):
+            validate_trace({"traceEvents": events})
+
+    def test_rejects_missing_event_list(self):
+        with pytest.raises(ValueError, match="traceEvents"):
+            validate_trace({})
