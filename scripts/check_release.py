@@ -33,6 +33,7 @@ MODULES = [
     "repro.permute",
     "repro.primitives",
     "repro.rounds",
+    "repro.sanitize",
     "repro.sorting",
     "repro.spmxv",
     "repro.structures",
@@ -52,6 +53,24 @@ def check_examples() -> None:
         t0 = time.time()
         runpy.run_path(str(script), run_name="__main__")
         print(f"[ok] example {script.name} ({time.time() - t0:.1f}s)")
+
+
+def check_invariants() -> int:
+    from repro.sanitize import run_lint_checks, run_trace_checks
+
+    t0 = time.time()
+    found = run_trace_checks()
+    found_lint = run_lint_checks()
+    n = len(found) + len(found_lint)
+    print(
+        f"[{'ok' if n == 0 else 'FAIL'}] model sanitizers + lint: "
+        f"{n} violation(s) ({time.time() - t0:.0f}s)"
+    )
+    for v in found:
+        print(f"       {v.render()}")
+    for v in found_lint:
+        print(f"       {v.render()}")
+    return n
 
 
 def check_experiments() -> int:
@@ -86,7 +105,8 @@ def main() -> int:
     for line in buf.getvalue().splitlines():
         if line.startswith("[ok] example"):
             print(line)
-    failed = check_experiments()
+    failed = check_invariants()
+    failed += check_experiments()
     print("release gate:", "PASS" if failed == 0 else f"FAIL ({failed})")
     return 1 if failed else 0
 

@@ -430,6 +430,34 @@ def cmd_inspect(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Run the model sanitizers and/or the source lint pass."""
+    from .sanitize import run_lint_checks, run_trace_checks
+
+    run_traces = args.traces or args.all or not (args.traces or args.lint)
+    run_lint = args.lint or args.all or not (args.traces or args.lint)
+
+    failures = 0
+    if run_traces:
+        print("trace sanitizers (live runs + Lemma 4.1 / Lemma 4.3):")
+        violations = run_trace_checks(log=print)
+        for v in violations:
+            print(f"  [FAIL] {v.render()}", file=sys.stderr)
+        failures += len(violations)
+    if run_lint:
+        print("source lint (rules AEM101-AEM106):")
+        lint_violations = run_lint_checks(log=print)
+        for lv in lint_violations:
+            print(f"  [FAIL] {lv.render()}", file=sys.stderr)
+        failures += len(lint_violations)
+
+    if failures:
+        print(f"check FAILED: {failures} violation(s)", file=sys.stderr)
+        return 1
+    print("check passed: all invariants hold")
+    return 0
+
+
 def cmd_bounds(args) -> int:
     p = _params(args)
     N = args.n
@@ -512,6 +540,25 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_args(sp)
     sp.set_defaults(fn=cmd_spmxv)
 
+    chk = sub.add_parser(
+        "check",
+        help="verify model invariants: sanitizers on real traces "
+        "(--traces), the AEM source lint (--lint), or both (--all, "
+        "the default)",
+    )
+    chk.add_argument(
+        "--traces",
+        action="store_true",
+        help="run the live sanitizers and the Lemma 4.1/4.3 end-to-end checks",
+    )
+    chk.add_argument(
+        "--lint", action="store_true", help="run the AEM source lint rules"
+    )
+    chk.add_argument(
+        "--all", action="store_true", help="run both halves (the default)"
+    )
+    chk.set_defaults(fn=cmd_check)
+
     bd = sub.add_parser("bounds", help="print the bound formulas for a point")
     bd.add_argument("--n", type=int, default=65_536)
     _add_machine_args(bd)
@@ -546,7 +593,24 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except KeyboardInterrupt:
+        print("repro-aem: interrupted", file=sys.stderr)
+        return 130
+    except Exception as exc:
+        # A run that raises — in-process or inside an engine worker — must
+        # exit non-zero, not crash with a traceback on one path and return
+        # 0 on another. REPRO_DEBUG=1 re-raises for debugging.
+        import os
+
+        if os.environ.get("REPRO_DEBUG"):
+            raise
+        import traceback as tb_mod
+
+        tb_mod.print_exc(file=sys.stderr)
+        print(f"repro-aem: error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

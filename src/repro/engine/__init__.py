@@ -29,12 +29,20 @@ from .cache import (
     function_id,
 )
 from .config import ExperimentConfig
-from .core import EngineStats, SweepEngine, active_engine, ambient_engine, use_engine
+from .core import (
+    EngineStats,
+    EngineWorkerError,
+    SweepEngine,
+    active_engine,
+    ambient_engine,
+    use_engine,
+)
 
 __all__ = [
     "MISS",
     "CacheStats",
     "EngineStats",
+    "EngineWorkerError",
     "ExperimentConfig",
     "ResultCache",
     "SweepEngine",

@@ -26,14 +26,36 @@ exactly the pre-engine behavior.
 from __future__ import annotations
 
 import inspect
+import pickle
 import sys
 import time
+import traceback
 from concurrent.futures import ProcessPoolExecutor
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
 
 from .cache import MISS, ResultCache, function_id
+
+
+class EngineWorkerError(RuntimeError):
+    """A measurement raised inside a worker process.
+
+    Raised in the *parent* when the worker's original exception cannot
+    survive the pickle round-trip back (e.g. a third-party exception with
+    a custom ``__init__``). Carries the original type name and the
+    worker-side traceback, so the failure is diagnosable instead of
+    surfacing as an opaque ``BrokenProcessPool``.
+    """
+
+    def __init__(self, label: str, exc_type: str, message: str, worker_tb: str):
+        self.label = label
+        self.exc_type = exc_type
+        self.worker_tb = worker_tb
+        super().__init__(
+            f"{label} raised {exc_type}: {message}\n"
+            f"--- worker traceback ---\n{worker_tb}"
+        )
 
 
 @dataclass
@@ -69,6 +91,32 @@ class EngineStats:
 
 def _call(measure: Callable, config: Mapping) -> Any:
     return measure(**config)
+
+
+def _call_guarded(measure: Callable, config: Mapping, label: str) -> tuple:
+    """Pool target: run the measurement, shipping failures back safely.
+
+    Returns ``("ok", value, None)`` on success. On failure, the exception
+    is returned as a value — ``("exc", exception, None)`` when it survives
+    a pickle round-trip intact, else ``("err", (type_name, message),
+    formatted_traceback)``. Letting the exception propagate out of the
+    pool target instead would make ``future.result()`` re-raise it via
+    unpickling, and any exception that does not unpickle (a custom
+    ``__init__`` signature suffices) would take down the pool with an
+    opaque ``BrokenProcessPool``.
+    """
+    try:
+        return ("ok", _call(measure, config), None)
+    except Exception as exc:
+        try:
+            pickle.loads(pickle.dumps(exc))
+        except Exception:
+            return (
+                "err",
+                (type(exc).__name__, str(exc)),
+                traceback.format_exc(),
+            )
+        return ("exc", exc, None)
 
 
 def _accepts_observers(measure: Callable) -> bool:
@@ -187,12 +235,22 @@ class SweepEngine:
             futures = []
             for i, key, config in pending:
                 submitted = time.perf_counter()
-                fut = pool.submit(_call, measure, config)
+                fut = pool.submit(
+                    _call_guarded, measure, config, _task_label(measure, i)
+                )
                 if telemetry is not None:
                     fut.add_done_callback(_mark_done(i))
                 futures.append((i, key, config, submitted, fut))
             for i, key, config, submitted, fut in futures:
-                results[i] = self._finish(measure, key, config, fut.result())
+                status, payload, worker_tb = fut.result()
+                if status == "exc":
+                    raise payload
+                if status == "err":
+                    exc_type, message = payload
+                    raise EngineWorkerError(
+                        _task_label(measure, i), exc_type, message, worker_tb
+                    )
+                results[i] = self._finish(measure, key, config, payload)
                 if telemetry is not None:
                     telemetry.record_task(
                         _task_label(measure, i),

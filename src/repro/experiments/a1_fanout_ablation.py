@@ -21,6 +21,7 @@ import numpy as np
 from ..analysis.tables import format_table
 from ..core.params import AEMParams
 from ..machine.aem import AEMMachine
+from ..machine.cost import CostRecord
 from ..sorting.base import verify_sorted_output
 from ..sorting.mergesort import sort_run
 from ..sorting.runs import run_of_input
@@ -62,10 +63,8 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         costs.append(machine.cost)
         levels.append(lv)
         rows.append([d, lv, machine.reads, machine.writes, machine.cost])
-        res.records.append(
-            {"fanout": d, "levels": lv, "Qr": machine.reads,
-             "Qw": machine.writes, "Q": machine.cost}
-        )
+        rec = CostRecord.from_snapshot(machine.snapshot(), peak=machine.mem.peak)
+        res.records.append({"fanout": d, "levels": lv, **rec})
     res.tables.append(
         format_table(
             ["fan-out d", "levels", "Qr", "Qw", "Q"],

@@ -100,7 +100,7 @@ def flash_mergesort(
     """
     M = memory or fm.M
     key = key or (lambda x: x)
-    items_total = sum(len(fm.disk.get(a)) for a in addrs)
+    items_total = sum(fm.block_len(a) for a in addrs)
     if items_total == 0:
         return []
 

@@ -222,6 +222,17 @@ class AEMMachine:
     def free(self, addr: int) -> None:
         self.disk.free(addr)
 
+    def block_len(self, addr: int) -> int:
+        """Number of atoms stored in block ``addr`` (cost-free metadata).
+
+        Block occupancies are problem metadata, not data the program must
+        discover — exactly like an algorithm being told its input size —
+        so reading them charges nothing. This is the sanctioned way for
+        algorithms to size runs and tiles; touching ``disk`` contents
+        directly is a lint violation (AEM102).
+        """
+        return len(self.disk.get(addr))
+
     # ------------------------------------------------------------------
     # Input/output placement (cost-free: the problem statement).
     # ------------------------------------------------------------------

@@ -73,6 +73,7 @@ class MachineCore:
         self.disk = disk
         self.mem = mem
         self.io_count = 0  # total I/O events emitted (reads + writes)
+        self.last_drained = 0  # slots drained by the most recent round boundary
         self.observers: list[MachineObserver] = []
         for name in EVENTS:
             setattr(self, "_" + name, [])
@@ -202,6 +203,10 @@ class MachineCore:
         ``round_boundaries``.
         """
         held = self.mem.drain()
+        # Recorded before the callbacks run: observers fired by this
+        # boundary (e.g. the round-form sanitizer) can see how many slots
+        # were still occupied when the round ended.
+        self.last_drained = held
         for cb in self._on_round_boundary:
             cb(self.io_count)
         return held

@@ -20,10 +20,19 @@ class CapacityError(MachineError):
         self.requested = requested
         self.occupancy = occupancy
         self.capacity = capacity
+        self.what = what
         super().__init__(
             f"internal memory overflow: need {requested} more {what} "
             f"on top of {occupancy}, but capacity is {capacity}"
         )
+
+    def __reduce__(self):
+        # Exception.__reduce__ would replay __init__ with the single
+        # formatted message, which does not match this signature — the
+        # unpickle inside a worker-pool round-trip then raises TypeError
+        # and the pool reports a useless BrokenProcessPool instead of the
+        # real overflow. Rebuild from the original arguments.
+        return (type(self), (self.requested, self.occupancy, self.capacity, self.what))
 
 
 class BlockSizeError(MachineError):

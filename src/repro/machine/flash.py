@@ -224,6 +224,11 @@ class FlashMachine:
             out.extend(self.read_small(addr, j))
         return tuple(out)
 
+    def block_len(self, addr: int) -> int:
+        """Number of elements stored in write block ``addr`` (cost-free
+        metadata, see :meth:`repro.machine.aem.AEMMachine.block_len`)."""
+        return len(self.disk.get(addr))
+
     # ------------------------------------------------------------------
     # Problem placement (cost-free).
     # ------------------------------------------------------------------

@@ -49,7 +49,7 @@ def transpose(
     N = rows * cols
     if N == 0:
         return []
-    total = sum(len(machine.disk.get(a)) for a in addrs)
+    total = sum(machine.block_len(a) for a in addrs)
     if total != N:
         raise ValueError(f"expected {N} atoms for a {rows}x{cols} matrix, got {total}")
     if not tiles_fit(params):

@@ -1,0 +1,55 @@
+"""Model sanitizers and the repo lint pass: the AEM axioms, executable.
+
+Two halves (see ``docs/sanitizers.md``):
+
+* **trace sanitizers** — observers and program checkers that verify model
+  axioms on real runs: capacity (``occupancy <= M``), cost
+  (``Q = Qr + omega*Qw`` recomputed from raw events), provenance (no
+  teleported data), round form (Lemma 4.1), flash-reduction volume
+  (Lemma 4.3);
+* **source lint** — AST rules AEM101-AEM106 enforcing the layering that
+  keeps the model honest (:mod:`repro.sanitize.lint`).
+
+Entry points: ``repro-aem check [--traces|--lint|--all]``, the
+``sanitized_machine`` pytest fixture, ``REPRO_SANITIZE=1`` global test
+mode, and :func:`attach_sanitizers` for ad-hoc use.
+"""
+
+from .base import (
+    MAX_VIOLATIONS,
+    Sanitizer,
+    SanitizerError,
+    TraceSanitizer,
+    Violation,
+)
+from .capacity import CapacitySanitizer
+from .cost import CostSanitizer
+from .lint import LintViolation, lint_paths, lint_source
+from .provenance import ProgramProvenanceSanitizer, ProvenanceSanitizer
+from .reduction import ReductionSanitizer
+from .rounds import RoundFormProgramSanitizer, RoundFormSanitizer, check_round_form
+from .runner import run_lint_checks, run_trace_checks
+from .suite import SanitizerSuite, attach_sanitizers
+
+__all__ = [
+    "MAX_VIOLATIONS",
+    "Sanitizer",
+    "SanitizerError",
+    "TraceSanitizer",
+    "Violation",
+    "CapacitySanitizer",
+    "CostSanitizer",
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+    "ProgramProvenanceSanitizer",
+    "ProvenanceSanitizer",
+    "ReductionSanitizer",
+    "RoundFormProgramSanitizer",
+    "RoundFormSanitizer",
+    "check_round_form",
+    "run_lint_checks",
+    "run_trace_checks",
+    "SanitizerSuite",
+    "attach_sanitizers",
+]

@@ -1,0 +1,129 @@
+"""Sanitizer plumbing: violations, the error type, and the observer base.
+
+A *sanitizer* turns one of the model's axioms into an executable
+assertion. Two flavors share this module's plumbing:
+
+* **live sanitizers** — :class:`Sanitizer` subclasses, which are ordinary
+  :class:`~repro.observe.MachineObserver` instances attached to a machine's
+  event bus; they watch a run as it happens and accumulate
+  :class:`Violation` records instead of raising mid-run (so a single run
+  reports *every* breach, not just the first);
+* **trace sanitizers** — :class:`TraceSanitizer` subclasses, which check a
+  recorded :class:`~repro.trace.program.Program` (or a report derived from
+  one) after the fact.
+
+Both expose the same surface: ``violations`` (the accumulated evidence),
+``ok`` (no violations), and ``verify()`` (raise :class:`SanitizerError`
+carrying all of them). Violation collection is capped so a hot loop that
+breaches an invariant millions of times still produces a readable report;
+the suppressed remainder is counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.errors import MachineError
+from ..observe.base import MachineObserver
+
+#: Per-sanitizer cap on recorded violations; everything past it is only
+#: counted (``suppressed``), keeping reports readable and memory bounded.
+MAX_VIOLATIONS = 20
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach of a model invariant."""
+
+    rule: str
+    message: str
+    where: str = ""
+
+    def render(self) -> str:
+        loc = f" [{self.where}]" if self.where else ""
+        return f"{self.rule}: {self.message}{loc}"
+
+
+class SanitizerError(MachineError):
+    """One or more model invariants were violated.
+
+    Carries the full list of :class:`Violation` records in
+    :attr:`violations`; the message renders them all.
+    """
+
+    def __init__(self, violations: tuple[Violation, ...] | list[Violation]):
+        self.violations = tuple(violations)
+        lines = "\n".join("  " + v.render() for v in self.violations)
+        super().__init__(
+            f"{len(self.violations)} model-invariant violation(s):\n{lines}"
+        )
+
+    def __reduce__(self):
+        # Same picklability concern as CapacityError: rebuild from the
+        # original argument, not the formatted message.
+        return (type(self), (self.violations,))
+
+
+class _Collector:
+    """Shared violation-accumulation behavior (mixed into both flavors)."""
+
+    rule: str = "SANITIZER"
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        self.suppressed = 0
+
+    def flag(self, message: str, *, where: str = "") -> None:
+        """Record one violation (or count it once the cap is reached)."""
+        if len(self.violations) >= MAX_VIOLATIONS:
+            self.suppressed += 1
+            return
+        self.violations.append(Violation(self.rule, message, where))
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation has been observed (after finalizing)."""
+        self._finalize()
+        return not self.violations
+
+    def verify(self) -> None:
+        """Raise :class:`SanitizerError` if any violation was observed."""
+        self._finalize()
+        if self.violations:
+            raise SanitizerError(tuple(self.violations))
+
+    def _finalize(self) -> None:
+        """Hook for end-of-run checks (ledger reconciliation, open rounds).
+
+        Must be idempotent: ``ok``/``verify()`` may be consulted more than
+        once.
+        """
+
+    def describe(self) -> str:
+        n = len(self.violations) + self.suppressed
+        return f"{self.rule}: {'clean' if n == 0 else f'{n} violation(s)'}"
+
+
+class Sanitizer(_Collector, MachineObserver):
+    """Base class for live (event-bus) sanitizers.
+
+    Subclasses override the machine events they check. The attached core
+    is available as :attr:`core` from ``on_attach`` onward, so checks can
+    read machine state (ledger occupancy, block store) directly — reading
+    is free in the model; sanitizers never mutate (lint rule AEM103).
+    """
+
+    def __init__(self) -> None:
+        _Collector.__init__(self)
+        self.core = None  # set on attach
+        self.events = 0  # events this sanitizer has inspected
+
+    def on_attach(self, core) -> None:
+        self.core = core
+
+    def _where(self) -> str:
+        return f"event {self.events}"
+
+
+class TraceSanitizer(_Collector):
+    """Base class for after-the-fact (recorded program) sanitizers."""

@@ -1,0 +1,90 @@
+"""CapacitySanitizer: the AEM's defining constraint, ``occupancy <= M``.
+
+The model (Section 2) allows at most ``M`` atoms resident in internal
+memory and moves data in blocks of at most ``B`` atoms. The machines
+normally enforce the first through the
+:class:`~repro.machine.internal.InternalMemory` ledger, but enforcement
+can be disabled (``enforce_capacity=False``) — and the flash machine runs
+with it off by design. This sanitizer re-checks both constraints from the
+*outside*, at every event, so a run that cheats the ledger (or a ledger
+bug itself) is caught regardless of the enforcement switch.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .base import Sanitizer
+
+
+class CapacitySanitizer(Sanitizer):
+    """Internal memory never exceeds its capacity; transfers never exceed B.
+
+    Parameters
+    ----------
+    capacity:
+        Atom capacity to check against; defaults to the attached core's
+        ledger capacity (the machine's ``M``).
+    block_size:
+        Maximum atoms per block transfer; defaults to the attached core's
+        block store ``B``.
+    """
+
+    rule = "CAPACITY"
+
+    def __init__(
+        self, *, capacity: Optional[int] = None, block_size: Optional[int] = None
+    ):
+        super().__init__()
+        self.capacity = capacity
+        self.block_size = block_size
+        self.peak = 0
+
+    def on_attach(self, core) -> None:
+        super().on_attach(core)
+        if self.capacity is None:
+            self.capacity = core.mem.capacity
+        if self.block_size is None:
+            self.block_size = core.disk.B
+
+    # ------------------------------------------------------------------
+    # Checks.
+    # ------------------------------------------------------------------
+    def _check_occupancy(self) -> None:
+        occ = self.core.mem.occupancy
+        if occ > self.peak:
+            self.peak = occ
+        if occ > self.capacity:
+            self.flag(
+                f"internal memory holds {occ} atoms, capacity is {self.capacity}",
+                where=self._where(),
+            )
+
+    def _check_block(self, kind: str, addr: int, items: Sequence) -> None:
+        if len(items) > self.block_size:
+            self.flag(
+                f"{kind} of {len(items)} atoms at block {addr} exceeds "
+                f"block size B={self.block_size}",
+                where=self._where(),
+            )
+
+    # ------------------------------------------------------------------
+    # Event handlers.
+    # ------------------------------------------------------------------
+    def on_read(self, addr: int, items: Sequence, cost: float) -> None:
+        self.events += 1
+        self._check_block("read", addr, items)
+        self._check_occupancy()
+
+    def on_write(self, addr: int, items: Sequence, cost: float) -> None:
+        self.events += 1
+        self._check_block("write", addr, items)
+        self._check_occupancy()
+
+    def on_acquire(self, k: int, what: str) -> None:
+        self.events += 1
+        self._check_occupancy()
+
+    def on_release(self, k: int) -> None:
+        self.events += 1
+        self._check_occupancy()

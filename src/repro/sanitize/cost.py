@@ -1,0 +1,167 @@
+"""CostSanitizer: the asymmetric cost identity ``Q = Qr + omega * Qw``.
+
+The paper's whole object of study is the cost functional
+``Q = Qr + omega * Qw`` (Section 2). The machines account for it through
+an always-attached :class:`~repro.observe.CostObserver` ("the ledger");
+this sanitizer recomputes everything independently from the raw event
+stream — per-event charges, running totals, and per-phase attribution —
+and reconciles against the ledger at the end of the run. A machine that
+charges the wrong per-I/O cost, or a ledger that was tampered with
+(counters reset mid-run, totals patched), is reported with the exact
+discrepancy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..observe.cost import CostObserver
+from .base import Sanitizer
+
+_TOL = 1e-9
+
+
+class CostSanitizer(Sanitizer):
+    """Recompute ``Qr``/``Qw``/``Q`` from raw events; reconcile the ledger.
+
+    Parameters
+    ----------
+    read_cost / write_cost:
+        The model's expected per-event charges. Default ``None`` infers
+        them at attach time from the machine's own
+        :class:`~repro.observe.CostObserver`: reads cost ``1`` and writes
+        cost ``omega`` (correct for AEM/EM/ARAM machines). For a flash
+        machine pass ``read_cost=Br, write_cost=Bw`` explicitly.
+    """
+
+    rule = "COST"
+
+    def __init__(
+        self,
+        *,
+        read_cost: Optional[float] = None,
+        write_cost: Optional[float] = None,
+    ):
+        super().__init__()
+        self.read_cost = read_cost
+        self.write_cost = write_cost
+        self.reads = 0
+        self.writes = 0
+        self.touches = 0
+        self.read_cost_total = 0.0
+        self.write_cost_total = 0.0
+        # Shadow phase attribution: name -> [reads, writes, touches].
+        self.phases: dict[str, list[float]] = {}
+        self._stack: list[str] = []
+        self._ledger: Optional[CostObserver] = None
+        self._omega: Optional[float] = None
+        self._reconciled = False
+
+    def on_attach(self, core) -> None:
+        super().on_attach(core)
+        ledgers = core.find(CostObserver)
+        if ledgers:
+            self._ledger = ledgers[0]
+            self._omega = self._ledger.counter.omega
+        if self.read_cost is None:
+            self.read_cost = 1
+        if self.write_cost is None:
+            self.write_cost = self._omega if self._omega is not None else 1
+
+    # ------------------------------------------------------------------
+    # Event handlers: independent recount.
+    # ------------------------------------------------------------------
+    def _attribute(self, slot: int, amount: float = 1) -> None:
+        # Mirror the ledger's discipline: costs go to the innermost phase.
+        if self._stack:
+            self.phases[self._stack[-1]][slot] += amount
+
+    def on_read(self, addr: int, items: Sequence, cost: float) -> None:
+        self.events += 1
+        self.reads += 1
+        self.read_cost_total += cost
+        self._attribute(0)
+        if abs(cost - self.read_cost) > _TOL:
+            self.flag(
+                f"read of block {addr} charged {cost}, the model's read "
+                f"cost is {self.read_cost}",
+                where=self._where(),
+            )
+
+    def on_write(self, addr: int, items: Sequence, cost: float) -> None:
+        self.events += 1
+        self.writes += 1
+        self.write_cost_total += cost
+        self._attribute(1)
+        if abs(cost - self.write_cost) > _TOL:
+            self.flag(
+                f"write of block {addr} charged {cost}, the model's write "
+                f"cost is {self.write_cost}",
+                where=self._where(),
+            )
+
+    def on_touch(self, k: int) -> None:
+        self.events += 1
+        self.touches += k
+        self._attribute(2, k)
+
+    def on_phase_enter(self, name: str) -> None:
+        self.events += 1
+        self._stack.append(name)
+        self.phases.setdefault(name, [0, 0, 0])
+
+    def on_phase_exit(self, name: str) -> None:
+        self.events += 1
+        if not self._stack or self._stack[-1] != name:
+            self.flag(
+                f"phase exit {name!r} does not match the open phase "
+                f"{self._stack[-1]!r}" if self._stack
+                else f"phase exit {name!r} with no phase open",
+                where=self._where(),
+            )
+            return
+        self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # End-of-run reconciliation against the machine's ledger.
+    # ------------------------------------------------------------------
+    @property
+    def Q(self) -> float:
+        """Total cost recomputed from raw events."""
+        return self.read_cost_total + self.write_cost_total
+
+    def _finalize(self) -> None:
+        if self._reconciled or self._ledger is None:
+            return
+        self._reconciled = True
+        counter = self._ledger.counter
+        checks = (
+            ("Qr (read count)", counter.reads, self.reads),
+            ("Qw (write count)", counter.writes, self.writes),
+            ("T (touches)", counter.touches, self.touches),
+            ("accumulated read cost", self._ledger.read_cost, self.read_cost_total),
+            ("accumulated write cost", self._ledger.write_cost, self.write_cost_total),
+            (
+                "Q = Qr + omega*Qw",
+                counter.Q,
+                self.reads + counter.omega * self.writes,
+            ),
+        )
+        for label, ledger_value, recomputed in checks:
+            if abs(ledger_value - recomputed) > _TOL:
+                self.flag(
+                    f"ledger {label} is {ledger_value:g}, raw events give "
+                    f"{recomputed:g}"
+                )
+        # Per-phase attribution must agree with the ledger's.
+        for name, (r, w, t) in self.phases.items():
+            snap = counter.phases.get(name)
+            if snap is None:
+                self.flag(f"phase {name!r} seen on the bus but missing from the ledger")
+                continue
+            if (snap.reads, snap.writes, snap.touches) != (r, w, t):
+                self.flag(
+                    f"phase {name!r}: ledger says reads={snap.reads} "
+                    f"writes={snap.writes} touches={snap.touches}, raw events "
+                    f"give reads={r:g} writes={w:g} touches={t:g}"
+                )

@@ -1,0 +1,360 @@
+"""Repo-specific source lint: the model's layering rules, mechanically.
+
+The trace sanitizers check *runs*; this module checks *source*. Each rule
+encodes a structural invariant of this repository that, when broken,
+lets code cheat the model silently — an algorithm poking the block store
+moves data without I/O cost, an observer mutating machine state makes
+observation non-free, a hand-rolled cost dict bypasses the audited
+ledger. Rules are AST-based (no third-party dependency) and every rule
+has an ID, a docstring, and an escape hatch::
+
+    some_code()  # lint: disable=AEM102
+    # lint: disable-file=AEM104     (anywhere in the file, disables for it)
+
+Run via ``repro-aem check --lint`` or :func:`lint_paths`.
+
+Rules
+-----
+AEM101
+    No module outside ``repro.machine`` touches ``BlockStore`` internals
+    (``_blocks``, ``_next_addr``) on another object. (Unrelated private
+    attributes on ``self`` are fine.)
+AEM102
+    Algorithm packages (sorting, permute, spmxv, structures, primitives,
+    flashmodel) move data only through machine APIs: no
+    ``*.disk.get/set/restore/load_items/dump_items`` access. Block sizes
+    come from ``machine.block_len``; data moves via ``read``/``write``.
+AEM103
+    Observer classes (subclasses of ``MachineObserver``) never mutate
+    machine state: no calls to mutating core/ledger/store methods and no
+    attribute assignment on the observed core from inside a handler.
+AEM104
+    No bare dict cost accounting: a dict literal with both ``"Qr"`` and
+    ``"Qw"`` keys outside the ledger module (``repro.machine.cost``) is a
+    shadow cost record; use :class:`~repro.machine.cost.CostRecord`.
+AEM105
+    Observer classes define no ``on_*`` methods outside the machine-event
+    vocabulary (the static mirror of the attach-time runtime check).
+AEM106
+    Nothing outside ``repro.machine`` assigns to a ledger's
+    ``occupancy``/``peak``/``capacity`` — tampering with the capacity
+    accounting from outside the machine layer.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..observe.base import EVENTS
+
+#: Packages holding *algorithms* — code that runs on a machine and must
+#: move data exclusively through the machine API (rule AEM102).
+ALGORITHM_PACKAGES = (
+    "sorting",
+    "permute",
+    "spmxv",
+    "structures",
+    "primitives",
+    "flashmodel",
+)
+
+#: BlockStore internals nothing outside repro.machine may touch (AEM101).
+_STORE_INTERNALS = {"_blocks", "_next_addr"}
+
+#: ``.disk.<attr>`` accesses forbidden in algorithm packages (AEM102).
+_DISK_FORBIDDEN = {"get", "set", "restore", "load_items", "dump_items"}
+
+#: Mutating methods an observer must not call on the observed machine
+#: core / ledger / store (AEM103).
+_MUTATORS = {
+    "acquire",
+    "release",
+    "drain",
+    "read_block",
+    "write_block",
+    "emit_read",
+    "emit_write",
+    "round_boundary",
+    "set",
+    "restore",
+    "free",
+    "allocate",
+    "allocate_one",
+    "load_items",
+    "reset",
+}
+
+#: Names an observer handler may reach machine state through (AEM103).
+_CORE_ROOTS = {"core", "machine"}
+
+#: Event vocabulary for AEM105 (lifecycle hooks included).
+_ALLOWED_HANDLERS = set(EVENTS) | {"on_attach", "on_detach"}
+
+_DISABLE_LINE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One rule breach at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule}: {self.message}"
+
+
+def _parse_disables(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """``(line -> rules disabled on it, rules disabled file-wide)``."""
+    per_line: dict[int, set[str]] = {}
+    per_file: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _DISABLE_LINE.search(text)
+        if m:
+            per_line.setdefault(lineno, set()).update(
+                r.strip() for r in m.group(1).split(",") if r.strip()
+            )
+        m = _DISABLE_FILE.search(text)
+        if m:
+            per_file.update(r.strip() for r in m.group(1).split(",") if r.strip())
+    return per_line, per_file
+
+
+def _attr_root(node: ast.expr) -> Optional[str]:
+    """The leftmost name of an attribute chain (``a.b.c`` -> ``"a"``)."""
+    while isinstance(node, ast.Attribute):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_observer_class(node: ast.ClassDef) -> bool:
+    """Textual check: does any base mention ``MachineObserver``/``Sanitizer``?
+
+    Lint is per-file static analysis, so this is heuristic by design: it
+    catches direct subclasses and the conventional naming; exotic indirect
+    subclasses are covered by the runtime attach-time validation instead.
+    """
+    for base in node.bases:
+        text = ast.unparse(base)
+        tail = text.rsplit(".", 1)[-1]
+        if tail in ("MachineObserver", "Sanitizer") or tail.endswith("Observer"):
+            return True
+    return False
+
+
+class _Checker(ast.NodeVisitor):
+    """One file's AST walk, collecting violations for every rule."""
+
+    def __init__(self, path: Path, rel: str, module_parts: tuple[str, ...]):
+        self.rel = rel
+        self.in_machine_pkg = "machine" in module_parts
+        self.in_algorithm_pkg = any(p in module_parts for p in ALGORITHM_PACKAGES)
+        self.in_cost_module = module_parts[-2:] == ("machine", "cost")
+        self.found: list[LintViolation] = []
+        self._observer_depth = 0
+
+    def flag(self, rule: str, node: ast.AST, message: str) -> None:
+        self.found.append(
+            LintViolation(rule, self.rel, getattr(node, "lineno", 0), message)
+        )
+
+    # -- AEM101 / AEM102 / AEM106 ------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if not self.in_machine_pkg and node.attr in _STORE_INTERNALS:
+            root = _attr_root(node)
+            if root != "self":
+                self.flag(
+                    "AEM101",
+                    node,
+                    f"access to BlockStore internal {node.attr!r} outside "
+                    "repro.machine; use the machine/store API",
+                )
+        if (
+            self.in_algorithm_pkg
+            and node.attr in _DISK_FORBIDDEN
+            and isinstance(node.value, ast.Attribute)
+            and node.value.attr == "disk"
+        ):
+            self.flag(
+                "AEM102",
+                node,
+                f"algorithm code reaching into the block store "
+                f"(.disk.{node.attr}); move data through machine "
+                "read/write and size blocks via machine.block_len",
+            )
+        self.generic_visit(node)
+
+    def _check_ledger_assign(self, target: ast.expr) -> None:
+        if (
+            isinstance(target, ast.Attribute)
+            and target.attr in ("occupancy", "peak", "capacity")
+            and not self.in_machine_pkg
+        ):
+            root = _attr_root(target)
+            if root != "self":
+                self.flag(
+                    "AEM106",
+                    target,
+                    f"assignment to ledger field {target.attr!r} outside "
+                    "repro.machine (capacity accounting is the ledger's)",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for t in node.targets:
+            self._check_ledger_assign(t)
+            self._check_observer_assign(t)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_ledger_assign(node.target)
+        self._check_observer_assign(node.target)
+        self.generic_visit(node)
+
+    # -- AEM103 / AEM105 ----------------------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        observer = _is_observer_class(node)
+        if observer:
+            for item in node.body:
+                if (
+                    isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and item.name.startswith("on_")
+                    and item.name not in _ALLOWED_HANDLERS
+                ):
+                    self.flag(
+                        "AEM105",
+                        item,
+                        f"handler {item.name!r} matches no machine event "
+                        f"(known: {', '.join(EVENTS)})",
+                    )
+            self._observer_depth += 1
+        self.generic_visit(node)
+        if observer:
+            self._observer_depth -= 1
+
+    def _reaches_machine_state(self, node: ast.expr) -> bool:
+        """Does this attribute chain start at the observed core/machine?
+
+        Matches ``core.*`` / ``machine.*`` (handler parameters) and
+        ``self.core.*`` / ``self.machine.*`` / ``self._core.*`` (stored at
+        attach). ``self.<other>`` is the observer's own state — allowed.
+        """
+        parts: list[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            parts.append(cur.id)
+        parts.reverse()  # root first
+        if not parts:
+            return False
+        if parts[0] in _CORE_ROOTS:
+            return True
+        return (
+            parts[0] == "self"
+            and len(parts) > 1
+            and parts[1].lstrip("_") in _CORE_ROOTS
+        )
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            self._observer_depth > 0
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATORS
+            and self._reaches_machine_state(node.func.value)
+        ):
+            self.flag(
+                "AEM103",
+                node,
+                f"observer mutates machine state ({node.func.attr}); "
+                "observation must be free — observers only read",
+            )
+        self.generic_visit(node)
+
+    def _check_observer_assign(self, target: ast.expr) -> None:
+        if (
+            self._observer_depth > 0
+            and isinstance(target, ast.Attribute)
+            and self._reaches_machine_state(target.value)
+        ):
+            self.flag(
+                "AEM103",
+                target,
+                f"observer assigns to machine state (.{target.attr}); "
+                "observation must be free — observers only read",
+            )
+
+    # -- AEM104 --------------------------------------------------------
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if not self.in_cost_module:
+            keys = {
+                k.value
+                for k in node.keys
+                if isinstance(k, ast.Constant) and isinstance(k.value, str)
+            }
+            if {"Qr", "Qw"} <= keys:
+                self.flag(
+                    "AEM104",
+                    node,
+                    "bare dict cost accounting (both 'Qr' and 'Qw' keys); "
+                    "build a repro.machine.cost.CostRecord instead",
+                )
+        self.generic_visit(node)
+
+
+def lint_source(source: str, *, rel: str, module_parts: tuple[str, ...]) -> list[LintViolation]:
+    """Lint one file's source text; returns surviving violations."""
+    tree = ast.parse(source, filename=rel)
+    checker = _Checker(Path(rel), rel, module_parts)
+    checker.visit(tree)
+    per_line, per_file = _parse_disables(source)
+    out = []
+    for v in checker.found:
+        if v.rule in per_file:
+            continue
+        if v.rule in per_line.get(v.line, ()):
+            continue
+        out.append(v)
+    return out
+
+
+def _module_parts(path: Path, root: Path) -> tuple[str, ...]:
+    try:
+        rel = path.relative_to(root)
+    except ValueError:
+        rel = path
+    return tuple(rel.with_suffix("").parts)
+
+
+def iter_python_files(root: Path) -> Iterator[Path]:
+    yield from sorted(root.rglob("*.py"))
+
+
+def lint_paths(paths: Sequence[Path | str]) -> list[LintViolation]:
+    """Lint every ``.py`` file under the given files/directories."""
+    violations: list[LintViolation] = []
+    for entry in paths:
+        entry = Path(entry)
+        files: Iterable[Path] = (
+            iter_python_files(entry) if entry.is_dir() else [entry]
+        )
+        root = entry if entry.is_dir() else entry.parent
+        for f in files:
+            source = f.read_text(encoding="utf-8")
+            violations.extend(
+                lint_source(
+                    source,
+                    rel=str(f),
+                    module_parts=_module_parts(f, root),
+                )
+            )
+    return violations

@@ -1,0 +1,101 @@
+"""Pytest integration: the ``sanitized_machine`` fixture and global mode.
+
+Two ways to run tests under the sanitizers:
+
+* the :func:`sanitized_machine` factory fixture — build machines whose
+  runs are verified at test teardown::
+
+      def test_my_algorithm(sanitized_machine, p_small):
+          machine = sanitized_machine(p_small)
+          ...  # teardown raises SanitizerError on any violation
+
+* **global mode** — set ``REPRO_SANITIZE=1`` and every
+  :class:`~repro.machine.aem.AEMMachine` constructed during a test gets
+  the suite attached and verified at teardown, so the *whole existing
+  suite* runs under sanitizers with no test changes. Machines built with
+  ``enforce_capacity=False`` are exempt (tests use them precisely to
+  exercise violations), as are tests marked ``@pytest.mark.no_sanitize``.
+
+Registered from ``tests/conftest.py`` via ``pytest_plugins``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from ..core.params import AEMParams
+from ..machine.aem import AEMMachine
+from .suite import SanitizerSuite, attach_sanitizers
+
+#: Environment switch for global sanitize mode.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def sanitize_mode_enabled() -> bool:
+    return os.environ.get(SANITIZE_ENV, "") not in ("", "0")
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: skip the REPRO_SANITIZE global machine sanitizers "
+        "for this test",
+    )
+
+
+@pytest.fixture
+def sanitized_machine():
+    """Factory for machines verified by the sanitizer suite at teardown.
+
+    ``sanitized_machine(params, **kw)`` builds an
+    ``AEMMachine.for_algorithm`` (pass ``for_algorithm=False`` for an
+    exact-capacity machine) with the live sanitizers attached. Teardown
+    calls ``verify()`` on every suite, so a test passes only if every run
+    it performed respected the model axioms.
+    """
+    suites: list[SanitizerSuite] = []
+
+    def make(params: AEMParams, *, for_algorithm: bool = True, **kw) -> AEMMachine:
+        if for_algorithm:
+            machine = AEMMachine.for_algorithm(params, **kw)
+        else:
+            machine = AEMMachine(params, **kw)
+        suites.append(attach_sanitizers(machine))
+        return machine
+
+    yield make
+    for suite in suites:
+        suite.verify()
+
+
+@pytest.fixture(autouse=True)
+def _global_sanitizers(request, monkeypatch):
+    """REPRO_SANITIZE=1: sanitize every AEMMachine a test constructs."""
+    if not sanitize_mode_enabled():
+        yield
+        return
+    if request.node.get_closest_marker("no_sanitize"):
+        yield
+        return
+
+    suites: list[SanitizerSuite] = []
+    original_init = AEMMachine.__init__
+
+    def patched_init(self, params, *, enforce_capacity=True, record=False, observers=()):
+        original_init(
+            self,
+            params,
+            enforce_capacity=enforce_capacity,
+            record=record,
+            observers=observers,
+        )
+        # Machines with enforcement off are violation *probes*; leave them.
+        if enforce_capacity:
+            suites.append(attach_sanitizers(self))
+
+    monkeypatch.setattr(AEMMachine, "__init__", patched_init)
+    yield
+    for suite in suites:
+        suite.verify()

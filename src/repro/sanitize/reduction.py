@@ -1,0 +1,73 @@
+"""ReductionSanitizer: the Lemma 4.3 flash-volume bound, re-asserted.
+
+Lemma 4.3 simulates an AEM permutation program of cost ``Q`` on ``N``
+atoms in the unit-cost flash model (read blocks ``B/omega``, write blocks
+``B``) with I/O volume at most ``2N + 2*Q*B/omega``. The reduction in
+:mod:`repro.flashred` *measures* the volume on a real
+:class:`~repro.machine.flash.FlashMachine`; this sanitizer replays a
+reduction and asserts the measured volume against an independently
+recomputed budget — catching both a broken simulation (volume too high,
+or a construction error surfacing as a trace/model exception) and a
+tampered report (whose ``bound`` field disagrees with the lemma formula).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..machine.errors import MachineError
+from ..trace.program import Program
+from .base import TraceSanitizer, Violation
+
+
+class ReductionSanitizer(TraceSanitizer):
+    """Replay a flash reduction and assert the Lemma 4.3 volume bound."""
+
+    rule = "REDUCTION"
+
+    def check_report(
+        self,
+        report,
+        *,
+        B: Optional[int] = None,
+        omega: Optional[float] = None,
+    ) -> list[Violation]:
+        """Check a :class:`~repro.flashred.reduction.FlashReductionReport`.
+
+        When ``B`` and ``omega`` are known (always the case when coming
+        from :meth:`check_program`) the budget is recomputed from the
+        report's own ``N``/``aem_cost`` via the lemma formula rather than
+        trusted from its ``bound`` field, so a forged bound is caught
+        along with a genuine volume overrun.
+        """
+        from ..flashred.reduction import lemma_4_3_bound
+
+        bound = report.bound
+        if B is not None and omega is not None:
+            bound = lemma_4_3_bound(report.N, report.aem_cost, B, omega)
+            if abs(report.bound - bound) > 1e-6:
+                self.flag(
+                    f"report bound {report.bound:g} disagrees with the "
+                    f"Lemma 4.3 formula 2N + 2QB/omega = {bound:g}"
+                )
+        if report.volume > bound + 1e-9:
+            self.flag(
+                f"flash I/O volume {report.volume:g} exceeds the Lemma 4.3 "
+                f"budget {bound:g} (N={report.N}, Q={report.aem_cost:g})"
+            )
+        if report.read_volume < 0 or report.write_volume < 0:
+            self.flag("negative I/O volume in the reduction report")
+        return list(self.violations)
+
+    def check_program(self, program: Program) -> list[Violation]:
+        """Run the Lemma 4.3 reduction on ``program`` and check the result."""
+        from ..flashred.reduction import reduce_to_flash
+
+        try:
+            _, report = reduce_to_flash(program)
+        except MachineError as exc:
+            self.flag(f"flash reduction failed: {exc}")
+            return list(self.violations)
+        return self.check_report(
+            report, B=program.params.B, omega=program.params.omega
+        )

@@ -1,0 +1,142 @@
+"""The ``repro-aem check`` battery: sanitizers on real runs, lint on source.
+
+``run_trace_checks`` executes a fixed set of small but real algorithm
+runs — sorters, permuters, SpMxV — under the live sanitizers, then
+validates the two paper lemmas end-to-end on freshly recorded programs:
+
+* Lemma 4.1: capture a permuting program, convert it with
+  :func:`repro.rounds.convert.to_round_based`, and require the converted
+  program to pass every round-form check against the original;
+* Lemma 4.3: reduce recorded programs to the flash model and require the
+  measured I/O volume within ``2N + 2QB/omega``.
+
+``run_lint_checks`` lints the ``repro`` source tree with the AEM rules.
+Both return violation lists; the CLI maps non-empty to a non-zero exit.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from ..atoms.atom import Atom
+from ..core.params import AEMParams
+from .base import Sanitizer, Violation
+from .capacity import CapacitySanitizer
+from .cost import CostSanitizer
+from .lint import LintViolation, lint_paths
+from .provenance import ProgramProvenanceSanitizer, ProvenanceSanitizer
+from .reduction import ReductionSanitizer
+from .rounds import RoundFormProgramSanitizer
+from .suite import SanitizerSuite
+
+#: The battery's machine: small enough to run in a second, shaped so the
+#: Lemma 4.3 reduction applies (integer omega, omega | B, B > omega).
+BATTERY_PARAMS = AEMParams(M=64, B=8, omega=4)
+
+Log = Optional[Callable[[str], None]]
+
+
+def _say(log: Log, message: str) -> None:
+    if log is not None:
+        log(message)
+
+
+def _fresh_sanitizers() -> list[Sanitizer]:
+    return [CapacitySanitizer(), CostSanitizer(), ProvenanceSanitizer()]
+
+
+def _prefixed(violations: Sequence[Violation], context: str) -> list[Violation]:
+    return [
+        Violation(v.rule, v.message, f"{context}{'; ' + v.where if v.where else ''}")
+        for v in violations
+    ]
+
+
+def _permute_program(n: int, permuter: str, seed: int = 7):
+    from ..permute.base import PERMUTERS
+    from ..trace.program import capture
+    from ..workloads.generators import permutation
+
+    rng = np.random.default_rng(seed)
+    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * n, n))]
+    perm = permutation(n, "random", rng)
+    return capture(BATTERY_PARAMS, atoms, PERMUTERS[permuter], perm, BATTERY_PARAMS)
+
+
+def run_trace_checks(*, log: Log = None) -> list[Violation]:
+    """Run the live-sanitizer and lemma battery; returns all violations."""
+    from ..experiments.common import measure_permute, measure_sort, measure_spmxv
+
+    violations: list[Violation] = []
+
+    live_cases = [
+        ("sort/aem_mergesort", lambda obs: measure_sort(
+            "aem_mergesort", 600, BATTERY_PARAMS, observers=obs)),
+        ("sort/em_mergesort", lambda obs: measure_sort(
+            "em_mergesort", 600, BATTERY_PARAMS, observers=obs)),
+        ("permute/adaptive", lambda obs: measure_permute(
+            "adaptive", 512, BATTERY_PARAMS, observers=obs)),
+        ("permute/naive", lambda obs: measure_permute(
+            "naive", 256, BATTERY_PARAMS, observers=obs)),
+        ("spmxv/sort_based", lambda obs: measure_spmxv(
+            "sort_based", 128, 3, BATTERY_PARAMS, observers=obs)),
+    ]
+    for name, run in live_cases:
+        sanitizers = _fresh_sanitizers()
+        run(sanitizers)
+        suite = SanitizerSuite(sanitizers)
+        found = suite.violations
+        violations.extend(_prefixed(found, name))
+        _say(log, f"  {name}: {'clean' if not found else f'{len(found)} violation(s)'}")
+
+    # Lemma 4.1 end-to-end: record -> convert -> verify round form.
+    from ..rounds.convert import to_round_based
+
+    for permuter, n in (("naive", 192), ("sort_based", 256)):
+        program = _permute_program(n, permuter)
+        converted, _report = to_round_based(program)
+        found = RoundFormProgramSanitizer().check_program(
+            converted, reference=program
+        )
+        found += ProgramProvenanceSanitizer().check_program(program)
+        violations.extend(_prefixed(found, f"lemma4.1/{permuter}"))
+        _say(
+            log,
+            f"  lemma4.1/{permuter}: {len(converted.rounds())} rounds, "
+            f"{'clean' if not found else f'{len(found)} violation(s)'}",
+        )
+
+    # Lemma 4.3 end-to-end: record -> reduce to flash -> volume bound.
+    for permuter, n in (("naive", 192), ("sort_based", 256)):
+        program = _permute_program(n, permuter)
+        found = ReductionSanitizer().check_program(program)
+        violations.extend(_prefixed(found, f"lemma4.3/{permuter}"))
+        _say(
+            log,
+            f"  lemma4.3/{permuter}: "
+            f"{'clean' if not found else f'{len(found)} violation(s)'}",
+        )
+
+    return violations
+
+
+def default_lint_root() -> Path:
+    """The installed ``repro`` package directory (what ``--lint`` checks)."""
+    return Path(__file__).resolve().parent.parent
+
+
+def run_lint_checks(
+    paths: Optional[Sequence[Path | str]] = None, *, log: Log = None
+) -> list[LintViolation]:
+    """Lint the repro source tree (or the given paths)."""
+    roots = [default_lint_root()] if paths is None else list(paths)
+    found = lint_paths(roots)
+    _say(
+        log,
+        f"  lint over {', '.join(str(r) for r in roots)}: "
+        f"{'clean' if not found else f'{len(found)} violation(s)'}",
+    )
+    return found

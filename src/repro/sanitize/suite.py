@@ -1,0 +1,90 @@
+"""SanitizerSuite: attach the live sanitizers to a machine in one call.
+
+``attach_sanitizers(machine)`` is the one-liner the pytest plugin, the
+``repro-aem check --traces`` battery, and ad-hoc debugging all use: it
+picks the right sanitizer configuration for the machine's model (AEM-like
+machines get the inferred ``1``/``omega`` costs; flash machines get
+``Br``/``Bw``) and returns a :class:`SanitizerSuite` whose ``verify()``
+raises one :class:`~repro.sanitize.base.SanitizerError` carrying every
+violation from every member.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from .base import Sanitizer, SanitizerError, Violation
+from .capacity import CapacitySanitizer
+from .cost import CostSanitizer
+from .provenance import ProvenanceSanitizer
+from .rounds import RoundFormSanitizer
+
+
+class SanitizerSuite:
+    """A bundle of live sanitizers verified together."""
+
+    def __init__(self, sanitizers: Iterable[Sanitizer]):
+        self.sanitizers = list(sanitizers)
+
+    def __iter__(self):
+        return iter(self.sanitizers)
+
+    def __getitem__(self, kind: type) -> Sanitizer:
+        """The member of the given class (e.g. ``suite[CostSanitizer]``)."""
+        for s in self.sanitizers:
+            if isinstance(s, kind):
+                return s
+        raise KeyError(kind.__name__)
+
+    @property
+    def violations(self) -> list[Violation]:
+        out: list[Violation] = []
+        for s in self.sanitizers:
+            s._finalize()
+            out.extend(s.violations)
+        return out
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def verify(self) -> None:
+        """Raise :class:`SanitizerError` with every member's violations."""
+        found = self.violations
+        if found:
+            raise SanitizerError(tuple(found))
+
+    def describe(self) -> str:
+        return "; ".join(s.describe() for s in self.sanitizers)
+
+
+def attach_sanitizers(
+    machine,
+    *,
+    rounds: bool = False,
+    budget: Optional[float] = None,
+) -> SanitizerSuite:
+    """Attach the standard live sanitizers to ``machine``; returns the suite.
+
+    ``machine`` may be an :class:`~repro.machine.aem.AEMMachine` (or its
+    EM/ARAM specializations) or a :class:`~repro.machine.flash.FlashMachine`
+    — anything exposing ``attach`` and a ``core``. Flash machines are
+    recognized by their ``Br``/``Bw`` block sizes and get explicit
+    volume-based expected costs.
+
+    ``rounds=True`` additionally attaches a :class:`RoundFormSanitizer`
+    (only meaningful for runs that declare round boundaries).
+    """
+    is_flash = hasattr(machine, "Br") and hasattr(machine, "Bw")
+    sanitizers: list[Sanitizer] = [
+        CapacitySanitizer(),
+        CostSanitizer(read_cost=machine.Br, write_cost=machine.Bw)
+        if is_flash
+        else CostSanitizer(),
+        ProvenanceSanitizer(),
+    ]
+    if rounds:
+        sanitizers.append(RoundFormSanitizer(budget=budget))
+    for s in sanitizers:
+        machine.attach(s)
+    return SanitizerSuite(sanitizers)

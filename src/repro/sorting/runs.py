@@ -41,7 +41,7 @@ def run_of_input(machine: AEMMachine, addrs: Sequence[int]) -> Run:
     the program must discover, so reading it off the block store charges
     nothing — exactly like an algorithm being told its input size.
     """
-    length = sum(len(machine.disk.get(a)) for a in addrs)
+    length = sum(machine.block_len(a) for a in addrs)
     return Run.of(addrs, length)
 
 
@@ -64,7 +64,7 @@ def split_run(machine: AEMMachine, run: Run, parts: int) -> list[Run]:
         if size == 0:
             continue
         addrs = run.addrs[start : start + size]
-        length = sum(len(machine.disk.get(a)) for a in addrs)
+        length = sum(machine.block_len(a) for a in addrs)
         if length > 0:
             out.append(Run.of(addrs, length))
         start += size

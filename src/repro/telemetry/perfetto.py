@@ -207,7 +207,8 @@ class PerfettoObserver(MachineObserver):
         if io % self.every:
             return
         self.builder.counter(
-            "I/O", self.clock, {"Qr": self._reads, "Qw": self._writes},
+            "I/O", self.clock,
+            {"Qr": self._reads, "Qw": self._writes},  # lint: disable=AEM104
             pid=self.pid, tid=self.tid,
         )
         self.builder.counter(

@@ -11,6 +11,8 @@ from repro.core.params import AEMParams
 from repro.engine.cache import CACHE_DIR_ENV
 from repro.machine.aem import AEMMachine
 
+pytest_plugins = ("repro.sanitize.pytest_plugin",)
+
 
 @pytest.fixture(autouse=True, scope="session")
 def _isolated_cache_dir(tmp_path_factory):

@@ -270,3 +270,49 @@ class TestBenchCommand:
         )
         assert args.repeats == 3 and args.threshold == 1.5 and args.no_gate
         assert args.fn.__module__ == "repro.telemetry.bench"
+
+
+class TestCheckCommand:
+    def test_parser_wired(self):
+        args = build_parser().parse_args(["check", "--lint"])
+        assert args.lint and not args.traces and not args.all
+
+    def test_lint_half_passes_on_clean_tree(self, capsys):
+        assert main(["check", "--lint"]) == 0
+        out = capsys.readouterr().out
+        assert "check passed" in out
+
+    def test_violations_mean_nonzero_exit(self, capsys, monkeypatch):
+        import repro.sanitize
+        from repro.sanitize import LintViolation
+
+        monkeypatch.setattr(
+            repro.sanitize,
+            "run_lint_checks",
+            lambda log=None: [LintViolation("AEM101", "x.py", 3, "planted")],
+        )
+        assert main(["check", "--lint"]) == 1
+        err = capsys.readouterr().err
+        assert "planted" in err and "FAILED" in err
+
+    def test_crash_inside_command_means_nonzero_exit(self, capsys, monkeypatch):
+        import repro.sanitize
+
+        def boom(log=None):
+            raise RuntimeError("battery exploded")
+
+        monkeypatch.setattr(repro.sanitize, "run_trace_checks", boom)
+        assert main(["check", "--traces"]) == 1
+        err = capsys.readouterr().err
+        assert "repro-aem: error: RuntimeError: battery exploded" in err
+
+    def test_repro_debug_reraises(self, monkeypatch):
+        import repro.sanitize
+
+        def boom(log=None):
+            raise RuntimeError("battery exploded")
+
+        monkeypatch.setattr(repro.sanitize, "run_trace_checks", boom)
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        with pytest.raises(RuntimeError, match="battery exploded"):
+            main(["check", "--traces"])

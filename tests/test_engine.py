@@ -345,3 +345,62 @@ class TestParallelExperimentIdentity:
         assert serial.records == parallel.records
         assert serial.checks == parallel.checks
         assert serial.tables == parallel.tables
+
+
+# ----------------------------------------------------------------------
+# Worker-failure propagation (regression: a raise inside the pool used
+# to surface as BrokenProcessPool — or worse, exit 0 — when the
+# exception did not survive unpickling).
+# ----------------------------------------------------------------------
+def failing_measure(x):
+    raise ValueError(f"measurement blew up at x={x}")
+
+
+def capacity_failing_measure(x):
+    from repro.machine.errors import CapacityError
+
+    raise CapacityError(5, 60, 64)
+
+
+class UnpicklableError(Exception):
+    """Custom __init__ signature: survives pickle.dumps, dies on loads."""
+
+    def __init__(self, a, b):
+        self.a = a
+        self.b = b
+        super().__init__(f"a={a} b={b}")
+
+
+def unpicklable_failing_measure(x):
+    raise UnpicklableError(x, x + 1)
+
+
+class TestWorkerFailurePropagation:
+    def test_plain_exception_propagates_from_pool(self):
+        with SweepEngine(jobs=2) as eng:
+            with pytest.raises(ValueError, match="blew up at x="):
+                eng.map(failing_measure, [{"x": 1}, {"x": 2}])
+
+    def test_capacity_error_type_preserved_through_pool(self):
+        from repro.machine.errors import CapacityError
+
+        with SweepEngine(jobs=2) as eng:
+            with pytest.raises(CapacityError) as exc_info:
+                eng.map(capacity_failing_measure, [{"x": 1}, {"x": 2}])
+        assert exc_info.value.requested == 5
+        assert exc_info.value.occupancy == 60
+
+    def test_unpicklable_exception_becomes_engine_worker_error(self):
+        from repro.engine import EngineWorkerError
+
+        with SweepEngine(jobs=2) as eng:
+            with pytest.raises(EngineWorkerError) as exc_info:
+                eng.map(unpicklable_failing_measure, [{"x": 1}, {"x": 2}])
+        err = exc_info.value
+        assert err.exc_type == "UnpicklableError"
+        assert "worker traceback" in str(err)
+        assert "unpicklable_failing_measure" in err.worker_tb
+
+    def test_serial_path_still_raises_directly(self):
+        with pytest.raises(ValueError, match="blew up"):
+            SweepEngine(jobs=1).map(failing_measure, [{"x": 1}])

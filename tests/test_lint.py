@@ -1,0 +1,200 @@
+"""The AEM source lint: every rule fires on a synthetic breach, the
+escape hatches work, and the shipped tree is clean."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.sanitize import lint_source
+from repro.sanitize.lint import ALGORITHM_PACKAGES
+from repro.sanitize.runner import run_lint_checks
+
+
+def lint(source: str, module: str = "repro/analysis/tools"):
+    parts = tuple(module.split("/"))
+    return lint_source(
+        textwrap.dedent(source), rel=f"{module}.py", module_parts=parts
+    )
+
+
+def rules(found) -> set[str]:
+    return {v.rule for v in found}
+
+
+# ----------------------------------------------------------------------
+# AEM101: BlockStore internals stay inside repro.machine.
+# ----------------------------------------------------------------------
+class TestAEM101:
+    def test_fires_outside_machine_pkg(self):
+        found = lint("n = store._blocks[3]")
+        assert rules(found) == {"AEM101"}
+        assert found[0].line == 1
+
+    def test_next_addr_also_covered(self):
+        assert rules(lint("store._next_addr += 1")) == {"AEM101"}
+
+    def test_self_private_attr_is_fine(self):
+        assert lint("x = self._blocks") == []
+
+    def test_inside_machine_pkg_is_fine(self):
+        assert lint("n = store._blocks", module="repro/machine/tools") == []
+
+
+# ----------------------------------------------------------------------
+# AEM102: algorithms move data only through machine APIs.
+# ----------------------------------------------------------------------
+class TestAEM102:
+    def test_fires_in_every_algorithm_package(self):
+        for pkg in ALGORITHM_PACKAGES:
+            found = lint(
+                "n = len(machine.disk.get(a))", module=f"repro/{pkg}/algo"
+            )
+            assert rules(found) == {"AEM102"}, pkg
+
+    def test_set_restore_load_dump_covered(self):
+        for call in ("set(a, x)", "restore(s)", "load_items(x)", "dump_items(a)"):
+            found = lint(f"machine.disk.{call}", module="repro/sorting/algo")
+            assert rules(found) == {"AEM102"}, call
+
+    def test_block_len_is_the_sanctioned_api(self):
+        assert lint("n = machine.block_len(a)", module="repro/sorting/algo") == []
+
+    def test_non_algorithm_module_is_fine(self):
+        assert lint("x = machine.disk.get(a)", module="repro/flashred/red") == []
+
+
+# ----------------------------------------------------------------------
+# AEM103: observers never mutate machine state.
+# ----------------------------------------------------------------------
+class TestAEM103:
+    def test_observer_calling_mutator_fires(self):
+        found = lint(
+            """
+            class Sneaky(MachineObserver):
+                def on_read(self, addr, items, cost):
+                    self.core.release(3)
+            """
+        )
+        assert rules(found) == {"AEM103"}
+
+    def test_observer_assigning_machine_state_fires(self):
+        found = lint(
+            """
+            class Sneaky(MachineObserver):
+                def on_write(self, addr, items, cost):
+                    core.mem.limit = 10
+            """
+        )
+        assert rules(found) == {"AEM103"}
+
+    def test_observer_own_state_is_fine(self):
+        found = lint(
+            """
+            class Honest(MachineObserver):
+                def on_read(self, addr, items, cost):
+                    self.reads = self.reads + 1
+                    self.history.append(addr)
+            """
+        )
+        assert found == []
+
+    def test_mutator_outside_observer_class_is_fine(self):
+        assert lint("core.release(3)") == []
+
+
+# ----------------------------------------------------------------------
+# AEM104: no shadow cost dicts outside the ledger module.
+# ----------------------------------------------------------------------
+class TestAEM104:
+    def test_qr_qw_dict_fires(self):
+        found = lint("rec = {'Qr': r, 'Qw': w, 'extra': 1}")
+        assert rules(found) == {"AEM104"}
+
+    def test_single_key_is_fine(self):
+        assert lint("rec = {'Qr': r}") == []
+
+    def test_ledger_module_is_exempt(self):
+        assert lint("rec = {'Qr': r, 'Qw': w}", module="repro/machine/cost") == []
+
+
+# ----------------------------------------------------------------------
+# AEM105: observer handlers stay within the event vocabulary.
+# ----------------------------------------------------------------------
+class TestAEM105:
+    def test_unknown_handler_fires(self):
+        found = lint(
+            """
+            class Typo(MachineObserver):
+                def on_reed(self, addr, items, cost):
+                    pass
+            """
+        )
+        assert rules(found) == {"AEM105"}
+
+    def test_known_handlers_and_lifecycle_are_fine(self):
+        found = lint(
+            """
+            class Fine(MachineObserver):
+                def on_attach(self, core):
+                    pass
+                def on_read(self, addr, items, cost):
+                    pass
+                def on_round_boundary(self, index):
+                    pass
+            """
+        )
+        assert found == []
+
+    def test_non_observer_class_unconstrained(self):
+        assert lint(
+            """
+            class Whatever:
+                def on_anything_goes(self):
+                    pass
+            """
+        ) == []
+
+
+# ----------------------------------------------------------------------
+# AEM106: ledger fields are written only by the machine layer.
+# ----------------------------------------------------------------------
+class TestAEM106:
+    def test_occupancy_assignment_fires(self):
+        assert rules(lint("mem.occupancy = 0")) == {"AEM106"}
+
+    def test_augmented_assignment_fires(self):
+        assert rules(lint("machine.mem.peak += 5")) == {"AEM106"}
+
+    def test_machine_pkg_is_exempt(self):
+        assert lint("mem.occupancy = 0", module="repro/machine/internal") == []
+
+    def test_reading_is_fine(self):
+        assert lint("x = mem.occupancy") == []
+
+
+# ----------------------------------------------------------------------
+# Escape hatches and the shipped tree.
+# ----------------------------------------------------------------------
+class TestDisables:
+    def test_line_disable(self):
+        assert lint("n = store._blocks[3]  # lint: disable=AEM101") == []
+
+    def test_line_disable_multiple_rules(self):
+        src = "rec = {'Qr': store._blocks, 'Qw': w}  # lint: disable=AEM101,AEM104"
+        assert lint(src) == []
+
+    def test_line_disable_wrong_rule_does_not_suppress(self):
+        found = lint("n = store._blocks[3]  # lint: disable=AEM104")
+        assert rules(found) == {"AEM101"}
+
+    def test_file_disable(self):
+        src = """
+        # lint: disable-file=AEM104
+        a = {'Qr': 1, 'Qw': 2}
+        b = {'Qr': 3, 'Qw': 4}
+        """
+        assert lint(src) == []
+
+
+def test_shipped_tree_is_clean():
+    assert run_lint_checks() == []

@@ -187,6 +187,7 @@ class TestMetricsObserver:
         assert "machine_block_writes" in out
         assert "machine_reads_total" in out
 
+    @pytest.mark.no_sanitize  # counts exact listeners; sanitizers add theirs
     def test_no_observer_means_no_extra_callbacks(self):
         """Acceptance: with no MetricsObserver attached, the core's
         per-event callback lists are exactly the seed's — the metrics
