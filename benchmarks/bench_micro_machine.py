@@ -9,6 +9,7 @@ noise of the seed's hard-wired counters.
 """
 
 import numpy as np
+import pytest
 
 from conftest import make_machine
 from repro.atoms.atom import make_atoms
@@ -18,15 +19,20 @@ from repro.observe import TraceRecorder, WearMap
 
 P = AEMParams(M=256, B=16, omega=8)
 
+#: Machine-bound shape for the counting fast path: at B=128 payload copies
+#: dominate a full run's wall time, which is what counting mode removes.
+P_WIDE = AEMParams(M=1024, B=128, omega=8)
 
-def _loaded_machine(n_atoms=4_096, observers=()):
-    machine = make_machine(P, observers=observers)
+
+def _loaded_machine(n_atoms=4_096, observers=(), params=P, counting=False):
+    machine = make_machine(params, observers=observers, counting=counting)
     addrs = machine.load_input(make_atoms(range(n_atoms)))
     return machine, addrs
 
 
-def test_read_release_throughput(benchmark):
-    machine, addrs = _loaded_machine()
+@pytest.mark.parametrize("counting", [False, True], ids=["full", "counting"])
+def test_read_release_throughput(benchmark, counting):
+    machine, addrs = _loaded_machine(counting=counting)
 
     def body():
         for addr in addrs:
@@ -34,12 +40,26 @@ def test_read_release_throughput(benchmark):
 
     benchmark(body)
     benchmark.extra_info["ios"] = len(addrs)
+    benchmark.extra_info["counting"] = counting
 
 
-def test_scan_copy_throughput(benchmark):
-    machine, addrs = _loaded_machine()
+@pytest.mark.parametrize("counting", [False, True], ids=["full", "counting"])
+def test_scan_copy_throughput(benchmark, counting):
+    machine, addrs = _loaded_machine(counting=counting)
     benchmark(scan_copy, machine, addrs)
     benchmark.extra_info["blocks"] = len(addrs)
+    benchmark.extra_info["counting"] = counting
+
+
+@pytest.mark.parametrize("counting", [False, True], ids=["full", "counting"])
+def test_scan_copy_wide_blocks(benchmark, counting):
+    """The counting fast path's headline case: B=128 block streaming."""
+    machine, addrs = _loaded_machine(
+        n_atoms=65_536, params=P_WIDE, counting=counting
+    )
+    benchmark(scan_copy, machine, addrs)
+    benchmark.extra_info["blocks"] = len(addrs)
+    benchmark.extra_info["counting"] = counting
 
 
 def test_trace_recording_overhead(benchmark):

@@ -17,14 +17,17 @@ from repro.experiments import run_experiment
 from repro.machine import AEMMachine
 
 
-def make_machine(params, *, observers=(), slack: float = 4.0) -> AEMMachine:
+def make_machine(params, *, observers=(), slack: float = 4.0, **kwargs) -> AEMMachine:
     """Fresh machine on the instrumented construction API.
 
     Benchmarks attach observers here (trace recorders, wear maps) instead
     of using legacy flags, so they measure exactly the dispatch path the
-    experiments pay.
+    experiments pay. Extra keywords (``counting=True``) pass through to the
+    constructor.
     """
-    return AEMMachine.for_algorithm(params, slack=slack, observers=observers)
+    return AEMMachine.for_algorithm(
+        params, slack=slack, observers=observers, **kwargs
+    )
 
 
 @pytest.fixture

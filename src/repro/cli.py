@@ -86,6 +86,12 @@ def _add_run_args(sub) -> None:
         action="store_true",
         help="live I/O/phase readout on stderr while the run executes",
     )
+    sub.add_argument(
+        "--counting",
+        action="store_true",
+        help="payload-free counting machine: identical costs, much faster "
+        "simulation, no output verification",
+    )
     _add_telemetry_arg(sub)
 
 
@@ -181,6 +187,7 @@ def cmd_exp(args) -> int:
         jobs=args.jobs,
         cache=args.cache,
         cache_dir=args.cache_dir,
+        counting=args.counting,
     )
     engine = config.make_engine()
     if args.telemetry_dir:
@@ -231,6 +238,7 @@ def cmd_exp(args) -> int:
                     "budget": config.budget,
                     "jobs": args.jobs,
                     "cache": args.cache,
+                    "counting": args.counting,
                 },
                 wall_s=wall_s,
                 engine=_engine_summary(engine),
@@ -257,6 +265,7 @@ def cmd_sort(args) -> int:
         distribution=args.distribution,
         seed=args.seed,
         observers=observers + tel_observers,
+        counting=args.counting,
     )
     _close_observers(observers)
     _finish_run_telemetry(
@@ -267,6 +276,7 @@ def cmd_sort(args) -> int:
             "n": args.n,
             "distribution": args.distribution,
             "seed": args.seed,
+            "counting": args.counting,
             "params": {"M": p.M, "B": p.B, "omega": p.omega},
         },
         cost=rec,
@@ -280,6 +290,7 @@ def cmd_sort(args) -> int:
                 "n": args.n,
                 "distribution": args.distribution,
                 "seed": args.seed,
+                "counting": args.counting,
                 "params": {"M": p.M, "B": p.B, "omega": p.omega},
                 "shape_upper": sort_upper_shape(args.n, p),
                 **rec,
@@ -307,6 +318,7 @@ def cmd_permute(args) -> int:
         family=args.family,
         seed=args.seed,
         observers=observers + tel_observers,
+        counting=args.counting,
     )
     _close_observers(observers)
     _finish_run_telemetry(
@@ -317,6 +329,7 @@ def cmd_permute(args) -> int:
             "n": args.n,
             "family": args.family,
             "seed": args.seed,
+            "counting": args.counting,
             "params": {"M": p.M, "B": p.B, "omega": p.omega},
         },
         cost=rec,
@@ -330,6 +343,7 @@ def cmd_permute(args) -> int:
                 "n": args.n,
                 "family": args.family,
                 "seed": args.seed,
+                "counting": args.counting,
                 "params": {"M": p.M, "B": p.B, "omega": p.omega},
                 "shape_naive": permute_naive_shape(args.n, p),
                 "shape_sort": sort_upper_shape(args.n, p),
@@ -363,6 +377,7 @@ def cmd_spmxv(args) -> int:
         family=args.family,
         seed=args.seed,
         observers=observers + tel_observers,
+        counting=args.counting,
     )
     _close_observers(observers)
     _finish_run_telemetry(
@@ -374,6 +389,7 @@ def cmd_spmxv(args) -> int:
             "delta": args.delta,
             "family": args.family,
             "seed": args.seed,
+            "counting": args.counting,
             "params": {"M": p.M, "B": p.B, "omega": p.omega},
         },
         cost=rec,
@@ -388,6 +404,7 @@ def cmd_spmxv(args) -> int:
                 "delta": args.delta,
                 "family": args.family,
                 "seed": args.seed,
+                "counting": args.counting,
                 "params": {"M": p.M, "B": p.B, "omega": p.omega},
                 **rec,
             }
@@ -511,6 +528,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=default_cache_dir(),
         help="measurement cache root (default: .repro-cache/ or "
         "$REPRO_CACHE_DIR)",
+    )
+    exp.add_argument(
+        "--counting",
+        action="store_true",
+        help="run sweeps on payload-free counting machines where supported "
+        "(identical costs, faster simulation, no output verification)",
     )
     _add_telemetry_arg(exp)
     exp.set_defaults(fn=cmd_exp)

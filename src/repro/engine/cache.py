@@ -103,14 +103,39 @@ def cache_key(
 
 
 def _encode_value(value: Any) -> Any:
+    """Encode a measurement result so :func:`_decode_value` restores it.
+
+    Recurses through mappings and sequences, so a :class:`CostRecord` or a
+    numpy scalar nested anywhere inside a result round-trips as the real
+    object — not, as a shallow encoding would give, a ``repr()`` string on
+    the first warm read. Tuples are tagged so they come back as tuples, not
+    JSON lists; anything unrecognized falls back to ``repr()`` (one-way).
+    """
     if isinstance(value, CostRecord):
-        return {"__cost_record__": value.as_dict()}
-    return canonical(value) if not isinstance(value, (dict, list)) else value
+        return {"__cost_record__": _encode_value(value.as_dict())}
+    if isinstance(value, Mapping):
+        return {str(k): _encode_value(v) for k, v in value.items()}
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [_encode_value(v) for v in value]
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    item = getattr(value, "item", None)  # numpy scalars, no numpy import
+    if callable(item):
+        return _encode_value(item())
+    return repr(value)
 
 
 def _decode_value(value: Any) -> Any:
-    if isinstance(value, dict) and "__cost_record__" in value:
-        return CostRecord(**value["__cost_record__"])
+    if isinstance(value, dict):
+        if "__cost_record__" in value:
+            return CostRecord(**_decode_value(value["__cost_record__"]))
+        if "__tuple__" in value:
+            return tuple(_decode_value(v) for v in value["__tuple__"])
+        return {k: _decode_value(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [_decode_value(v) for v in value]
     return value
 
 
@@ -165,12 +190,21 @@ class ResultCache:
         return self.root / f"{key}.json"
 
     def get(self, key: str) -> Any:
-        """The cached value for ``key``, or the sentinel :data:`MISS`."""
+        """The cached value for ``key``, or the sentinel :data:`MISS`.
+
+        Unreadable, non-JSON, or structurally invalid entries (valid JSON
+        that is not a ``{"value": ...}`` object — e.g. hand-edited or
+        written by an incompatible version) are all treated as misses; a
+        corrupt file never crashes a sweep.
+        """
         path = self.path(key)
         try:
             with path.open("r", encoding="utf-8") as fh:
                 entry = json.load(fh)
         except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return _MISS
+        if not isinstance(entry, dict) or "value" not in entry:
             self.stats.misses += 1
             return _MISS
         self.stats.hits += 1
@@ -195,13 +229,22 @@ class ResultCache:
         self.stats.stores += 1
 
     def clear(self) -> int:
-        """Delete every cache entry; returns the number removed."""
+        """Delete every cache entry; returns the number removed.
+
+        Also sweeps up orphaned ``*.tmp`` files left by runs killed between
+        ``mkstemp`` and the atomic rename (not counted as entries).
+        """
         removed = 0
         if self.root.is_dir():
             for path in self.root.glob("*.json"):
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in self.root.glob("*.tmp"):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
         return removed

@@ -46,6 +46,11 @@ class ExperimentConfig:
         Extra machine observers attached to every engine-routed
         measurement (forces serial, cache-less execution — events cannot
         be replayed from a cache or another process).
+    counting:
+        Run measurements on counting (payload-free) machines where the
+        measure function supports it; costs are bit-identical to full
+        runs, output verification is skipped. See
+        :mod:`repro.machine.phantom`.
     """
 
     budget: str = "quick"
@@ -54,6 +59,7 @@ class ExperimentConfig:
     cache: bool = False
     cache_dir: str = field(default_factory=default_cache_dir)
     observers: Tuple = ()
+    counting: bool = False
 
     def __post_init__(self) -> None:
         if self.budget not in BUDGETS:
@@ -87,4 +93,5 @@ class ExperimentConfig:
             cache=self.make_cache(),
             seed=self.seed,
             observers=self.observers,
+            counting=self.counting,
         )

@@ -119,11 +119,15 @@ def _call_guarded(measure: Callable, config: Mapping, label: str) -> tuple:
         return ("exc", exc, None)
 
 
-def _accepts_observers(measure: Callable) -> bool:
+def _accepts_kwarg(measure: Callable, name: str) -> bool:
     try:
-        return "observers" in inspect.signature(measure).parameters
+        return name in inspect.signature(measure).parameters
     except (TypeError, ValueError):
         return False
+
+
+def _accepts_observers(measure: Callable) -> bool:
+    return _accepts_kwarg(measure, "observers")
 
 
 def _task_label(measure: Callable, index: int) -> str:
@@ -155,6 +159,13 @@ class SweepEngine:
         executions with exact bounds, pool executions as
         submit-to-completion intervals. ``None`` (the default) skips
         every timing call — library runs pay nothing.
+    counting:
+        Route measurements through the payload-free counting fast path:
+        every measure call that accepts a ``counting`` keyword gets
+        ``counting=True`` injected into its config (an explicit
+        ``counting`` already in a config wins). The injected flag is part
+        of the config before cache keys are computed, so counting and
+        full runs never alias in the cache.
     """
 
     def __init__(
@@ -165,6 +176,7 @@ class SweepEngine:
         seed: Optional[int] = None,
         observers: Sequence = (),
         telemetry=None,
+        counting: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -173,6 +185,7 @@ class SweepEngine:
         self.seed = seed
         self.observers = tuple(observers)
         self.telemetry = telemetry
+        self.counting = bool(counting)
         self.stats = EngineStats()
         self._pool: Optional[ProcessPoolExecutor] = None
 
@@ -188,6 +201,10 @@ class SweepEngine:
         self.stats.sweeps += 1
         telemetry = self.telemetry
         configs = [dict(c) for c in configs]
+        if self.counting and _accepts_kwarg(measure, "counting"):
+            # Injected before cache keys are computed (below), so counting
+            # sweeps get their own cache entries; explicit flags win.
+            configs = [{"counting": True, **c} for c in configs]
         if self.observers and _accepts_observers(measure):
             # Observed runs must happen here and now, unmemoized.
             return [

@@ -26,7 +26,7 @@ from ..machine.aem import AEMMachine
 from ..machine.cost import CostRecord, CostSnapshot
 from ..observe.base import MachineObserver
 from ..permute.base import PERMUTERS, verify_permutation_output
-from ..sorting.base import SORTERS, verify_sorted_output
+from ..sorting.base import COUNTING_SORTERS, SORTERS, verify_sorted_output
 from ..spmxv.matrix import load_matrix, load_vector, verify_spmxv_output
 from ..spmxv.naive import spmxv_naive
 from ..spmxv.sort_based import spmxv_sort_based
@@ -85,13 +85,24 @@ def measure_sort(
     slack: float = 4.0,
     verify: bool = True,
     observers: Sequence[MachineObserver] = (),
+    counting: bool = False,
 ) -> CostRecord:
-    """Run a registered sorter on a fresh machine; returns cost fields."""
+    """Run a registered sorter on a fresh machine; returns cost fields.
+
+    ``counting=True`` requests the payload-free fast path; sorters not yet
+    ported to it (:data:`~repro.sorting.base.COUNTING_SORTERS` lists the
+    ported ones) fall back to a full machine with identical costs. Output
+    verification needs payloads, so a counting run skips it — the paired
+    full-mode runs in the test suite carry the correctness burden.
+    """
+    counting = counting and sorter in COUNTING_SORTERS
     atoms = sort_input(N, distribution, np.random.default_rng(seed))
-    machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
+    machine = AEMMachine.for_algorithm(
+        params, slack=slack, observers=observers, counting=counting
+    )
     addrs = machine.load_input(atoms)
     out = SORTERS[sorter](machine, addrs, params)
-    if verify:
+    if verify and not counting:
         verify_sorted_output(machine, atoms, out)
     return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
 
@@ -106,15 +117,22 @@ def measure_permute(
     slack: float = 4.0,
     verify: bool = True,
     observers: Sequence[MachineObserver] = (),
+    counting: bool = False,
 ) -> CostRecord:
-    """Run a registered permuter on a fresh machine; returns cost fields."""
+    """Run a registered permuter on a fresh machine; returns cost fields.
+
+    Every registered permuter supports ``counting=True`` (payload-free fast
+    path); verification is skipped there, as it needs the output payloads.
+    """
     rng = np.random.default_rng(seed)
     atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
     perm = permutation(N, family, rng)
-    machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
+    machine = AEMMachine.for_algorithm(
+        params, slack=slack, observers=observers, counting=counting
+    )
     addrs = machine.load_input(atoms)
     out = PERMUTERS[permuter](machine, addrs, perm, params)
-    if verify:
+    if verify and not counting:
         verify_permutation_output(machine, atoms, out, perm)
     return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
 
@@ -130,15 +148,22 @@ def measure_spmxv(
     slack: float = 4.0,
     verify: bool = True,
     observers: Sequence[MachineObserver] = (),
+    counting: bool = False,
 ) -> CostRecord:
-    """Run an SpMxV algorithm on a fresh machine; returns cost fields."""
+    """Run an SpMxV algorithm on a fresh machine; returns cost fields.
+
+    Both algorithms support ``counting=True`` (payload-free fast path);
+    verification is skipped there, as it needs the output vector.
+    """
     conf, values, x = spmxv_instance(N, delta, family, np.random.default_rng(seed))
-    machine = AEMMachine.for_algorithm(params, slack=slack, observers=observers)
+    machine = AEMMachine.for_algorithm(
+        params, slack=slack, observers=observers, counting=counting
+    )
     ma = load_matrix(machine, conf, values)
     xa = load_vector(machine, x)
     fn = {"naive": spmxv_naive, "sort_based": spmxv_sort_based}[algorithm]
     out = fn(machine, ma, xa, conf, params)
-    if verify:
+    if verify and not counting:
         verify_spmxv_output(machine, conf, values, x, out)
     return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
 

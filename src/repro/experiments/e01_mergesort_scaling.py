@@ -22,8 +22,10 @@ def run(config: ExperimentConfig) -> ExperimentResult:
     p = AEMParams(M=256, B=16, omega=8)
     # Start above the base-case size omega*M = 2048 so every point
     # exercises real merge levels (the base case is E12's subject).
+    # The 128k point became affordable with the counting fast path (the
+    # engine runs measure_sort on a payload-free machine when asked).
     Ns = [4_000, 8_000, 16_000] if quick else [
-        4_000, 8_000, 16_000, 32_000, 64_000
+        4_000, 8_000, 16_000, 32_000, 64_000, 128_000
     ]
     res = ExperimentResult(
         eid="E1",

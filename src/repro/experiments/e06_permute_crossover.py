@@ -20,7 +20,9 @@ from .common import ExperimentConfig, ExperimentResult, measure_permute, registe
 @register("e6")
 def run(config: ExperimentConfig) -> ExperimentResult:
     quick = config.quick
-    N = 4_096 if quick else 16_384
+    # Full size raised from 16_384 once the counting fast path made the
+    # sort-based arm cheap to simulate at scale.
+    N = 4_096 if quick else 32_768
     omega = 8
     Bs = [2, 4, 8, 16, 32, 64]
     res = ExperimentResult(

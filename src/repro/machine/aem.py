@@ -44,8 +44,14 @@ from ..observe.trace import TraceRecorder
 from .blockstore import BlockStore
 from .core import MachineCore
 from .cost import CostCounter, CostSnapshot
-from .errors import BlockSizeError
+from .errors import AddressError, BlockSizeError
 from .internal import InternalMemory
+from .phantom import (
+    SELF_TOKEN_TYPES as _TOKEN_TYPES,
+    PhantomBlockStore,
+    is_phantom_payload,
+    token_of,
+)
 from ..trace.ops import Op
 
 
@@ -71,6 +77,18 @@ class AEMMachine:
     observers:
         Additional :class:`~repro.observe.MachineObserver` instances to
         attach at construction (wear maps, progress readouts, ...).
+    counting:
+        Counting fast path: back the machine with a
+        :class:`~repro.machine.phantom.PhantomBlockStore` so no atom
+        tuples are materialized or copied. Every event the machine emits
+        (costs, addresses, block lengths, phases, rounds) is identical to
+        a full run, so cost observers, sanitizers, wear maps, and metrics
+        work unchanged; observers that read atom *contents* declare
+        ``needs_payloads = True`` and are rejected at attach. Data-driven
+        algorithms still make bit-identical decisions through the token
+        stash: ``write``/``load_input`` remember each block's *scheduling
+        tokens* (``Atom.sort_token()`` for atoms, the value itself for
+        pointer words and numbers), and ``read``/``peek`` hand those back.
     """
 
     def __init__(
@@ -80,10 +98,18 @@ class AEMMachine:
         enforce_capacity: bool = True,
         record: bool = False,
         observers: Sequence[MachineObserver] = (),
+        counting: bool = False,
     ):
         self.params = params
+        self.counting = counting
+        #: Counting mode only: per-address tuple of scheduling tokens for
+        #: blocks whose (token-level) contents the writer knew. Blocks
+        #: written as phantom payloads have no entry and read back as
+        #: :class:`~repro.machine.phantom.PhantomBlock`.
+        self._tokens: dict[int, tuple] = {}
+        store = PhantomBlockStore(params.B) if counting else BlockStore(params.B)
         self.core = MachineCore(
-            BlockStore(params.B),
+            store,
             InternalMemory(params.M, enforce=enforce_capacity),
         )
         self.disk = self.core.disk
@@ -125,6 +151,14 @@ class AEMMachine:
         return observer
 
     def detach(self, observer: MachineObserver) -> None:
+        if observer is self._cost:
+            # Silently allowing this would freeze .cost/.reads/.writes at
+            # their current values while the run continues — every later
+            # readout would be quietly wrong.
+            raise ValueError(
+                "cannot detach the machine's own CostObserver; "
+                ".cost/.reads/.writes would silently stop counting"
+            )
         self.core.detach(observer)
         if observer is self._recorder:
             self._recorder = None
@@ -154,7 +188,17 @@ class AEMMachine:
     # Core I/O operations.
     # ------------------------------------------------------------------
     def read(self, addr: int) -> list:
-        """Read one block (cost 1); its atoms become resident internally."""
+        """Read one block (cost 1); its atoms become resident internally.
+
+        On a counting machine the returned sequence holds the block's
+        scheduling tokens when the writer knew them (so data-driven reads
+        still steer identically), or a sized
+        :class:`~repro.machine.phantom.PhantomBlock` otherwise.
+        """
+        if self.counting:
+            return self.core.read_block(
+                addr, self._read_cost, items=self._tokens.get(addr)
+            )
         return self.core.read_block(addr, self._read_cost)
 
     def peek(self, addr: int) -> list:
@@ -165,6 +209,10 @@ class AEMMachine:
         blocks to identify active arrays in §3.1). Capacity for the staging
         is still checked: the block must momentarily fit.
         """
+        if self.counting:
+            return self.core.read_block(
+                addr, self._read_cost, keep=False, items=self._tokens.get(addr)
+            )
         return self.core.read_block(addr, self._read_cost, keep=False)
 
     def write(self, addr: int, items: Sequence) -> None:
@@ -173,6 +221,19 @@ class AEMMachine:
             raise BlockSizeError(
                 f"write of {len(items)} atoms exceeds block size B={self.params.B}"
             )
+        if self.counting:
+            if is_phantom_payload(items):
+                self._tokens.pop(addr, None)
+            else:
+                # Hot path: most counting-mode writes carry items that are
+                # already tokens (they came out of a counting read), so the
+                # inline type test skips a call per item.
+                self._tokens[addr] = tuple(
+                    [
+                        it if type(it) in _TOKEN_TYPES else token_of(it)
+                        for it in items
+                    ]
+                )
         self.core.write_block(addr, items, self._write_cost)
 
     def write_fresh(self, items: Sequence) -> int:
@@ -221,6 +282,8 @@ class AEMMachine:
 
     def free(self, addr: int) -> None:
         self.disk.free(addr)
+        if self.counting:
+            self._tokens.pop(addr, None)
 
     def block_len(self, addr: int) -> int:
         """Number of atoms stored in block ``addr`` (cost-free metadata).
@@ -237,11 +300,30 @@ class AEMMachine:
     # Input/output placement (cost-free: the problem statement).
     # ------------------------------------------------------------------
     def load_input(self, items: Iterable) -> list[int]:
-        """Place the problem input contiguously in external memory."""
-        return self.disk.load_items(items)
+        """Place the problem input contiguously in external memory.
+
+        Counting machines stash each input block's scheduling tokens here,
+        so the very first data-driven read already sees real tokens.
+        """
+        if not self.counting:
+            return self.disk.load_items(items)
+        items = list(items)
+        addrs = self.disk.load_items(items)
+        B = self.params.B
+        for i, addr in enumerate(addrs):
+            self._tokens[addr] = tuple(
+                token_of(it) for it in items[i * B : (i + 1) * B]
+            )
+        return addrs
 
     def collect_output(self, addrs: Iterable[int]) -> list:
         """Concatenate output blocks for verification (cost-free)."""
+        if self.counting:
+            raise AddressError(
+                "collect_output needs atom payloads, which a counting "
+                "machine never materializes; verify outputs on a full "
+                "(counting=False) machine"
+            )
         return self.disk.dump_items(addrs)
 
     # ------------------------------------------------------------------

@@ -73,7 +73,17 @@ class BlockStore:
         return self.allocate(1)[0]
 
     def free(self, addr: int) -> None:
-        """Discard a block. Subsequent access raises :class:`AddressError`."""
+        """Discard a block. Subsequent access raises :class:`AddressError`.
+
+        The address *deliberately* stays in ``write_counts``: wear is a
+        physical property of the cells, and on real NVM freeing a region
+        does not un-wear it. Algorithms that write scratch blocks and free
+        them (the merge's pointer blocks, for instance) therefore still
+        show up in :meth:`wear` — that is the endurance bill the device
+        actually paid. Addresses are never reused (``_next_addr`` is
+        monotonic), so a freed address can never alias a later block's
+        counts.
+        """
         if addr not in self._blocks:
             raise AddressError(f"free of unallocated block {addr}")
         del self._blocks[addr]
@@ -144,11 +154,50 @@ class BlockStore:
             out.extend(self.get(addr))
         return out
 
-    def snapshot(self) -> Dict[int, Tuple]:
-        """A shallow copy of the whole store (used by trace replays)."""
-        return dict(self._blocks)
+    def snapshot(self) -> "StoreSnapshot":
+        """A shallow copy of the whole store (used by trace replays).
+
+        The snapshot is a plain ``{addr: contents}`` dict (existing callers
+        index it directly) that additionally carries the wear epoch — a copy
+        of ``write_counts`` — so :meth:`restore` can rewind endurance
+        accounting along with the contents.
+        """
+        snap = StoreSnapshot(self._blocks)
+        snap.write_counts = dict(self.write_counts)
+        return snap
 
     def restore(self, snap: Dict[int, Tuple]) -> None:
+        """Reset the store to ``snap``'s contents *and* its wear epoch.
+
+        Restoring means "pretend the writes since the snapshot never
+        happened", and that must include their endurance charges: a trace
+        replayed three times would otherwise report triple wear. Snapshots
+        taken via :meth:`snapshot` carry their epoch; a plain dict (the
+        historical calling convention, used to seed replay stores) has
+        epoch zero — the store is as unworn as its freshly-placed contents.
+        """
         self._blocks = dict(snap)
+        self.write_counts = dict(getattr(snap, "write_counts", {}))
         if snap:
             self._next_addr = max(self._next_addr, max(snap) + 1)
+
+
+class StoreSnapshot(dict):
+    """A block-store snapshot: the contents dict plus the wear epoch."""
+
+    write_counts: Dict[int, int]
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.write_counts = {}
+
+    def __reduce__(self):
+        # Preserve the epoch across pickling (dict.__reduce_ex__ drops
+        # instance attributes of dict subclasses).
+        return (_rebuild_snapshot, (dict(self), self.write_counts))
+
+
+def _rebuild_snapshot(blocks: Dict, write_counts: Dict) -> "StoreSnapshot":
+    snap = StoreSnapshot(blocks)
+    snap.write_counts = dict(write_counts)
+    return snap

@@ -72,6 +72,9 @@ class MachineCore:
     ):
         self.disk = disk
         self.mem = mem
+        # Counting-mode cores sit on a PhantomBlockStore and carry no atom
+        # payloads; observers that need contents are rejected at attach.
+        self.payloads = not getattr(disk, "phantom", False)
         self.io_count = 0  # total I/O events emitted (reads + writes)
         self.last_drained = 0  # slots drained by the most recent round boundary
         self.observers: list[MachineObserver] = []
@@ -93,6 +96,13 @@ class MachineCore:
         """
         if observer in self.observers:
             raise ValueError(f"observer {observer!r} is already attached")
+        if getattr(observer, "needs_payloads", False) and not self.payloads:
+            raise ValueError(
+                f"{type(observer).__name__} declares needs_payloads=True "
+                "(it reads atom contents), but this machine runs in counting "
+                "mode and its event stream carries block sizes only; attach "
+                "it to a full (counting=False) machine instead"
+            )
         _validate_handler_names(observer)
         self.observers.append(observer)
         cls = type(observer)
@@ -137,14 +147,22 @@ class MachineCore:
     # ------------------------------------------------------------------
     # Ledger-coupled block transfers (the AEM semantics).
     # ------------------------------------------------------------------
-    def read_block(self, addr: int, cost: float, *, keep: bool = True) -> list:
+    def read_block(self, addr: int, cost: float, *, keep: bool = True, items=None) -> list:
         """Read a whole block; its atoms become (or must fit as) resident.
 
         With ``keep=True`` the atoms are acquired in the ledger (the
         caller now owns their slots); with ``keep=False`` the ledger only
-        checks they *would* fit (peek semantics).
+        checks they *would* fit (peek semantics). Counting-mode machines
+        pass ``items`` explicitly (their stashed scheduling tokens, or
+        nothing — the phantom block then stands in); the cost, address and
+        length of the event are identical either way.
         """
-        items = list(self.disk.get(addr))
+        if items is None:
+            blk = self.disk.get(addr)
+            # Full stores hand out a defensive copy (algorithms mutate the
+            # lists they hold); phantom blocks are immutable and sized, so
+            # the copy would be pure waste.
+            items = list(blk) if self.payloads else blk
         if keep:
             self.mem.acquire(len(items))
         else:
@@ -159,7 +177,12 @@ class MachineCore:
         self.disk.set(addr, items)
         if release:
             self.mem.release(len(items))
-        self.emit_write(addr, self.disk.get(addr), cost)
+        # Full stores emit the canonical stored tuple (immutable even if the
+        # caller mutates its list afterwards); phantom stores hold sizes
+        # only, and observers on a payload-free core use len(items) alone,
+        # so re-fetching would just build a throwaway PhantomBlock.
+        stored = self.disk.get(addr) if self.payloads else items
+        self.emit_write(addr, stored, cost)
 
     # ------------------------------------------------------------------
     # Ledger movements initiated by the program (atom creation/destruction

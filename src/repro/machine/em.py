@@ -23,7 +23,8 @@ def em_params(M: int, B: int) -> AEMParams:
 def em_machine(M: int, B: int, **kwargs) -> AEMMachine:
     """A symmetric EM machine: an AEM machine with ``omega = 1``.
 
-    Keyword arguments (``enforce_capacity``, ``record``, ``observers``)
-    pass through to :class:`~repro.machine.aem.AEMMachine`.
+    Keyword arguments (``enforce_capacity``, ``record``, ``observers``,
+    ``counting``) pass through to :class:`~repro.machine.aem.AEMMachine` —
+    in particular the counting fast path is available here too.
     """
     return AEMMachine(em_params(M, B), **kwargs)

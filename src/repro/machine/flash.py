@@ -39,8 +39,9 @@ from ..observe.base import MachineObserver
 from ..observe.cost import CostObserver
 from .blockstore import BlockStore
 from .core import MachineCore
-from .errors import BlockSizeError, ModelViolationError
+from .errors import AddressError, BlockSizeError, ModelViolationError
 from .internal import InternalMemory
+from .phantom import PhantomBlockStore, is_phantom_payload, token_of
 
 
 class FlashMachine:
@@ -60,6 +61,14 @@ class FlashMachine:
         :class:`~repro.observe.MachineObserver` instances to attach at
         construction; they see reads of cost ``Br`` and writes of cost
         ``Bw``.
+    counting:
+        Payload-free fast path, mirroring
+        :class:`~repro.machine.aem.AEMMachine`'s: the store tracks only
+        occupancies, writes stash scheduling tokens, and the event stream
+        (addresses, lengths, volumes) is identical to a full run. Note the
+        Section 4 trace passes (round conversion, flash reduction) replay
+        *recorded* programs and therefore need payloads; counting flash
+        machines serve direct simulations and microbenchmarks.
     """
 
     def __init__(
@@ -69,6 +78,7 @@ class FlashMachine:
         Bw: int,
         *,
         observers: Sequence[MachineObserver] = (),
+        counting: bool = False,
     ):
         if Br < 1 or Bw < 1:
             raise ValueError("block sizes must be positive")
@@ -81,8 +91,10 @@ class FlashMachine:
         self.M = M
         self.Br = Br
         self.Bw = Bw
+        self.counting = counting
+        self._tokens: dict[int, tuple] = {}
         self.core = MachineCore(
-            BlockStore(Bw),
+            PhantomBlockStore(Bw) if counting else BlockStore(Bw),
             # The model does not enforce a capacity discipline of its own;
             # the ledger exists so shared observers see a complete core.
             InternalMemory(M, enforce=False),
@@ -180,6 +192,11 @@ class FlashMachine:
             raise BlockSizeError(
                 f"write of {len(items)} elements exceeds write block size {self.Bw}"
             )
+        if self.counting:
+            if is_phantom_payload(items):
+                self._tokens.pop(addr, None)
+            else:
+                self._tokens[addr] = tuple(token_of(it) for it in items)
         self.disk.set(addr, items)
         self.core.emit_write(addr, self.disk.get(addr), self.Bw)
 
@@ -198,7 +215,12 @@ class FlashMachine:
             raise ModelViolationError(
                 f"read block index {j} out of range for Bw/Br={self.reads_per_write_block}"
             )
-        items = self.disk.get(addr)
+        if self.counting and addr in self._tokens:
+            items = self._tokens[addr]
+        else:
+            # On a counting machine without stashed tokens this is a
+            # PhantomBlock, whose slices are (sized) phantom blocks too.
+            items = self.disk.get(addr)
         lo, hi = j * self.Br, (j + 1) * self.Br
         segment = items[lo:hi]
         self.core.emit_read(addr, segment, self.Br)
@@ -233,9 +255,21 @@ class FlashMachine:
     # Problem placement (cost-free).
     # ------------------------------------------------------------------
     def load_input(self, items: Sequence) -> list[int]:
-        return self.disk.load_items(items)
+        if not self.counting:
+            return self.disk.load_items(items)
+        items = list(items)
+        addrs = self.disk.load_items(items)
+        for i, addr in enumerate(addrs):
+            self._tokens[addr] = tuple(
+                token_of(it) for it in items[i * self.Bw : (i + 1) * self.Bw]
+            )
+        return addrs
 
     def collect_output(self, addrs: Sequence[int]) -> list:
+        if self.counting:
+            raise AddressError(
+                "collect_output needs payloads; use a full (counting=False) machine"
+            )
         return self.disk.dump_items(addrs)
 
     def describe(self) -> str:

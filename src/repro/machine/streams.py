@@ -160,6 +160,25 @@ def scan_copy(machine: AEMMachine, addrs: Sequence[int]) -> list[int]:
     The canonical "read and write scan over the input" used e.g. to
     normalize programs in Lemma 4.3, with cost ``n`` reads + ``n`` writes.
     """
+    if machine.counting:
+        # Whole-block fast path with the event stream of the per-atom loop:
+        # the reader reads each input block exactly when its buffer runs
+        # dry, and the writer flushes mid-block whenever B atoms are
+        # pending — since every input block adds <= B atoms, at most one
+        # flush falls between consecutive reads, which is exactly what the
+        # chunking below produces (then one final partial flush).
+        pending: list = []
+        out_addrs: list[int] = []
+        B = machine.params.B
+        for addr in addrs:
+            pending.extend(machine.read(addr))
+            while len(pending) >= B:
+                chunk = pending[:B]
+                del pending[:B]
+                out_addrs.append(machine.write_fresh(chunk))
+        if pending:
+            out_addrs.append(machine.write_fresh(pending))
+        return out_addrs
     reader = BlockReader(machine, addrs)
     writer = BlockWriter(machine)
     for item in reader:

@@ -34,6 +34,16 @@ Event vocabulary (``EVENTS``):
 Handlers must not mutate ``items``; the sequence is shared with the
 running algorithm (observation is free in the model and must stay free in
 the simulation).
+
+Observers that *read* the atoms inside ``items`` — trace recorders
+capturing payloads, provenance checks following uids — must declare
+``needs_payloads = True``. On a counting-mode machine (whose store is a
+:class:`~repro.machine.phantom.PhantomBlockStore`, so ``items`` carries
+lengths but no contents) attaching such an observer raises ``ValueError``
+at attach time instead of silently feeding it placeholders. Observers
+that use only ``len(items)``, addresses, and costs — the default — keep
+the class-level ``needs_payloads = False`` and work on both kinds of
+machine unchanged.
 """
 
 from __future__ import annotations
@@ -60,6 +70,10 @@ class MachineObserver:
     once when the observer joins/leaves a machine core and receive the
     core itself (e.g. to inspect its block store or parameters).
     """
+
+    #: Set True in subclasses whose handlers read atom contents (not just
+    #: ``len(items)``); such observers cannot attach to counting machines.
+    needs_payloads = False
 
     def on_attach(self, core) -> None:  # pragma: no cover - trivial
         pass

@@ -38,6 +38,10 @@ class TraceRecorder(MachineObserver):
         Indices into ``ops`` where declared rounds start.
     """
 
+    # Recorded ops capture atom uids and write payloads; a counting
+    # machine has neither, so attachment must fail loudly there.
+    needs_payloads = True
+
     def __init__(self):
         self.ops: list[Op] = []
         self.round_boundaries: list[int] = []

@@ -33,24 +33,36 @@ def permute_sort_based(
 
     Cost ``O(omega * n * log_{omega m} n)``.
     """
+    counting = machine.counting
     # Relabel: key becomes the destination position; the original key
-    # travels in the value slot.
+    # travels in the value slot. In counting mode atoms are their
+    # ``(key, uid)`` tokens, so relabeling is token surgery — the sort
+    # downstream steers on the same destination keys either way.
     with machine.phase("permute_sort/relabel"):
         writer = BlockWriter(machine)
         reader = BlockReader(machine, addrs)
         pos = 0
         for atom in reader:
-            writer.push(Atom(int(perm[pos]), atom.uid, (atom.key, atom.value)))
+            if counting:
+                writer.push((int(perm[pos]), atom[1]))
+            else:
+                writer.push(Atom(int(perm[pos]), atom.uid, (atom.key, atom.value)))
             pos += 1
         tagged = writer.close()
 
     sorted_addrs = aem_mergesort(machine, tagged, params)
 
-    # Strip: restore the original key, now in destination order.
+    # Strip: restore the original key, now in destination order. A token
+    # carries no original key to restore; the pass's costs are content-free
+    # and nothing reads the final payloads in counting mode, so the tokens
+    # pass through unchanged.
     with machine.phase("permute_sort/strip"):
         writer = BlockWriter(machine)
         reader = BlockReader(machine, sorted_addrs)
         for atom in reader:
-            key, value = atom.value
-            writer.push(Atom(key, atom.uid, value))
+            if counting:
+                writer.push(atom)
+            else:
+                key, value = atom.value
+                writer.push(Atom(key, atom.uid, value))
         return writer.close()

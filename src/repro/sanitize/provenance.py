@@ -40,6 +40,10 @@ class ProvenanceSanitizer(Sanitizer):
 
     rule = "PROVENANCE"
 
+    # Provenance is atom-identity tracking; a counting machine has no uids
+    # to track, so attaching there must fail loudly (see observe.base).
+    needs_payloads = True
+
     def __init__(self) -> None:
         super().__init__()
         self._initial_addrs: Optional[set[int]] = None

@@ -83,13 +83,22 @@ def _global_sanitizers(request, monkeypatch):
     suites: list[SanitizerSuite] = []
     original_init = AEMMachine.__init__
 
-    def patched_init(self, params, *, enforce_capacity=True, record=False, observers=()):
+    def patched_init(
+        self,
+        params,
+        *,
+        enforce_capacity=True,
+        record=False,
+        observers=(),
+        counting=False,
+    ):
         original_init(
             self,
             params,
             enforce_capacity=enforce_capacity,
             record=record,
             observers=observers,
+            counting=counting,
         )
         # Machines with enforcement off are violation *probes*; leave them.
         if enforce_capacity:

@@ -81,8 +81,12 @@ def attach_sanitizers(
         CostSanitizer(read_cost=machine.Br, write_cost=machine.Bw)
         if is_flash
         else CostSanitizer(),
-        ProvenanceSanitizer(),
     ]
+    # Provenance follows atom uids through payloads, which counting
+    # machines never materialize; the capacity/cost rules still apply in
+    # full on the counting event stream.
+    if not getattr(machine, "counting", False):
+        sanitizers.append(ProvenanceSanitizer())
     if rounds:
         sanitizers.append(RoundFormSanitizer(budget=budget))
     for s in sanitizers:

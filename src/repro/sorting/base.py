@@ -43,6 +43,13 @@ SORTERS: Dict[str, Sorter] = {
     "pointer_mergesort": pointer_mergesort,
 }
 
+#: Sorters ported to the counting fast path (they branch on
+#: ``machine.counting`` internally and make bit-identical scheduling
+#: decisions on tokens). The rest silently run on a full machine when
+#: counting is requested — their costs are identical, just slower to
+#: simulate.
+COUNTING_SORTERS = frozenset({"aem_mergesort", "pointer_mergesort", "em_mergesort"})
+
 
 class SortVerificationError(AssertionError):
     """The output of a sorter violates its contract."""

@@ -15,6 +15,7 @@ from typing import Sequence
 
 from ..core.params import AEMParams
 from ..machine.aem import AEMMachine
+from ..machine.phantom import token_of
 from ..machine.streams import BlockReader, BlockWriter
 from .runs import Run, run_of_input
 
@@ -47,7 +48,7 @@ def _stream_merge(
     for idx, reader in enumerate(readers):
         atom = reader.peek()
         if atom is not None:
-            heap.append((atom.sort_token(), idx))
+            heap.append((token_of(atom), idx))
     heapq.heapify(heap)
     total = 0
     while heap:
@@ -58,7 +59,7 @@ def _stream_merge(
         total += 1
         nxt = readers[idx].peek()
         if nxt is not None:
-            heapq.heappush(heap, (nxt.sort_token(), idx))
+            heapq.heappush(heap, (token_of(nxt), idx))
     for reader in readers:
         reader.close()
     return Run.of(writer.close(), total)

@@ -45,12 +45,13 @@ E2's baseline.
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_right, insort
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from ..core.params import AEMParams, ceil_div
 from ..machine.aem import AEMMachine
+from ..machine.phantom import token_of
 from ..machine.streams import BlockWriter
 from .runs import Run
 
@@ -200,6 +201,7 @@ def multiway_merge(
         raise ValueError(f"unknown pointer_mode {pointer_mode!r}")
 
     M, m = params.M, params.m
+    counting = machine.counting
     threshold = None  # sort token of the largest atom emitted so far (P)
     emitted = 0
 
@@ -227,6 +229,29 @@ def multiway_merge(
             else:
                 machine.release(1)
 
+        def feed_block(tokens) -> None:
+            """Counting-mode ``merge_atom`` over a whole sorted block.
+
+            Keeping the M smallest of (buffer ∪ accepted tokens) is
+            feed-order independent, so extend+sort+truncate lands on the
+            exact buffer the per-atom loop builds. The per-atom touches
+            and releases are batched into one event each with identical
+            totals (releases per block = accepted-or-rejected atoms plus
+            evictions = len + old_len - new_len), and they land before
+            the next acquire, so peak memory is unchanged too.
+            """
+            machine.touch(len(tokens))
+            old_len = len(buffer)
+            if threshold is None:
+                buffer.extend(tokens)
+            else:
+                # First token strictly greater than the threshold — the
+                # batched form of merge_atom's strict `> threshold` test.
+                buffer.extend(tokens[bisect_right(tokens, threshold) :])
+            buffer.sort()
+            del buffer[M:]
+            machine.release(len(tokens) + old_len - len(buffer))
+
         # ---------------- Phase A: initialize the buffer ----------------
         with machine.phase("merge/init"):
             for i, b in ptrs.scan():
@@ -234,8 +259,12 @@ def multiway_merge(
                     continue
                 for idx in (b, b + 1):
                     if idx < runs[i].blocks:
-                        for atom in machine.read(runs[i].addrs[idx]):
-                            merge_atom(atom)
+                        blk = machine.read(runs[i].addrs[idx])
+                        if counting:
+                            feed_block(blk)
+                        else:
+                            for atom in blk:
+                                merge_atom(atom)
 
         # ---------------- Phase B: identify active runs -----------------
         # active entries: [i, next_block_index, s_token, last_block_read]
@@ -248,9 +277,9 @@ def multiway_merge(
                     continue
                 last_idx = min(b + 1, runs[i].blocks - 1)
                 blk = machine.peek(runs[i].addrs[last_idx])
-                s_token = blk[-1].sort_token()
+                s_token = token_of(blk[-1])
                 is_final = last_idx == runs[i].blocks - 1
-                among_smallest = (not buf_full) or s_token < buffer[-1].sort_token()
+                among_smallest = (not buf_full) or s_token < token_of(buffer[-1])
                 if not is_final and among_smallest:
                     machine.acquire(4, "active-run state")
                     active.append([i, last_idx + 1, s_token, last_idx])
@@ -258,7 +287,7 @@ def multiway_merge(
                     maxes = [(last_idx, s_token)]
                     if last_idx > b:
                         first = machine.peek(runs[i].addrs[b])
-                        maxes.insert(0, (b, first[-1].sort_token()))
+                        maxes.insert(0, (b, token_of(first[-1])))
                         machine.acquire(2, "pointer log")
                     machine.acquire(2, "pointer log")
                     init_maxes[i] = maxes
@@ -284,9 +313,12 @@ def multiway_merge(
                     continue
                 blk = machine.read(runs[i].addrs[nxt])
                 rs.phase_c_reads += 1
-                s_token = blk[-1].sort_token()
-                for atom in blk:
-                    merge_atom(atom)
+                s_token = token_of(blk[-1])
+                if counting:
+                    feed_block(blk)
+                else:
+                    for atom in blk:
+                        merge_atom(atom)
                 machine.acquire(2, "pointer log")
                 logs[i].append((nxt, s_token))
                 entry[1] = nxt + 1
@@ -294,14 +326,14 @@ def multiway_merge(
                 entry[3] = nxt
                 buf_full = len(buffer) >= M
                 if nxt == runs[i].blocks - 1 or (
-                    buf_full and s_token > buffer[-1].sort_token()
+                    buf_full and s_token > token_of(buffer[-1])
                 ):
                     active.pop(j)
                     machine.release(4)
 
         # ---------------- Phase D: emit the round's output --------------
         with machine.phase("merge/emit"):
-            new_threshold = buffer[-1].sort_token()
+            new_threshold = token_of(buffer[-1])
             for atom in buffer:
                 out.push(atom)
             emitted += len(buffer)
@@ -361,11 +393,11 @@ def _advance_by_peek(machine, run: Run, b: int, threshold) -> int:
     b+2 — or the run is exhausted.
     """
     blk = machine.peek(run.addrs[b])
-    if blk[-1].sort_token() > threshold:
+    if token_of(blk[-1]) > threshold:
         return b
     if b + 1 >= run.blocks:
         return EXHAUSTED
     blk = machine.peek(run.addrs[b + 1])
-    if blk[-1].sort_token() > threshold:
+    if token_of(blk[-1]) > threshold:
         return b + 1
     return b + 2 if b + 2 < run.blocks else EXHAUSTED

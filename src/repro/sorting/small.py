@@ -24,6 +24,7 @@ from typing import Optional
 
 from ..core.params import AEMParams
 from ..machine.aem import AEMMachine
+from ..machine.phantom import token_of
 from ..machine.streams import BlockWriter
 from .runs import Run, run_of_input
 
@@ -66,6 +67,7 @@ def small_sort(
         return Run.of(out.close() if own_writer else [], 0)
 
     M = params.M
+    counting = machine.counting
     threshold = None  # (key, uid) of the last atom emitted so far
     emitted = 0
     while emitted < N:
@@ -74,6 +76,22 @@ def small_sort(
         with machine.phase("small_sort/scan"):
             for addr in run.addrs:
                 blk = machine.read(addr)
+                if counting:
+                    # Batched selection over tokens: the M smallest of
+                    # (buffer ∪ accepted atoms) is feed-order independent,
+                    # so extend+sort+truncate reaches the per-atom loop's
+                    # exact buffer; touches and releases keep their totals
+                    # (releases = len + old_len - new_len) in one event.
+                    machine.touch(len(blk))
+                    old_len = len(buffer)
+                    if threshold is None:
+                        buffer.extend(blk)
+                    else:
+                        buffer.extend(t for t in blk if t > threshold)
+                    buffer.sort()
+                    del buffer[M:]
+                    machine.release(len(blk) + old_len - len(buffer))
+                    continue
                 kept = 0
                 for atom in blk:
                     machine.touch()
@@ -94,7 +112,7 @@ def small_sort(
             for atom in buffer:
                 out.push(atom)
             emitted += len(buffer)
-            threshold = buffer[-1].sort_token()
+            threshold = token_of(buffer[-1])
     if own_writer:
         addrs = out.close()
         return Run.of(addrs, N)

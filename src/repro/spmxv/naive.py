@@ -19,6 +19,7 @@ from typing import Sequence
 
 from ..core.params import AEMParams
 from ..machine.aem import AEMMachine
+from ..machine.phantom import PhantomBlock
 from .matrix import Conformation
 from .semiring import REAL, Semiring
 
@@ -65,12 +66,25 @@ def spmxv_naive(
     by_row = conf.positions_by_row()
     out_addrs = machine.allocate((N + B - 1) // B)
 
+    counting = machine.counting
     mat_cache = _BlockCache(machine, matrix_addrs)
     x_cache = _BlockCache(machine, x_addrs)
     with machine.phase("spmxv_naive/rows"):
         for t, out_addr in enumerate(out_addrs):
             lo, hi = t * B, min((t + 1) * B, N)
             machine.acquire(hi - lo, "output accumulators")
+            if counting:
+                # The access plan is pure conformation metadata, so the
+                # cache traffic (and with it every read) is content-free;
+                # only the arithmetic is skipped, and the output block is
+                # written as a sized phantom payload.
+                for i in range(lo, hi):
+                    for pos, j in by_row[i]:
+                        mat_cache.get(pos, B)
+                        x_cache.get(j, B)
+                        machine.touch(2)
+                machine.write(out_addr, PhantomBlock(hi - lo))
+                continue
             acc = []
             for i in range(lo, hi):
                 y_i = semiring.zero

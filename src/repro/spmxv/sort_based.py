@@ -31,6 +31,7 @@ from typing import Sequence
 from ..atoms.atom import Atom
 from ..core.params import AEMParams
 from ..machine.aem import AEMMachine
+from ..machine.phantom import PHANTOM
 from ..machine.streams import BlockReader, BlockWriter
 from ..sorting.mergesort import sort_run
 from ..sorting.runs import Run, run_of_input, split_run
@@ -63,6 +64,18 @@ def _elementary_products(
     writer = BlockWriter(machine)
     x_cache = _BlockCache(machine, x_addrs)
     reader = BlockReader(machine, matrix_addrs)
+    if machine.counting:
+        # Entry tokens are ((j, i), p): the column and row are part of the
+        # key, so the x-block traffic and the emitted product tokens
+        # (i, fresh uid) are fully determined without the values.
+        for entry in reader:
+            (j, i) = entry[0]
+            x_cache.get(j, params.B)
+            machine.touch()
+            machine.release(1)  # the entry atom is consumed
+            writer.push_new((i, uids.take()))
+        x_cache.close()
+        return Run.of(writer.close(), writer.count)
     for entry in reader:
         i, j, a = entry.value
         xj = x_cache.get(j, params.B)
@@ -77,24 +90,37 @@ def _combine_scan(
     machine: AEMMachine, run: Run, semiring: Semiring, uids: _UidCounter
 ) -> Run:
     """Add adjacent atoms with equal row keys in a sorted run."""
+    counting = machine.counting
     writer = BlockWriter(machine)
     reader = BlockReader(machine, run.addrs)
     # Slot discipline: the accumulator inherits the slot of the atom that
     # opened it; atoms merged into it release theirs; emitting transfers
-    # the accumulator's slot to the writer.
+    # the accumulator's slot to the writer. In counting mode atoms are
+    # (row, uid) tokens: equal-row detection, uid consumption, and slot
+    # movements are identical, only the addition is skipped.
     cur_key = None
     cur_val = None
     for atom in reader:
         machine.touch()
-        if atom.key == cur_key:
-            cur_val = semiring.add(cur_val, atom.value)
+        key = atom[0] if counting else atom.key
+        if key == cur_key:
+            if not counting:
+                cur_val = semiring.add(cur_val, atom.value)
             machine.release(1)
         else:
             if cur_key is not None:
-                writer.push(Atom(cur_key, uids.take(), cur_val))
-            cur_key, cur_val = atom.key, atom.value
+                writer.push(
+                    (cur_key, uids.take())
+                    if counting
+                    else Atom(cur_key, uids.take(), cur_val)
+                )
+            cur_key = key
+            if not counting:
+                cur_val = atom.value
     if cur_key is not None:
-        writer.push(Atom(cur_key, uids.take(), cur_val))
+        writer.push(
+            (cur_key, uids.take()) if counting else Atom(cur_key, uids.take(), cur_val)
+        )
     return Run.of(writer.close(), writer.count)
 
 
@@ -109,13 +135,14 @@ def _merge_combine(
     Holds one block per input run (fan-in is capped at ``m - 1`` by the
     caller), so the footprint is ``O(M)``.
     """
+    counting = machine.counting
     readers = [BlockReader(machine, r.addrs) for r in runs]
     writer = BlockWriter(machine)
     heap: list = []
     for t, reader in enumerate(readers):
         atom = reader.peek()
         if atom is not None:
-            heap.append((atom.key, t))
+            heap.append((atom[0] if counting else atom.key, t))
     heapq.heapify(heap)
     # Same slot discipline as _combine_scan.
     cur_key = None
@@ -125,17 +152,26 @@ def _merge_combine(
         atom = readers[t].take()
         machine.touch()
         if key == cur_key:
-            cur_val = semiring.add(cur_val, atom.value)
+            if not counting:
+                cur_val = semiring.add(cur_val, atom.value)
             machine.release(1)
         else:
             if cur_key is not None:
-                writer.push(Atom(cur_key, uids.take(), cur_val))
-            cur_key, cur_val = key, atom.value
+                writer.push(
+                    (cur_key, uids.take())
+                    if counting
+                    else Atom(cur_key, uids.take(), cur_val)
+                )
+            cur_key = key
+            if not counting:
+                cur_val = atom.value
         nxt = readers[t].peek()
         if nxt is not None:
-            heapq.heappush(heap, (nxt.key, t))
+            heapq.heappush(heap, (nxt[0] if counting else nxt.key, t))
     if cur_key is not None:
-        writer.push(Atom(cur_key, uids.take(), cur_val))
+        writer.push(
+            (cur_key, uids.take()) if counting else Atom(cur_key, uids.take(), cur_val)
+        )
     for reader in readers:
         reader.close()
     return Run.of(writer.close(), writer.count)
@@ -183,19 +219,22 @@ def spmxv_sort_based(
             partials = grouped or [Run.of((), 0)]
 
     with machine.phase("spmxv_sort/densify"):
+        counting = machine.counting
         out_addrs = machine.allocate((N + B - 1) // B)
         writer = BlockWriter(machine, out_addrs)
         reader = BlockReader(machine, partials[0].addrs)
         pending = reader.peek()
         for i in range(N):
-            if pending is not None and pending.key == i:
+            if pending is not None and (pending[0] if counting else pending.key) == i:
                 atom = reader.take()
                 machine.touch()
-                # Repackage the accumulated value as a plain output value.
-                writer.push(atom.value)
+                # Repackage the accumulated value as a plain output value
+                # (in counting mode the token stands in; the output vector
+                # is never read back on a counting machine).
+                writer.push(atom if counting else atom.value)
                 pending = reader.peek()
             else:
-                writer.push_new(semiring.zero)
+                writer.push_new(PHANTOM if counting else semiring.zero)
         writer.close()
         reader.close()
     return list(out_addrs)

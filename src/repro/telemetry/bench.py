@@ -63,34 +63,89 @@ def default_threshold() -> float:
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class BenchCase:
-    """One named benchmark: a callable returning a CostRecord-like mapping."""
+    """One named benchmark: a callable returning a CostRecord-like mapping.
+
+    ``setup``, when present, runs fresh before every timed repeat and its
+    return value is passed to ``run``; its wall time is excluded. Use it
+    when instance construction would otherwise dominate the measured
+    region (the micro cases); end-to-end cases leave it ``None``.
+    """
 
     name: str
-    run: Callable[[], Mapping]
+    run: Callable[..., Mapping]
+    setup: Optional[Callable[[], object]] = None
 
 
-def _sort_case(sorter: str, n: int, params: AEMParams) -> BenchCase:
+def _sort_case(
+    sorter: str, n: int, params: AEMParams, *, counting: bool = False
+) -> BenchCase:
     from ..experiments.common import measure_sort
 
     return BenchCase(
-        f"sort/{sorter}/n{n}", lambda: measure_sort(sorter, n, params)
+        f"sort/{sorter}/n{n}" + ("/counting" if counting else ""),
+        lambda: measure_sort(sorter, n, params, counting=counting),
     )
 
 
-def _permute_case(permuter: str, n: int, params: AEMParams) -> BenchCase:
+def _permute_case(
+    permuter: str, n: int, params: AEMParams, *, counting: bool = False
+) -> BenchCase:
     from ..experiments.common import measure_permute
 
     return BenchCase(
-        f"permute/{permuter}/n{n}", lambda: measure_permute(permuter, n, params)
+        f"permute/{permuter}/n{n}" + ("/counting" if counting else ""),
+        lambda: measure_permute(permuter, n, params, counting=counting),
     )
 
 
-def _spmxv_case(algorithm: str, n: int, delta: int, params: AEMParams) -> BenchCase:
+def _spmxv_case(
+    algorithm: str, n: int, delta: int, params: AEMParams, *, counting: bool = False
+) -> BenchCase:
     from ..experiments.common import measure_spmxv
 
     return BenchCase(
-        f"spmxv/{algorithm}/n{n}d{delta}",
-        lambda: measure_spmxv(algorithm, n, delta, params),
+        f"spmxv/{algorithm}/n{n}d{delta}" + ("/counting" if counting else ""),
+        lambda: measure_spmxv(algorithm, n, delta, params, counting=counting),
+    )
+
+
+def _scan_case(
+    B: int, n: int, *, passes: int = 6, counting: bool = False
+) -> BenchCase:
+    """Machine-bound microbench: pure block I/O dispatch, no algorithm.
+
+    At B=128 the full run's wall time is dominated by payload copies —
+    exactly what counting mode removes — so the counting/full pair of this
+    case is the suite's direct readout of the fast path's speedup. Atom
+    construction and problem placement happen in ``setup`` (untimed);
+    the timed region is ``passes`` streaming scans over the input, so the
+    measurement is the per-I/O machine overhead and nothing else.
+    """
+
+    def setup() -> object:
+        from ..atoms.atom import make_atoms
+        from ..machine.aem import AEMMachine
+
+        params = AEMParams(M=8 * B, B=B, omega=8)
+        machine = AEMMachine.for_algorithm(params, counting=counting)
+        addrs = machine.load_input(make_atoms(range(n)))
+        return machine, addrs
+
+    def run(state: object) -> Mapping:
+        from ..machine.cost import CostRecord
+        from ..machine.streams import scan_copy
+
+        machine, addrs = state
+        for _ in range(passes):
+            scan_copy(machine, addrs)
+        return CostRecord.from_snapshot(
+            machine.snapshot(), peak=machine.core.mem.peak
+        )
+
+    return BenchCase(
+        f"micro/scan_copy/B{B}n{n}" + ("/counting" if counting else ""),
+        run,
+        setup,
     )
 
 
@@ -101,15 +156,23 @@ def default_suite() -> Tuple[BenchCase, ...]:
     """The pinned trajectory suite: one case per hot code path.
 
     Sizes are chosen so every case runs well above the OS noise floor
-    (tens of milliseconds) while the whole suite stays CI-cheap.
+    (tens of milliseconds) while the whole suite stays CI-cheap. The
+    ``/counting`` twins run the same instance on a counting machine —
+    their cost counters must match the full case exactly (any drift is a
+    counting-mode bug), and their wall times record the fast path's
+    speedup in the trajectory.
     """
     return (
         _sort_case("aem_mergesort", 20000, _P),
+        _sort_case("aem_mergesort", 20000, _P, counting=True),
         _sort_case("em_mergesort", 20000, _P),
         _sort_case("aem_samplesort", 20000, _P),
         _permute_case("adaptive", 16384, _P),
         _permute_case("naive", 8192, _P),
         _spmxv_case("sort_based", 1024, 4, _P),
+        _spmxv_case("sort_based", 1024, 4, _P, counting=True),
+        _scan_case(128, 200_000),
+        _scan_case(128, 200_000, counting=True),
     )
 
 
@@ -123,8 +186,13 @@ def run_case(case: BenchCase, *, repeats: int = 2) -> dict:
     best = float("inf")
     cost: Mapping = {}
     for _ in range(repeats):
-        t0 = time.perf_counter()
-        cost = case.run()
+        if case.setup is not None:
+            state = case.setup()
+            t0 = time.perf_counter()
+            cost = case.run(state)
+        else:
+            t0 = time.perf_counter()
+            cost = case.run()
         best = min(best, time.perf_counter() - t0)
     return {"wall_s": best, **{k: cost[k] for k in cost}}
 

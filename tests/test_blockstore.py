@@ -1,8 +1,10 @@
 """BlockStore: the raw external memory."""
 
+import pickle
+
 import pytest
 
-from repro.machine.blockstore import BlockStore
+from repro.machine.blockstore import BlockStore, StoreSnapshot
 from repro.machine.errors import AddressError, BlockSizeError
 
 
@@ -112,3 +114,59 @@ class TestBulk:
         bs = BlockStore(B=3)
         bs.restore({10: (1,)})
         assert bs.allocate_one() > 10
+
+
+class TestWearSemantics:
+    """Pin the wear contract across free/restore (see free/restore docs)."""
+
+    def test_wear_survives_free(self):
+        # Wear is physical: freeing a region does not un-wear its cells.
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        bs.set(a, [1, 2])
+        bs.set(a, [3])
+        bs.free(a)
+        assert bs.write_counts[a] == 2
+        wear = bs.wear()
+        assert wear.total_writes == 2 and wear.hottest == a
+
+    def test_freed_address_never_aliases_later_wear(self):
+        bs = BlockStore(B=4)
+        a = bs.allocate_one()
+        bs.set(a, [1])
+        bs.free(a)
+        b = bs.allocate_one()
+        bs.set(b, [2])
+        assert b != a
+        assert bs.write_counts == {a: 1, b: 1}
+
+    def test_restore_rewinds_wear_to_snapshot_epoch(self):
+        bs = BlockStore(B=3)
+        addrs = bs.load_items(range(5))
+        bs.set(addrs[0], [7])  # one pre-snapshot write
+        snap = bs.snapshot()
+        for _ in range(3):
+            bs.set(addrs[1], [8])
+        bs.restore(snap)
+        assert bs.write_counts == {addrs[0]: 1}
+        assert bs.wear().total_writes == 1
+
+    def test_restore_from_plain_dict_is_epoch_zero(self):
+        bs = BlockStore(B=3)
+        a = bs.allocate_one()
+        bs.set(a, [1])
+        bs.restore({a: (1,)})
+        assert bs.write_counts == {}
+        assert bs.wear().total_writes == 0
+
+    def test_snapshot_pickle_preserves_epoch(self):
+        # dict subclass __reduce__ would otherwise drop write_counts.
+        bs = BlockStore(B=3)
+        a = bs.allocate_one()
+        bs.set(a, [1, 2])
+        snap = pickle.loads(pickle.dumps(bs.snapshot()))
+        assert isinstance(snap, StoreSnapshot)
+        assert snap.write_counts == {a: 1}
+        fresh = BlockStore(B=3)
+        fresh.restore(snap)
+        assert fresh.write_counts == {a: 1}

@@ -140,6 +140,48 @@ class TestResultCache:
         cache.path(key).write_text("{not json")
         assert cache.get(key) is MISS
 
+    def test_nested_values_hit_equals_miss(self, tmp_path):
+        # Regression: the old shallow encoder left nested CostRecords and
+        # numpy scalars for the JSON fallback, so a warm read handed back
+        # repr() strings where the cold run returned objects.
+        import numpy as np
+
+        cache = ResultCache(tmp_path, version="v")
+        cold = {
+            "rec": CostRecord(Q=10.0, Qr=2, Qw=2, T=7, peak_mem=16),
+            "n": np.int64(12),
+            "ratio": np.float64(1.5),
+            "series": [CostRecord(Q=4.0, Qr=0, Qw=1, T=1, peak_mem=8)],
+            "pair": (3, np.int64(4)),
+        }
+        cache.put("k", cold)
+        warm = cache.get("k")
+        assert warm == cold
+        assert isinstance(warm["rec"], CostRecord)
+        assert isinstance(warm["series"][0], CostRecord)
+        assert isinstance(warm["pair"], tuple)
+        assert type(warm["n"]) is int and type(warm["ratio"]) is float
+
+    @pytest.mark.parametrize(
+        "blob", ['{"meta": {}}', "[1, 2, 3]", '"just a string"', "42"]
+    )
+    def test_valid_json_without_value_reads_as_miss(self, tmp_path, blob):
+        cache = ResultCache(tmp_path, version="v")
+        key = cache.key(square_measure, {"x": 1})
+        cache.root.mkdir(parents=True, exist_ok=True)
+        cache.path(key).write_text(blob)
+        assert cache.get(key) is MISS
+        assert cache.stats.misses == 1
+
+    def test_clear_sweeps_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path, version="v")
+        cache.put(cache.key(square_measure, {"x": 1}), {"y": 1})
+        # A run killed between mkstemp and the atomic rename leaves these.
+        (cache.root / "orphan1.tmp").write_text("{")
+        (cache.root / "orphan2.tmp").write_text("")
+        assert cache.clear() == 1
+        assert not list(cache.root.glob("*.tmp"))
+
 
 # ----------------------------------------------------------------------
 # The engine.
