@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI smoke test for the columnar batched event bus.
+
+Runs the ``micro/scan_copy`` B=128 case across the full dispatch matrix
+— {full, counting} x {events, batched} — and asserts that the *model
+costs* (``Q``/``Qr``/``Qw``/``peak``) are bit-identical in every cell:
+batching changes when observers see events, never what they add up to.
+
+Wall times are printed for the CI log (they are the tentpole's readout)
+but deliberately NOT asserted — shared runners are too noisy for a
+hard timing gate here; that gate lives in the bench-trajectory job
+against the committed baseline.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/bench_dispatch_smoke.py [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.telemetry.bench import _scan_case, run_case
+from repro.telemetry.manifest import json_default, utc_now
+
+B = 128
+N = 200_000
+
+#: Keys that must be bit-identical across every dispatch/payload mode.
+COST_KEYS = ("Q", "Qr", "Qw", "T", "peak_mem")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument(
+        "--out-dir",
+        default="bench-out",
+        help="directory for the dispatch_smoke.json result file",
+    )
+    ap.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats per cell"
+    )
+    args = ap.parse_args(argv)
+
+    cells = {}
+    for counting in (False, True):
+        for dispatch in ("events", "batched"):
+            case = _scan_case(B, N, counting=counting, dispatch=dispatch)
+            cells[case.name] = run_case(case, repeats=args.repeats)
+
+    width = max(len(name) for name in cells)
+    print(f"dispatch smoke: scan_copy B={B} n={N}")
+    for name, r in cells.items():
+        costs = "  ".join(f"{k}={r.get(k)}" for k in COST_KEYS if k in r)
+        print(f"  {name:<{width}}  {r['wall_s']:.3f}s  {costs}")
+
+    failures = 0
+    reference_name = next(iter(cells))
+    reference = cells[reference_name]
+    for key in COST_KEYS:
+        if key not in reference:
+            print(f"  [FAIL] reference cell lacks cost key {key!r}")
+            failures += 1
+            continue
+        values = {name: r.get(key) for name, r in cells.items()}
+        if len(set(values.values())) != 1:
+            print(f"  [FAIL] {key} differs across modes: {values}")
+            failures += 1
+    if failures == 0:
+        print(
+            f"  [PASS] {', '.join(COST_KEYS)} identical across all "
+            f"{len(cells)} dispatch/payload modes"
+        )
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / "dispatch_smoke.json"
+    out_path.write_text(
+        json.dumps(
+            {
+                "created": utc_now(),
+                "case": f"micro/scan_copy/B{B}n{N}",
+                "cost_keys": list(COST_KEYS),
+                "parity": failures == 0,
+                "cells": cells,
+            },
+            indent=2,
+            sort_keys=True,
+            default=json_default,
+        )
+        + "\n",
+        encoding="utf-8",
+    )
+    print(f"results: {out_path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

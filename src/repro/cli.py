@@ -462,7 +462,7 @@ def cmd_check(args) -> int:
             print(f"  [FAIL] {v.render()}", file=sys.stderr)
         failures += len(violations)
     if run_lint:
-        print("source lint (rules AEM101-AEM106):")
+        print("source lint (rules AEM101-AEM107):")
         lint_violations = run_lint_checks(log=print)
         for lv in lint_violations:
             print(f"  [FAIL] {lv.render()}", file=sys.stderr)

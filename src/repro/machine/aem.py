@@ -47,8 +47,9 @@ from .cost import CostCounter, CostSnapshot
 from .errors import AddressError, BlockSizeError
 from .internal import InternalMemory
 from .phantom import (
-    SELF_TOKEN_TYPES as _TOKEN_TYPES,
+    PhantomBlock,
     PhantomBlockStore,
+    freeze_tokens,
     is_phantom_payload,
     token_of,
 )
@@ -89,6 +90,11 @@ class AEMMachine:
         stash: ``write``/``load_input`` remember each block's *scheduling
         tokens* (``Atom.sort_token()`` for atoms, the value itself for
         pointer words and numbers), and ``read``/``peek`` hand those back.
+    dispatch / flush_every:
+        Event-bus dispatch mode and batch flush interval, passed through
+        to :class:`~repro.machine.core.MachineCore` (``None`` keeps the
+        defaults: the ``REPRO_DISPATCH`` environment switch, else
+        batched dispatch with the standard flush interval).
     """
 
     def __init__(
@@ -99,18 +105,32 @@ class AEMMachine:
         record: bool = False,
         observers: Sequence[MachineObserver] = (),
         counting: bool = False,
+        dispatch: Optional[str] = None,
+        flush_every: Optional[int] = None,
     ):
         self.params = params
         self.counting = counting
-        #: Counting mode only: per-address tuple of scheduling tokens for
-        #: blocks whose (token-level) contents the writer knew. Blocks
-        #: written as phantom payloads have no entry and read back as
+        self._B = params.B  # hot-path cache (params is frozen)
+        #: Counting mode only: per-address *converted* scheduling tokens
+        #: for blocks whose (token-level) contents the writer knew (see
+        #: :func:`~repro.machine.phantom.freeze_tokens`). Blocks written
+        #: as phantom payloads have no entry and read back as
         #: :class:`~repro.machine.phantom.PhantomBlock`.
         self._tokens: dict[int, tuple] = {}
+        #: Raw snapshots of written-but-never-read blocks, converted into
+        #: ``_tokens`` on first read. Kept as a separate dict (rather than
+        #: a list-vs-tuple type tag in ``_tokens``) so the snapshots can
+        #: be immutable tuples: CPython untracks tuples of untrackable
+        #: values at the first GC pass, which keeps the collector's
+        #: scan sets — and hence per-I/O GC overhead on streaming runs
+        #: that write millions of blocks — small.
+        self._raw: dict[int, tuple] = {}
         store = PhantomBlockStore(params.B) if counting else BlockStore(params.B)
         self.core = MachineCore(
             store,
             InternalMemory(params.M, enforce=enforce_capacity),
+            dispatch=dispatch,
+            flush_every=flush_every,
         )
         self.disk = self.core.disk
         self.mem = self.core.mem
@@ -187,6 +207,23 @@ class AEMMachine:
     # ------------------------------------------------------------------
     # Core I/O operations.
     # ------------------------------------------------------------------
+    def _stash_tokens(self, addr: int) -> Optional[tuple]:
+        """The stashed tokens of ``addr``, converting a raw snapshot once.
+
+        ``write`` stores a raw tuple snapshot (one C-speed copy, or no
+        copy at all when the written payload is already a tuple); the
+        O(B) token conversion happens here, on the block's first read,
+        and the converted tuple moves to ``_tokens``. Write-only blocks —
+        most of a streaming workload's output — never convert at all.
+        """
+        stashed = self._tokens.get(addr)
+        if stashed is None:
+            raw = self._raw.pop(addr, None)
+            if raw is not None:
+                stashed = freeze_tokens(raw)
+                self._tokens[addr] = stashed
+        return stashed
+
     def read(self, addr: int) -> list:
         """Read one block (cost 1); its atoms become resident internally.
 
@@ -196,9 +233,14 @@ class AEMMachine:
         :class:`~repro.machine.phantom.PhantomBlock` otherwise.
         """
         if self.counting:
-            return self.core.read_block(
-                addr, self._read_cost, items=self._tokens.get(addr)
-            )
+            # _stash_tokens, inlined: one dict probe on the hot path.
+            stashed = self._tokens.get(addr)
+            if stashed is None:
+                raw = self._raw.pop(addr, None)
+                if raw is not None:
+                    stashed = freeze_tokens(raw)
+                    self._tokens[addr] = stashed
+            return self.core.read_block(addr, self._read_cost, items=stashed)
         return self.core.read_block(addr, self._read_cost)
 
     def peek(self, addr: int) -> list:
@@ -211,29 +253,33 @@ class AEMMachine:
         """
         if self.counting:
             return self.core.read_block(
-                addr, self._read_cost, keep=False, items=self._tokens.get(addr)
+                addr, self._read_cost, keep=False, items=self._stash_tokens(addr)
             )
         return self.core.read_block(addr, self._read_cost, keep=False)
 
     def write(self, addr: int, items: Sequence) -> None:
         """Write up to ``B`` atoms to block ``addr`` (cost ``omega``)."""
-        if len(items) > self.params.B:
+        if len(items) > self._B:
             raise BlockSizeError(
-                f"write of {len(items)} atoms exceeds block size B={self.params.B}"
+                f"write of {len(items)} atoms exceeds block size B={self._B}"
             )
         if self.counting:
-            if is_phantom_payload(items):
+            # list/tuple payloads (the hot path) skip the phantom
+            # isinstance probe entirely.
+            cls = items.__class__
+            if cls is PhantomBlock or (
+                cls is not list and cls is not tuple and is_phantom_payload(items)
+            ):
                 self._tokens.pop(addr, None)
+                self._raw.pop(addr, None)
             else:
-                # Hot path: most counting-mode writes carry items that are
-                # already tokens (they came out of a counting read), so the
-                # inline type test skips a call per item.
-                self._tokens[addr] = tuple(
-                    [
-                        it if type(it) in _TOKEN_TYPES else token_of(it)
-                        for it in items
-                    ]
-                )
+                # Hot path: stash one raw snapshot (a C-speed shallow
+                # copy; free when the payload is already a tuple) and let
+                # _stash_tokens pay the per-item tokenization only if the
+                # block is ever read back.
+                self._raw[addr] = tuple(items)
+                if addr in self._tokens:
+                    del self._tokens[addr]
         self.core.write_block(addr, items, self._write_cost)
 
     def write_fresh(self, items: Sequence) -> int:
@@ -270,6 +316,14 @@ class AEMMachine:
         Returns the number of internal-memory slots that were drained.
         """
         return self.core.round_boundary()
+
+    def flush(self) -> None:
+        """Flush buffered batch events to observers (see MachineCore).
+
+        Rarely needed by callers: phase/round boundaries flush
+        automatically and every observer readout flushes on demand.
+        """
+        self.core.flush_events()
 
     # ------------------------------------------------------------------
     # Allocation passthrough.

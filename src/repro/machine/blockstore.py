@@ -70,7 +70,13 @@ class BlockStore:
         return addrs
 
     def allocate_one(self) -> int:
-        return self.allocate(1)[0]
+        # Inlined single-address allocate: this sits on the write_fresh
+        # hot path (one call per streamed output block), where the
+        # list/range machinery of allocate() is measurable.
+        addr = self._next_addr
+        self._next_addr = addr + 1
+        self._blocks[addr] = ()
+        return addr
 
     def free(self, addr: int) -> None:
         """Discard a block. Subsequent access raises :class:`AddressError`.

@@ -18,27 +18,81 @@ per-I/O ``cost`` their model charges (``1``/``omega`` for the AEM, the
 transferred volume for the flash model), so every consumer downstream sees
 one uniform event stream regardless of which model produced it.
 
-Dispatch discipline (the no-observer fast path): at attach time the core
-inspects which event handlers the observer actually *overrides* and adds
-only those to per-event callback lists. Emitting an event that nobody
-listens to is one truthiness check on an empty list; emitting to ``k``
-listeners is ``k`` bound-method calls with no intermediate event objects.
-Batching happens at the semantic level — ``touch(k)`` reports ``k``
-internal operations in one event, and block transfers are one event per
-I/O, never per atom.
+Dispatch comes in two modes (``dispatch=`` / the ``REPRO_DISPATCH``
+environment variable):
+
+``"batched"`` (the default)
+    Batchable events (read/write/acquire/release/touch) accumulate into
+    one reused :class:`~repro.observe.batch.EventBatch` of columnar
+    parallel arrays and are *flushed* to consumers at phase enter/exit,
+    round boundaries, attach/detach, every ``flush_every`` events, and on
+    explicit :meth:`flush_events` calls. Observers overriding
+    ``on_batch`` consume whole batches; observers declaring
+    ``needs_events``/``needs_payloads`` keep exact synchronous per-event
+    delivery (real payloads included); everything else is replayed
+    event-by-event at flush time, in order, from the columns. Phase and
+    round events are never buffered — they are the flush boundaries, so
+    per-phase attribution and round-form checks see complete, correctly
+    segmented streams.
+
+``"events"``
+    The classic fully synchronous bus: at attach time the core inspects
+    which handlers the observer actually *overrides* and adds only those
+    to per-event callback lists. This is the reference semantics that the
+    batched mode must reproduce bit-identically (see the dispatch parity
+    suite), and the A/B baseline for the dispatch microbenchmarks.
+
+In both modes, emitting an event that nobody listens to is one truthiness
+check on an empty list, and batching at the semantic level still applies —
+``touch(k)`` reports ``k`` internal operations in one event, and block
+transfers are one event per I/O, never per atom.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from typing import Iterator, Sequence
 
 from ..observe.base import EVENTS, MachineObserver
+from ..observe.batch import (
+    BATCHED_EVENTS,
+    KIND_ACQUIRE,
+    KIND_READ,
+    KIND_RELEASE,
+    KIND_TOUCH,
+    KIND_WRITE,
+    EventBatch,
+)
 from .blockstore import BlockStore
 from .internal import InternalMemory
 
 #: Lifecycle hooks, called at attach/detach rather than dispatched.
 _LIFECYCLE = ("on_attach", "on_detach")
+
+#: The dispatch-mode switch read when ``dispatch=None`` (one of
+#: :data:`DISPATCH_MODES`); lets CI and the parity suite flip a whole run
+#: to the per-event reference bus without threading a parameter through.
+DISPATCH_ENV = "REPRO_DISPATCH"
+DISPATCH_MODES = ("batched", "events")
+
+#: Buffered events between forced flushes in batched mode. Large enough
+#: to amortize dispatch, small enough that replayed consumers never sit
+#: on an unbounded buffer.
+DEFAULT_FLUSH_EVERY = 512
+
+_BATCHED_SET = frozenset(BATCHED_EVENTS)
+
+
+def default_dispatch() -> str:
+    """The dispatch mode used when machines don't pass one explicitly."""
+    mode = os.environ.get(DISPATCH_ENV) or "batched"
+    if mode not in DISPATCH_MODES:
+        raise ValueError(
+            f"{DISPATCH_ENV}={mode!r} is not a dispatch mode; "
+            f"choose one of {DISPATCH_MODES}"
+        )
+    return mode
 
 
 def _validate_handler_names(observer: MachineObserver) -> None:
@@ -49,7 +103,7 @@ def _validate_handler_names(observer: MachineObserver) -> None:
     below :class:`MachineObserver` is checked, so typos in mixins and
     base classes surface too.
     """
-    allowed = set(EVENTS) | set(_LIFECYCLE)
+    allowed = set(EVENTS) | set(_LIFECYCLE) | {"on_batch"}
     for klass in type(observer).__mro__:
         if klass in (MachineObserver, object):
             continue
@@ -57,7 +111,8 @@ def _validate_handler_names(observer: MachineObserver) -> None:
             if name.startswith("on_") and callable(value) and name not in allowed:
                 raise ValueError(
                     f"{klass.__name__}.{name} matches no machine event; "
-                    f"known events are {EVENTS} (plus lifecycle {_LIFECYCLE})"
+                    f"known events are {EVENTS} (plus on_batch and "
+                    f"lifecycle {_LIFECYCLE})"
                 )
 
 
@@ -69,15 +124,37 @@ class MachineCore:
         disk: BlockStore,
         mem: InternalMemory,
         observers: Sequence[MachineObserver] = (),
+        *,
+        dispatch: str | None = None,
+        flush_every: int | None = None,
     ):
         self.disk = disk
         self.mem = mem
         # Counting-mode cores sit on a PhantomBlockStore and carry no atom
         # payloads; observers that need contents are rejected at attach.
         self.payloads = not getattr(disk, "phantom", False)
+        if dispatch is None:
+            dispatch = default_dispatch()
+        elif dispatch not in DISPATCH_MODES:
+            raise ValueError(
+                f"dispatch={dispatch!r} is not a dispatch mode; "
+                f"choose one of {DISPATCH_MODES}"
+            )
+        self.dispatch = dispatch
+        self.flush_every = (
+            DEFAULT_FLUSH_EVERY if flush_every is None else int(flush_every)
+        )
+        if self.flush_every < 1:
+            raise ValueError("flush_every must be a positive event count")
         self.io_count = 0  # total I/O events emitted (reads + writes)
         self.last_drained = 0  # slots drained by the most recent round boundary
         self.observers: list[MachineObserver] = []
+        self.batch = EventBatch()
+        self._flushing = False
+        self._on_batch: list = []  # bound on_batch methods, attach order
+        self._replay: list = []  # legacy observers replayed at flush
+        self._buffering = False  # batched mode AND someone consumes batches
+        self._record_columns = False  # some consumer needs the columns
         for name in EVENTS:
             setattr(self, "_" + name, [])
         for obs in observers:
@@ -92,7 +169,8 @@ class MachineCore:
         Handler names are validated against the event vocabulary: an
         ``on_``-prefixed method that matches no known event (``on_raed``)
         raises :class:`ValueError` here, at attach time, instead of
-        silently never firing.
+        silently never firing. Any buffered events are flushed first, so
+        the new observer sees nothing that happened before it attached.
         """
         if observer in self.observers:
             raise ValueError(f"observer {observer!r} is already attached")
@@ -104,31 +182,108 @@ class MachineCore:
                 "it to a full (counting=False) machine instead"
             )
         _validate_handler_names(observer)
+        self.flush_events()
         self.observers.append(observer)
-        cls = type(observer)
-        for name in EVENTS:
-            handler = getattr(cls, name, None)
-            if handler is not None and handler is not getattr(MachineObserver, name):
-                getattr(self, "_" + name).append(getattr(observer, name))
+        self._rebuild_dispatch()
         hook = getattr(observer, "on_attach", None)
         if hook is not None:
             hook(self)
         return observer
 
     def detach(self, observer: MachineObserver) -> None:
+        """Detach ``observer`` (buffered events are delivered to it first)."""
+        self.flush_events()
         self.observers.remove(observer)
-        for name in EVENTS:
-            callbacks = getattr(self, "_" + name)
-            bound = getattr(observer, name, None)
-            if bound in callbacks:
-                callbacks.remove(bound)
+        self._rebuild_dispatch()
         hook = getattr(observer, "on_detach", None)
         if hook is not None:
             hook(self)
 
+    def _rebuild_dispatch(self) -> None:
+        """Recompute every dispatch list from ``self.observers``.
+
+        Observers sort into three tiers (batched mode):
+
+        * *synchronous* — ``needs_events``/``needs_payloads`` observers,
+          whose overridden handlers go into the per-event lists exactly as
+          in events mode (they see real payloads, in real time);
+        * *batch consumers* — observers overriding ``on_batch``;
+        * *replayed* — observers overriding a batchable handler but not
+          ``on_batch``; the buffered events are replayed to them at each
+          flush, in order, with placeholder payloads.
+
+        Phase/round handlers are always dispatched synchronously (those
+        events are flush points, fired after the flush). The columnar
+        arrays are only recorded when some attached consumer needs them:
+        a replayed observer, or a batch consumer with
+        ``batch_columns = True``. Aggregate-only consumers (the cost
+        ledger) leave the columns off, which is the machine's per-I/O
+        fast path.
+        """
+        base = MachineObserver
+        base_batch = getattr(base, "on_batch", None)
+        for name in EVENTS:
+            getattr(self, "_" + name).clear()
+        self._on_batch.clear()
+        self._replay.clear()
+        batched = self.dispatch == "batched"
+        needs_columns = False
+        for obs in self.observers:
+            cls = type(obs)
+            synchronous = (
+                not batched
+                or getattr(obs, "needs_events", False)
+                or getattr(obs, "needs_payloads", False)
+            )
+            has_batch = (
+                not synchronous
+                and getattr(cls, "on_batch", base_batch) is not base_batch
+            )
+            replayed = False
+            for name in EVENTS:
+                handler = getattr(cls, name, None)
+                if handler is None or handler is getattr(base, name):
+                    continue
+                if synchronous or name not in _BATCHED_SET:
+                    getattr(self, "_" + name).append(getattr(obs, name))
+                elif not has_batch:
+                    replayed = True
+            if has_batch:
+                self._on_batch.append(obs.on_batch)
+                if getattr(obs, "batch_columns", True):
+                    needs_columns = True
+            if replayed:
+                self._replay.append(obs)
+                needs_columns = True
+        self._record_columns = needs_columns
+        self._buffering = batched and bool(self._on_batch or self._replay)
+
     def find(self, kind: type) -> list:
         """All attached observers that are instances of ``kind``."""
         return [obs for obs in self.observers if isinstance(obs, kind)]
+
+    # ------------------------------------------------------------------
+    # Batch flushing.
+    # ------------------------------------------------------------------
+    def flush_events(self) -> None:
+        """Deliver all buffered events to batch/replayed consumers.
+
+        Safe to call at any time (no-op when the buffer is empty or when
+        already mid-flush); readout paths on observers call this so that
+        totals read back exact regardless of buffer state.
+        """
+        batch = self.batch
+        if not batch.n or self._flushing:
+            return
+        self._flushing = True
+        try:
+            for cb in self._on_batch:
+                cb(batch)
+            for obs in self._replay:
+                batch.replay(obs)
+        finally:
+            batch.clear()
+            self._flushing = False
 
     # ------------------------------------------------------------------
     # Raw event emission (machines with bespoke transfer shapes, e.g. the
@@ -136,13 +291,41 @@ class MachineCore:
     # ------------------------------------------------------------------
     def emit_read(self, addr: int, items: Sequence, cost: float) -> None:
         self.io_count += 1
-        for cb in self._on_read:
-            cb(addr, items, cost)
+        if self._on_read:
+            for cb in self._on_read:
+                cb(addr, items, cost)
+        if self._buffering:
+            batch = self.batch
+            batch.n += 1
+            batch.reads += 1
+            batch.read_cost += cost
+            if self._record_columns:
+                batch.kinds.append(KIND_READ)
+                batch.addrs.append(addr)
+                batch.lengths.append(len(items))
+                batch.costs.append(cost)
+                batch.occs.append(self.mem.occupancy)
+            if batch.n >= self.flush_every:
+                self.flush_events()
 
     def emit_write(self, addr: int, items: Sequence, cost: float) -> None:
         self.io_count += 1
-        for cb in self._on_write:
-            cb(addr, items, cost)
+        if self._on_write:
+            for cb in self._on_write:
+                cb(addr, items, cost)
+        if self._buffering:
+            batch = self.batch
+            batch.n += 1
+            batch.writes += 1
+            batch.write_cost += cost
+            if self._record_columns:
+                batch.kinds.append(KIND_WRITE)
+                batch.addrs.append(addr)
+                batch.lengths.append(len(items))
+                batch.costs.append(cost)
+                batch.occs.append(self.mem.occupancy)
+            if batch.n >= self.flush_every:
+                self.flush_events()
 
     # ------------------------------------------------------------------
     # Ledger-coupled block transfers (the AEM semantics).
@@ -163,10 +346,21 @@ class MachineCore:
             # lists they hold); phantom blocks are immutable and sized, so
             # the copy would be pure waste.
             items = list(blk) if self.payloads else blk
+        mem = self.mem
+        k = len(items)
         if keep:
-            self.mem.acquire(len(items))
+            # mem.acquire(k), inlined for the per-I/O hot path; the
+            # overflow case falls back to the real method so the
+            # CapacityError (message, fields) stays exactly the ledger's.
+            occ = mem.occupancy + k
+            if mem.enforce and occ > mem.capacity:
+                mem.acquire(k)
+            else:
+                mem.occupancy = occ
+                if occ > mem.peak:
+                    mem.peak = occ
         else:
-            self.mem.require(len(items))
+            mem.require(k)
         self.emit_read(addr, items, cost)
         return items
 
@@ -176,7 +370,14 @@ class MachineCore:
         """Write a block; with ``release=True`` its atoms leave the ledger."""
         self.disk.set(addr, items)
         if release:
-            self.mem.release(len(items))
+            # mem.release(len(items)), inlined (see read_block); the
+            # underflow case falls back for the exact ReleaseError.
+            mem = self.mem
+            occ = mem.occupancy - len(items)
+            if occ < 0:
+                mem.release(len(items))
+            else:
+                mem.occupancy = occ
         # Full stores emit the canonical stored tuple (immutable even if the
         # caller mutates its list afterwards); phantom stores hold sizes
         # only, and observers on a payload-free core use len(items) alone,
@@ -192,11 +393,34 @@ class MachineCore:
         self.mem.acquire(k, what)
         for cb in self._on_acquire:
             cb(k, what)
+        if self._buffering:
+            batch = self.batch
+            batch.n += 1
+            if self._record_columns:
+                batch.kinds.append(KIND_ACQUIRE)
+                batch.addrs.append(-1)
+                batch.lengths.append(k)
+                batch.costs.append(0)
+                batch.occs.append(self.mem.occupancy)
+                batch.whats.append(what)
+            if batch.n >= self.flush_every:
+                self.flush_events()
 
     def release(self, k: int) -> None:
         self.mem.release(k)
         for cb in self._on_release:
             cb(k)
+        if self._buffering:
+            batch = self.batch
+            batch.n += 1
+            if self._record_columns:
+                batch.kinds.append(KIND_RELEASE)
+                batch.addrs.append(-1)
+                batch.lengths.append(k)
+                batch.costs.append(0)
+                batch.occs.append(self.mem.occupancy)
+            if batch.n >= self.flush_every:
+                self.flush_events()
 
     # ------------------------------------------------------------------
     # Time, phases, rounds.
@@ -206,14 +430,34 @@ class MachineCore:
             raise ValueError("cannot record a negative number of touches")
         for cb in self._on_touch:
             cb(k)
+        if self._buffering:
+            batch = self.batch
+            batch.n += 1
+            batch.touches += k
+            batch.touch_events += 1
+            if self._record_columns:
+                batch.kinds.append(KIND_TOUCH)
+                batch.addrs.append(-1)
+                batch.lengths.append(k)
+                batch.costs.append(0)
+                batch.occs.append(self.mem.occupancy)
+            if batch.n >= self.flush_every:
+                self.flush_events()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
+        # Phase boundaries are exact flush points: everything buffered
+        # belongs to the enclosing phase and is delivered before the
+        # enter/exit callbacks fire, so per-phase attribution in batch
+        # consumers (which charge a whole batch to the innermost phase)
+        # matches synchronous dispatch bit-for-bit.
+        self.flush_events()
         for cb in self._on_phase_enter:
             cb(name)
         try:
             yield
         finally:
+            self.flush_events()
             for cb in self._on_phase_exit:
                 cb(name)
 
@@ -223,13 +467,17 @@ class MachineCore:
         Returns the number of slots that were drained. Round-based
         programs (Section 4) have empty internal memory between rounds;
         the declared boundaries flow into recorded programs'
-        ``round_boundaries``.
+        ``round_boundaries``. Like phase boundaries, this is an exact
+        flush point: buffered events land before ``on_round_boundary``
+        fires, so per-round accounting (the round-form sanitizer) sees
+        the complete round.
         """
         held = self.mem.drain()
         # Recorded before the callbacks run: observers fired by this
         # boundary (e.g. the round-form sanitizer) can see how many slots
         # were still occupied when the round ended.
         self.last_drained = held
+        self.flush_events()
         for cb in self._on_round_boundary:
             cb(self.io_count)
         return held
@@ -237,5 +485,5 @@ class MachineCore:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"MachineCore({len(self.disk)} blocks, {self.mem!r}, "
-            f"{len(self.observers)} observers)"
+            f"{len(self.observers)} observers, dispatch={self.dispatch!r})"
         )

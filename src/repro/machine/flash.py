@@ -33,7 +33,7 @@ volume accounting is a :class:`~repro.observe.CostObserver` on that bus.
 
 from __future__ import annotations
 
-from typing import Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from ..observe.base import MachineObserver
 from ..observe.cost import CostObserver
@@ -41,7 +41,7 @@ from .blockstore import BlockStore
 from .core import MachineCore
 from .errors import AddressError, BlockSizeError, ModelViolationError
 from .internal import InternalMemory
-from .phantom import PhantomBlockStore, is_phantom_payload, token_of
+from .phantom import PhantomBlockStore, freeze_tokens, is_phantom_payload, token_of
 
 
 class FlashMachine:
@@ -79,6 +79,8 @@ class FlashMachine:
         *,
         observers: Sequence[MachineObserver] = (),
         counting: bool = False,
+        dispatch: Optional[str] = None,
+        flush_every: Optional[int] = None,
     ):
         if Br < 1 or Bw < 1:
             raise ValueError("block sizes must be positive")
@@ -92,12 +94,18 @@ class FlashMachine:
         self.Br = Br
         self.Bw = Bw
         self.counting = counting
+        #: Converted token stash / raw write snapshots, exactly as on
+        #: :class:`~repro.machine.aem.AEMMachine` (see its field docs):
+        #: raw snapshots are immutable tuples so GC untracks them.
         self._tokens: dict[int, tuple] = {}
+        self._raw: dict[int, tuple] = {}
         self.core = MachineCore(
             PhantomBlockStore(Bw) if counting else BlockStore(Bw),
             # The model does not enforce a capacity discipline of its own;
             # the ledger exists so shared observers see a complete core.
             InternalMemory(M, enforce=False),
+            dispatch=dispatch,
+            flush_every=flush_every,
         )
         self.disk = self.core.disk
         self._cost = self.core.attach(CostObserver(omega=1.0))
@@ -131,7 +139,18 @@ class FlashMachine:
         return self.core.attach(observer)
 
     def detach(self, observer: MachineObserver) -> None:
+        if observer is self._cost:
+            # Same guard as AEMMachine.detach: the volume/ops readouts
+            # live in this observer and would silently freeze.
+            raise ValueError(
+                "cannot detach the machine's own CostObserver; "
+                ".volume/.read_ops/.write_ops would silently stop counting"
+            )
         self.core.detach(observer)
+
+    def flush(self) -> None:
+        """Flush buffered batch events to observers (see MachineCore)."""
+        self.core.flush_events()
 
     @property
     def observers(self) -> list[MachineObserver]:
@@ -195,8 +214,13 @@ class FlashMachine:
         if self.counting:
             if is_phantom_payload(items):
                 self._tokens.pop(addr, None)
+                self._raw.pop(addr, None)
             else:
-                self._tokens[addr] = tuple(token_of(it) for it in items)
+                # Raw snapshot; tokenized lazily on first read_small (see
+                # AEMMachine.write / phantom.freeze_tokens).
+                self._raw[addr] = tuple(items)
+                if addr in self._tokens:
+                    del self._tokens[addr]
         self.disk.set(addr, items)
         self.core.emit_write(addr, self.disk.get(addr), self.Bw)
 
@@ -215,9 +239,15 @@ class FlashMachine:
             raise ModelViolationError(
                 f"read block index {j} out of range for Bw/Br={self.reads_per_write_block}"
             )
-        if self.counting and addr in self._tokens:
-            items = self._tokens[addr]
-        else:
+        items = None
+        if self.counting:
+            items = self._tokens.get(addr)
+            if items is None:
+                raw = self._raw.pop(addr, None)
+                if raw is not None:
+                    items = freeze_tokens(raw)
+                    self._tokens[addr] = items
+        if items is None:
             # On a counting machine without stashed tokens this is a
             # PhantomBlock, whose slices are (sized) phantom blocks too.
             items = self.disk.get(addr)

@@ -97,8 +97,14 @@ class PhantomBlock(Sequence):
 
 
 def is_phantom_payload(items) -> bool:
-    """True when ``items`` carries no real contents (only a size)."""
-    return isinstance(items, PhantomBlock)
+    """True when ``items`` carries no real contents (only a size).
+
+    The exact-type test short-circuits the common case: PhantomBlock is a
+    :class:`Sequence`, so a plain ``isinstance`` goes through the abc
+    machinery on *every* write of real items — measurable on the
+    streaming hot path.
+    """
+    return type(items) is PhantomBlock or isinstance(items, PhantomBlock)
 
 
 #: Types that are their own scheduling token. Checked before the
@@ -129,6 +135,22 @@ def token_of(item):
     return st() if callable(st) else item
 
 
+def freeze_tokens(items) -> tuple:
+    """Tokenize a whole written payload into an immutable stash entry.
+
+    The machines' token stashes store either this converted tuple or a
+    raw ``list`` snapshot of the written items; the list form defers this
+    O(B) per-item conversion until the block is first *read*, so blocks
+    that are written and never read back (most of a streaming workload's
+    output) never pay it. Deferral is exact because scheduling tokens are
+    immutable values derived from immutable atom identity — converting at
+    read time yields the same tuple a write-time conversion would have.
+    """
+    return tuple(
+        it if type(it) in SELF_TOKEN_TYPES else token_of(it) for it in items
+    )
+
+
 class PhantomBlockStore(BlockStore):
     """A block store that tracks per-block occupancy only.
 
@@ -154,15 +176,17 @@ class PhantomBlockStore(BlockStore):
             raise AddressError(f"read of unallocated block {addr}") from None
 
     def set(self, addr: int, items) -> None:
-        if addr not in self._blocks:
+        blocks = self._blocks
+        if addr not in blocks:
             raise AddressError(f"write to unallocated block {addr}")
         n = len(items)
         if n > self.B:
             raise BlockSizeError(
                 f"block {addr}: {n} atoms exceed block size B={self.B}"
             )
-        self._blocks[addr] = n
-        self.write_counts[addr] = self.write_counts.get(addr, 0) + 1
+        blocks[addr] = n
+        counts = self.write_counts
+        counts[addr] = counts.get(addr, 0) + 1
 
     def load_items(self, items: Iterable) -> list[int]:
         items = list(items)

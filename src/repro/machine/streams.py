@@ -171,7 +171,15 @@ def scan_copy(machine: AEMMachine, addrs: Sequence[int]) -> list[int]:
         out_addrs: list[int] = []
         B = machine.params.B
         for addr in addrs:
-            pending.extend(machine.read(addr))
+            items = machine.read(addr)
+            if not pending and len(items) == B:
+                # Aligned case (every full input block while no partial
+                # carry is pending): the read IS the chunk — the write
+                # lands at the same point in the event stream the
+                # buffered path would produce, without the buffer churn.
+                out_addrs.append(machine.write_fresh(items))
+                continue
+            pending.extend(items)
             while len(pending) >= B:
                 chunk = pending[:B]
                 del pending[:B]

@@ -44,6 +44,33 @@ at attach time instead of silently feeding it placeholders. Observers
 that use only ``len(items)``, addresses, and costs — the default — keep
 the class-level ``needs_payloads = False`` and work on both kinds of
 machine unchanged.
+
+Batched dispatch (PR 6): on a core running in the default ``batched``
+dispatch mode, the batchable events (read/write/acquire/release/touch)
+are buffered into a columnar :class:`~repro.observe.batch.EventBatch`
+and delivered at flush boundaries. Three class-level knobs control how
+an observer participates:
+
+``on_batch(batch)``
+    Override to consume whole batches in one call — the vectorized fast
+    path. The batch object and its column lists are reused by the bus;
+    copy anything you keep (lint rule AEM107). Observers that override
+    ``on_batch`` do **not** also get their per-event batchable handlers
+    called in batched mode (keep those for events-mode parity); their
+    phase/round handlers still fire synchronously.
+``needs_events``
+    Declare True to opt out of batching entirely: the observer's
+    overridden handlers stay on the synchronous per-event path with real
+    payloads, exactly as in events mode. Implied by ``needs_payloads``.
+``batch_columns``
+    Set False on ``on_batch`` implementations that use only the batch
+    aggregates (``reads``/``writes``/``read_cost``/...). When every
+    attached consumer says False the bus skips recording the per-event
+    columns altogether — the machine's cheapest configuration.
+
+Observers that override a batchable handler but none of the above are
+*replayed* event-by-event at each flush, in original order, with sized
+placeholder payloads — correct for every ``len(items)``-only consumer.
 """
 
 from __future__ import annotations
@@ -74,6 +101,21 @@ class MachineObserver:
     #: Set True in subclasses whose handlers read atom contents (not just
     #: ``len(items)``); such observers cannot attach to counting machines.
     needs_payloads = False
+
+    #: Set True to keep exact synchronous per-event delivery under
+    #: batched dispatch (implied by ``needs_payloads``).
+    needs_events = False
+
+    #: Set False on ``on_batch`` implementations that only use the batch
+    #: aggregates, never the per-event columns.
+    batch_columns = True
+
+    def on_batch(self, batch) -> None:
+        """Consume one flushed :class:`~repro.observe.batch.EventBatch`.
+
+        Override for vectorized dispatch. The batch (and its column
+        lists) are reused after this call returns — copy, don't retain.
+        """
 
     def on_attach(self, core) -> None:  # pragma: no cover - trivial
         pass

@@ -12,6 +12,13 @@ write), which is that model's notion of cost.
 
 Every machine attaches one of these at construction; ``machine.counter``,
 ``machine.snapshot()`` and friends read through to it.
+
+Under batched dispatch this observer is an aggregates-only batch consumer
+(``batch_columns = False``): one ``on_batch`` call per flush adds the
+batch's read/write/touch totals to the counter, attributed to the
+innermost phase — exact, because phase boundaries force a flush. Every
+readout path (the properties and ``snapshot()``/``describe()``) first
+flushes the owning core, so totals read back exact at any moment.
 """
 
 from __future__ import annotations
@@ -36,37 +43,94 @@ class CostObserver(MachineObserver):
         one counter across machines; a fresh one is created by default.
     """
 
+    batch_columns = False
+
     def __init__(self, omega: float = 1.0, counter: Optional[CostCounter] = None):
-        self.counter = counter if counter is not None else CostCounter(omega)
+        self._counter = counter if counter is not None else CostCounter(omega)
         # Accumulated per-event costs. For the AEM these mirror the counter
         # (read_cost == Qr, write_cost == omega*Qw); for the flash model
         # they are the read/write I/O volumes.
-        self.read_cost: float = 0
-        self.write_cost: float = 0
+        self._read_cost: float = 0
+        self._write_cost: float = 0
+        self._core = None
 
     # ------------------------------------------------------------------
-    # Event handlers.
+    # Lifecycle + flush-on-readout.
+    # ------------------------------------------------------------------
+    def on_attach(self, core) -> None:
+        self._core = core
+
+    def on_detach(self, core) -> None:
+        self._core = None
+
+    def _sync(self) -> None:
+        core = self._core
+        if core is not None:
+            core.flush_events()
+
+    # ------------------------------------------------------------------
+    # Event handlers (events-mode / replay delivery).
     # ------------------------------------------------------------------
     def on_read(self, addr: int, items: Sequence, cost: float) -> None:
-        self.counter.add_read()
-        self.read_cost += cost
+        self._counter.add_read()
+        self._read_cost += cost
 
     def on_write(self, addr: int, items: Sequence, cost: float) -> None:
-        self.counter.add_write()
-        self.write_cost += cost
+        self._counter.add_write()
+        self._write_cost += cost
 
     def on_touch(self, k: int) -> None:
-        self.counter.touch(k)
+        self._counter.touch(k)
 
     def on_phase_enter(self, name: str) -> None:
-        self.counter.enter_phase(name)
+        self._counter.enter_phase(name)
 
     def on_phase_exit(self, name: str) -> None:
-        self.counter.exit_phase(name)
+        self._counter.exit_phase(name)
+
+    def on_batch(self, batch) -> None:
+        # Whole-batch attribution to the innermost phase is exact: phase
+        # transitions flush, so a batch never straddles a boundary. The
+        # underscore fields are used directly — the properties would
+        # re-enter the flush this call is part of.
+        counter = self._counter
+        if batch.reads:
+            counter.add_read(batch.reads)
+        if batch.writes:
+            counter.add_write(batch.writes)
+        if batch.touches:
+            counter.touch(batch.touches)
+        self._read_cost += batch.read_cost
+        self._write_cost += batch.write_cost
 
     # ------------------------------------------------------------------
     # Readout (the CostCounter surface, passed through).
     # ------------------------------------------------------------------
+    @property
+    def counter(self) -> CostCounter:
+        self._sync()
+        return self._counter
+
+    @property
+    def read_cost(self) -> float:
+        self._sync()
+        return self._read_cost
+
+    @read_cost.setter
+    def read_cost(self, value: float) -> None:
+        self._sync()
+        self._read_cost = value
+
+    @property
+    def write_cost(self) -> float:
+        self._sync()
+        return self._write_cost
+
+    @write_cost.setter
+    def write_cost(self, value: float) -> None:
+        self._sync()
+        self._write_cost = value
+
     @property
     def reads(self) -> int:
         return self.counter.reads
@@ -82,15 +146,17 @@ class CostObserver(MachineObserver):
     @property
     def total_cost(self) -> float:
         """Sum of per-event costs (the flash model's total volume)."""
-        return self.read_cost + self.write_cost
+        self._sync()
+        return self._read_cost + self._write_cost
 
     def snapshot(self) -> CostSnapshot:
         return self.counter.snapshot()
 
     def reset(self) -> None:
-        self.counter.reset()
-        self.read_cost = 0
-        self.write_cost = 0
+        self._sync()
+        self._counter.reset()
+        self._read_cost = 0
+        self._write_cost = 0
 
     def describe(self) -> str:
         return self.counter.describe()

@@ -56,6 +56,8 @@ class ProgressObserver(MachineObserver):
         the final summary line and flushes, live or not.
     """
 
+    batch_columns = False
+
     def __init__(
         self,
         stream: Optional[IO[str]] = None,
@@ -75,10 +77,17 @@ class ProgressObserver(MachineObserver):
         self.rounds = 0
         self._phases: list[str] = []
         self._pending = 0
+        self._core = None
 
     # ------------------------------------------------------------------
     # Event handlers.
     # ------------------------------------------------------------------
+    def on_attach(self, core) -> None:
+        self._core = core
+
+    def on_detach(self, core) -> None:
+        self._core = None
+
     def on_read(self, addr: int, items: Sequence, cost: float) -> None:
         self.reads += 1
         self._tick()
@@ -86,6 +95,16 @@ class ProgressObserver(MachineObserver):
     def on_write(self, addr: int, items: Sequence, cost: float) -> None:
         self.writes += 1
         self._tick()
+
+    def on_batch(self, batch) -> None:
+        io = batch.reads + batch.writes
+        if not io:
+            return
+        self.reads += batch.reads
+        self.writes += batch.writes
+        self._pending += io
+        if self._pending >= self.every:
+            self._render()
 
     def on_phase_enter(self, name: str) -> None:
         self._phases.append(name)
@@ -126,8 +145,11 @@ class ProgressObserver(MachineObserver):
 
         On a live stream this replaces the in-place status line and moves
         off it; on a piped stream it is the *only* output the observer
-        ever produces.
+        ever produces. Buffered batch events are flushed first, so the
+        printed counts are exact rather than trailing the run.
         """
+        if self._core is not None:
+            self._core.flush_events()
         if self.live:
             self.stream.write("\r" + self._line().ljust(78) + "\n")
         else:

@@ -39,8 +39,10 @@ class TraceRecorder(MachineObserver):
     """
 
     # Recorded ops capture atom uids and write payloads; a counting
-    # machine has neither, so attachment must fail loudly there.
+    # machine has neither, so attachment must fail loudly there, and
+    # batched dispatch must keep delivering real per-event payloads.
     needs_payloads = True
+    needs_events = True
 
     def __init__(self):
         self.ops: list[Op] = []

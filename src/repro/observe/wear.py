@@ -12,6 +12,12 @@ Unlike :meth:`repro.machine.blockstore.BlockStore.wear` (which summarizes
 the store's whole lifetime), a ``WearMap`` sees only the events emitted
 while it was attached, so it can scope wear to one algorithm, one phase,
 or one round of a longer run.
+
+Under batched dispatch the map is a vectorized batch consumer: one
+``on_batch`` call walks the kind/addr columns and bumps write counts in a
+tight loop (skipped outright for write-free batches). Readout goes
+through the ``counts`` property, which flushes the owning core first, so
+the histogram is exact whenever it is read.
 """
 
 from __future__ import annotations
@@ -20,20 +26,45 @@ from typing import Dict, Optional, Sequence
 
 from ..machine.blockstore import WearStats
 from .base import MachineObserver
+from .batch import KIND_WRITE
 
 
 class WearMap(MachineObserver):
     """Per-block write counts, accumulated from write events."""
 
     def __init__(self):
-        self.counts: Dict[int, int] = {}
+        self._counts: Dict[int, int] = {}
+        self._core = None
+
+    def on_attach(self, core) -> None:
+        self._core = core
+
+    def on_detach(self, core) -> None:
+        self._core = None
 
     def on_write(self, addr: int, items: Sequence, cost: float) -> None:
-        self.counts[addr] = self.counts.get(addr, 0) + 1
+        self._counts[addr] = self._counts.get(addr, 0) + 1
+
+    def on_batch(self, batch) -> None:
+        if not batch.writes:
+            return
+        counts = self._counts
+        get = counts.get
+        for kind, addr in zip(batch.kinds, batch.addrs):
+            if kind == KIND_WRITE:
+                counts[addr] = get(addr, 0) + 1
 
     # ------------------------------------------------------------------
     # Readout.
     # ------------------------------------------------------------------
+    @property
+    def counts(self) -> Dict[int, int]:
+        """The per-block write counts (buffered events flushed first)."""
+        core = self._core
+        if core is not None:
+            core.flush_events()
+        return self._counts
+
     @property
     def total_writes(self) -> int:
         """Total write I/Os seen — equals ``CostSnapshot.writes`` for a
@@ -50,9 +81,10 @@ class WearMap(MachineObserver):
 
     @property
     def hottest(self) -> Optional[int]:
-        if not self.counts:
+        counts = self.counts
+        if not counts:
             return None
-        return max(self.counts, key=self.counts.get)  # type: ignore[arg-type]
+        return max(counts, key=counts.get)  # type: ignore[arg-type]
 
     def stats(self) -> WearStats:
         """The same summary shape as ``BlockStore.wear()``."""

@@ -70,27 +70,46 @@ class _Collector:
     rule: str = "SANITIZER"
 
     def __init__(self) -> None:
-        self.violations: list[Violation] = []
-        self.suppressed = 0
+        self._violations: list[Violation] = []
+        self._suppressed = 0
 
     def flag(self, message: str, *, where: str = "") -> None:
         """Record one violation (or count it once the cap is reached)."""
-        if len(self.violations) >= MAX_VIOLATIONS:
-            self.suppressed += 1
+        if len(self._violations) >= MAX_VIOLATIONS:
+            self._suppressed += 1
             return
-        self.violations.append(Violation(self.rule, message, where))
+        self._violations.append(Violation(self.rule, message, where))
+
+    @property
+    def violations(self) -> list[Violation]:
+        """Accumulated violations, current through every event emitted so
+        far — on a live sanitizer this flushes the core's batch buffer
+        first, so the readout is exact under batched dispatch too."""
+        self._pre_finalize()
+        return self._violations
+
+    @property
+    def suppressed(self) -> int:
+        """Violations counted past the cap (flushes like ``violations``)."""
+        self._pre_finalize()
+        return self._suppressed
 
     @property
     def ok(self) -> bool:
         """True when no violation has been observed (after finalizing)."""
+        self._pre_finalize()
         self._finalize()
         return not self.violations
 
     def verify(self) -> None:
         """Raise :class:`SanitizerError` if any violation was observed."""
+        self._pre_finalize()
         self._finalize()
         if self.violations:
             raise SanitizerError(tuple(self.violations))
+
+    def _pre_finalize(self) -> None:
+        """Hook run before finalizing (live sanitizers flush the bus here)."""
 
     def _finalize(self) -> None:
         """Hook for end-of-run checks (ledger reconciliation, open rounds).
@@ -120,6 +139,13 @@ class Sanitizer(_Collector, MachineObserver):
 
     def on_attach(self, core) -> None:
         self.core = core
+
+    def _pre_finalize(self) -> None:
+        # Verdicts must cover every event emitted so far, including the
+        # ones still buffered in the core's batch.
+        core = self.core
+        if core is not None:
+            core.flush_events()
 
     def _where(self) -> str:
         return f"event {self.events}"

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..observe.batch import KIND_READ, KIND_TOUCH, KIND_WRITE
 from .base import Sanitizer
 
 
@@ -88,3 +89,40 @@ class CapacitySanitizer(Sanitizer):
     def on_release(self, k: int) -> None:
         self.events += 1
         self._check_occupancy()
+
+    # ------------------------------------------------------------------
+    # Vectorized delivery. The batch's ``occs`` column records ledger
+    # occupancy *after* each event — exactly what the synchronous
+    # handlers read live — so a clean batch reduces to two max() calls.
+    # ------------------------------------------------------------------
+    def on_batch(self, batch) -> None:
+        mx = max(batch.occs)
+        if mx > self.peak:
+            self.peak = mx
+        if mx <= self.capacity and max(batch.lengths) <= self.block_size:
+            # Touch events are not capacity events (no synchronous
+            # handler exists for them); everything else counts. A touch
+            # whose k exceeds B can land us in the slow loop below, but
+            # the loop filters by kind, so that costs time, not verdicts.
+            self.events += batch.n - batch.touch_events
+            return
+        capacity = self.capacity
+        block_size = self.block_size
+        for kind, addr, length, occ in zip(
+            batch.kinds, batch.addrs, batch.lengths, batch.occs
+        ):
+            if kind == KIND_TOUCH:
+                continue
+            self.events += 1
+            if kind <= KIND_WRITE and length > block_size:
+                name = "read" if kind == KIND_READ else "write"
+                self.flag(
+                    f"{name} of {length} atoms at block {addr} exceeds "
+                    f"block size B={block_size}",
+                    where=self._where(),
+                )
+            if occ > capacity:
+                self.flag(
+                    f"internal memory holds {occ} atoms, capacity is {capacity}",
+                    where=self._where(),
+                )

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+from ..observe.batch import KIND_READ, KIND_TOUCH, KIND_WRITE
 from ..observe.cost import CostObserver
 from .base import Sanitizer
 
@@ -104,6 +105,44 @@ class CostSanitizer(Sanitizer):
         self.events += 1
         self.touches += k
         self._attribute(2, k)
+
+    def on_batch(self, batch) -> None:
+        # Per-event recount in original order (accumulation order and the
+        # ``events`` counter match synchronous dispatch exactly); whole-
+        # batch phase attribution is valid because phase boundaries flush.
+        # Acquire/release carry no cost and are skipped, as in the
+        # synchronous tier (no handlers for them).
+        expected_read = self.read_cost
+        expected_write = self.write_cost
+        for kind, addr, length, cost in zip(
+            batch.kinds, batch.addrs, batch.lengths, batch.costs
+        ):
+            if kind == KIND_READ:
+                self.events += 1
+                self.reads += 1
+                self.read_cost_total += cost
+                self._attribute(0)
+                if abs(cost - expected_read) > _TOL:
+                    self.flag(
+                        f"read of block {addr} charged {cost}, the model's "
+                        f"read cost is {expected_read}",
+                        where=self._where(),
+                    )
+            elif kind == KIND_WRITE:
+                self.events += 1
+                self.writes += 1
+                self.write_cost_total += cost
+                self._attribute(1)
+                if abs(cost - expected_write) > _TOL:
+                    self.flag(
+                        f"write of block {addr} charged {cost}, the model's "
+                        f"write cost is {expected_write}",
+                        where=self._where(),
+                    )
+            elif kind == KIND_TOUCH:
+                self.events += 1
+                self.touches += length
+                self._attribute(2, length)
 
     def on_phase_enter(self, name: str) -> None:
         self.events += 1

@@ -39,6 +39,13 @@ AEM106
     Nothing outside ``repro.machine`` assigns to a ledger's
     ``occupancy``/``peak``/``capacity`` — tampering with the capacity
     accounting from outside the machine layer.
+AEM107
+    Vectorized observers do not retain references to the reused batch or
+    its column arrays (``kinds``/``addrs``/``lengths``/``costs``/
+    ``occs``/``whats``) beyond ``on_batch``: the bus clears and refills
+    those buffers in place after every flush, so a stored reference goes
+    stale silently. Snapshot with ``list(batch.addrs)`` (or copy the
+    scalar aggregates) instead.
 """
 
 from __future__ import annotations
@@ -91,8 +98,13 @@ _MUTATORS = {
 #: Names an observer handler may reach machine state through (AEM103).
 _CORE_ROOTS = {"core", "machine"}
 
-#: Event vocabulary for AEM105 (lifecycle hooks included).
-_ALLOWED_HANDLERS = set(EVENTS) | {"on_attach", "on_detach"}
+#: Event vocabulary for AEM105 (lifecycle hooks and the vectorized
+#: batch hook included).
+_ALLOWED_HANDLERS = set(EVENTS) | {"on_attach", "on_detach", "on_batch"}
+
+#: Column arrays of :class:`repro.observe.batch.EventBatch` — the mutable
+#: buffers the bus reuses across flushes (AEM107).
+_BATCH_COLUMNS = {"kinds", "addrs", "lengths", "costs", "occs", "whats"}
 
 _DISABLE_LINE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
 _DISABLE_FILE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
@@ -161,6 +173,9 @@ class _Checker(ast.NodeVisitor):
         self.in_cost_module = module_parts[-2:] == ("machine", "cost")
         self.found: list[LintViolation] = []
         self._observer_depth = 0
+        # Name of the batch parameter while inside an observer's
+        # ``on_batch`` body (AEM107); None elsewhere.
+        self._batch_param: Optional[str] = None
 
     def flag(self, rule: str, node: ast.AST, message: str) -> None:
         self.found.append(
@@ -212,6 +227,7 @@ class _Checker(ast.NodeVisitor):
         for t in node.targets:
             self._check_ledger_assign(t)
             self._check_observer_assign(t)
+        self._check_batch_retention(node)
         self.generic_visit(node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
@@ -239,6 +255,70 @@ class _Checker(ast.NodeVisitor):
         self.generic_visit(node)
         if observer:
             self._observer_depth -= 1
+
+    # -- AEM107 --------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def _visit_function(self, node) -> None:
+        prev = self._batch_param
+        if self._observer_depth > 0 and node.name == "on_batch":
+            args = list(node.args.posonlyargs) + list(node.args.args)
+            # Second positional parameter after self is the batch.
+            if len(args) >= 2:
+                self._batch_param = args[1].arg
+        # Nested defs inside on_batch inherit the batch name (closures can
+        # retain too); leaving on_batch restores the previous state.
+        self.generic_visit(node)
+        self._batch_param = prev
+
+    def _is_batch_ref(self, node: ast.expr) -> bool:
+        """Is this expression the live batch or one of its column arrays?
+
+        Matches the bare batch parameter and ``batch.<column>`` for the
+        reused list columns. ``list(batch.addrs)`` and scalar aggregates
+        (``batch.n``, ``batch.reads``, ...) are copies — not matched.
+        """
+        if self._batch_param is None:
+            return False
+        if isinstance(node, ast.Name):
+            return node.id == self._batch_param
+        return (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == self._batch_param
+            and node.attr in _BATCH_COLUMNS
+        )
+
+    def _check_batch_retention(self, node: ast.Assign) -> None:
+        if self._batch_param is None:
+            return
+        values = (
+            list(node.value.elts)
+            if isinstance(node.value, (ast.Tuple, ast.List))
+            else [node.value]
+        )
+        if not any(self._is_batch_ref(v) for v in values):
+            return
+        targets: list[ast.expr] = []
+        for t in node.targets:
+            targets.extend(
+                t.elts if isinstance(t, (ast.Tuple, ast.List)) else [t]
+            )
+        for t in targets:
+            if isinstance(t, ast.Attribute) and _attr_root(t) == "self":
+                self.flag(
+                    "AEM107",
+                    node,
+                    "observer stores a reference to the reused event batch "
+                    "beyond on_batch; the bus clears these buffers in "
+                    "place after every flush — snapshot with list(...) "
+                    "instead",
+                )
+                return
 
     def _reaches_machine_state(self, node: ast.expr) -> bool:
         """Does this attribute chain start at the observed core/machine?
@@ -277,6 +357,20 @@ class _Checker(ast.NodeVisitor):
                 node,
                 f"observer mutates machine state ({node.func.attr}); "
                 "observation must be free — observers only read",
+            )
+        if (
+            self._batch_param is not None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "append"
+            and _attr_root(node.func.value) == "self"
+            and any(self._is_batch_ref(a) for a in node.args)
+        ):
+            self.flag(
+                "AEM107",
+                node,
+                "observer appends the reused event batch (or a column "
+                "array) to its own state; the bus clears these buffers "
+                "in place after every flush — append a copy instead",
             )
         self.generic_visit(node)
 

@@ -83,23 +83,8 @@ def _global_sanitizers(request, monkeypatch):
     suites: list[SanitizerSuite] = []
     original_init = AEMMachine.__init__
 
-    def patched_init(
-        self,
-        params,
-        *,
-        enforce_capacity=True,
-        record=False,
-        observers=(),
-        counting=False,
-    ):
-        original_init(
-            self,
-            params,
-            enforce_capacity=enforce_capacity,
-            record=record,
-            observers=observers,
-            counting=counting,
-        )
+    def patched_init(self, params, *, enforce_capacity=True, **kw):
+        original_init(self, params, enforce_capacity=enforce_capacity, **kw)
         # Machines with enforcement off are violation *probes*; leave them.
         if enforce_capacity:
             suites.append(attach_sanitizers(self))

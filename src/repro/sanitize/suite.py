@@ -40,6 +40,7 @@ class SanitizerSuite:
     def violations(self) -> list[Violation]:
         out: list[Violation] = []
         for s in self.sanitizers:
+            s._pre_finalize()
             s._finalize()
             out.extend(s.violations)
         return out

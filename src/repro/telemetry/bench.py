@@ -110,7 +110,12 @@ def _spmxv_case(
 
 
 def _scan_case(
-    B: int, n: int, *, passes: int = 6, counting: bool = False
+    B: int,
+    n: int,
+    *,
+    passes: int = 6,
+    counting: bool = False,
+    dispatch: Optional[str] = None,
 ) -> BenchCase:
     """Machine-bound microbench: pure block I/O dispatch, no algorithm.
 
@@ -120,6 +125,12 @@ def _scan_case(
     construction and problem placement happen in ``setup`` (untimed);
     the timed region is ``passes`` streaming scans over the input, so the
     measurement is the per-I/O machine overhead and nothing else.
+
+    ``dispatch`` pins the event-bus mode (PR 6): the default cases run the
+    machine default (batched), and the ``/events`` twins pin the
+    synchronous per-event bus so the trajectory records the columnar
+    batching speedup the same way the ``/counting`` twins record the
+    phantom-store speedup.
     """
 
     def setup() -> object:
@@ -127,7 +138,9 @@ def _scan_case(
         from ..machine.aem import AEMMachine
 
         params = AEMParams(M=8 * B, B=B, omega=8)
-        machine = AEMMachine.for_algorithm(params, counting=counting)
+        machine = AEMMachine.for_algorithm(
+            params, counting=counting, dispatch=dispatch
+        )
         addrs = machine.load_input(make_atoms(range(n)))
         return machine, addrs
 
@@ -143,7 +156,9 @@ def _scan_case(
         )
 
     return BenchCase(
-        f"micro/scan_copy/B{B}n{n}" + ("/counting" if counting else ""),
+        f"micro/scan_copy/B{B}n{n}"
+        + ("/counting" if counting else "")
+        + (f"/{dispatch}" if dispatch is not None else ""),
         run,
         setup,
     )
@@ -173,6 +188,8 @@ def default_suite() -> Tuple[BenchCase, ...]:
         _spmxv_case("sort_based", 1024, 4, _P, counting=True),
         _scan_case(128, 200_000),
         _scan_case(128, 200_000, counting=True),
+        _scan_case(128, 200_000, dispatch="events"),
+        _scan_case(128, 200_000, counting=True, dispatch="events"),
     )
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..observe.base import MachineObserver
+from ..observe.batch import KIND_WRITE
 from .metrics import MetricsRegistry
 
 #: Label applied to events that happen outside any declared phase.
@@ -67,12 +68,24 @@ class MetricsObserver(MachineObserver):
         # Per-block write counts, folded into the wear histogram at
         # readout (a percentile over *final* counts, not running ones).
         self._block_writes: Dict[int, int] = {}
+        self._core = None
 
     # ------------------------------------------------------------------
     # Event handlers.
     # ------------------------------------------------------------------
     def _phase(self) -> str:
         return self._phase_stack[-1] if self._phase_stack else NO_PHASE
+
+    def on_attach(self, core) -> None:
+        self._core = core
+
+    def on_detach(self, core) -> None:
+        self._core = None
+
+    def _sync(self) -> None:
+        core = self._core
+        if core is not None:
+            core.flush_events()
 
     def on_read(self, addr: int, items: Sequence, cost: float) -> None:
         phase = self._phase()
@@ -98,11 +111,33 @@ class MetricsObserver(MachineObserver):
     def on_round_boundary(self, index: int) -> None:
         self._rounds.inc()
 
+    def on_batch(self, batch) -> None:
+        # One labels() resolution per family per flush instead of one per
+        # event; the whole batch shares the innermost phase (exact, since
+        # phase boundaries flush). The ``touch_events`` guard — not
+        # ``touches`` — keeps series creation identical to synchronous
+        # dispatch when a phase only ever reports touch(0).
+        phase = self._phase()
+        if batch.reads:
+            self._reads.labels(phase=phase).inc(batch.reads)
+            self._read_cost.labels(phase=phase).inc(batch.read_cost)
+        if batch.writes:
+            self._writes.labels(phase=phase).inc(batch.writes)
+            self._write_cost.labels(phase=phase).inc(batch.write_cost)
+            block_writes = self._block_writes
+            get = block_writes.get
+            for kind, addr in zip(batch.kinds, batch.addrs):
+                if kind == KIND_WRITE:
+                    block_writes[addr] = get(addr, 0) + 1
+        if batch.touch_events:
+            self._touches.labels(phase=phase).inc(batch.touches)
+
     # ------------------------------------------------------------------
-    # Readout.
+    # Readout (buffered events are flushed first, so reads are exact).
     # ------------------------------------------------------------------
     def wear_histogram(self):
         """Per-block write counts as a :class:`~repro.telemetry.metrics.Histogram`."""
+        self._sync()
         hist = self.registry.histogram(
             "machine_block_writes", "writes per external block (wear)"
         )
@@ -112,6 +147,7 @@ class MetricsObserver(MachineObserver):
 
     def per_phase(self) -> Dict[str, dict]:
         """``{phase: {reads, writes, read_cost, write_cost, touches}}``."""
+        self._sync()
         out: Dict[str, dict] = {}
         for family, field in (
             (self._reads, "reads"),

@@ -34,6 +34,7 @@ from pathlib import Path
 from typing import IO, Mapping, Optional, Sequence, Union
 
 from ..observe.base import MachineObserver
+from ..observe.batch import KIND_READ, KIND_WRITE
 
 #: pid assigned to machine-event tracks (engine tracks use ENGINE_PID).
 MACHINE_PID = 1
@@ -196,12 +197,18 @@ class PerfettoObserver(MachineObserver):
         self._read_cost = 0.0
         self._write_cost = 0.0
         self._open_phases: list[str] = []
+        self._core = None
         self.builder.process_name(pid, label)
         self.builder.thread_name(pid, tid, "machine events")
 
     # ------------------------------------------------------------------
     # Event handlers.
     # ------------------------------------------------------------------
+    def on_attach(self, core) -> None:
+        self._core = core
+
+    def on_detach(self, core) -> None:
+        self._core = None
     def _sample_counters(self) -> None:
         io = self._reads + self._writes
         if io % self.every:
@@ -229,6 +236,26 @@ class PerfettoObserver(MachineObserver):
         self._write_cost += cost
         self._sample_counters()
 
+    def on_batch(self, batch) -> None:
+        # The logical clock advances one tick per I/O, and counter
+        # sampling keys off the running totals, so batched delivery walks
+        # the kind/cost columns and produces the identical event list a
+        # synchronous run would. Phase/round marks stay synchronous and
+        # land at the right clock because boundaries flush first.
+        if not (batch.reads or batch.writes):
+            return
+        for kind, cost in zip(batch.kinds, batch.costs):
+            if kind == KIND_READ:
+                self.clock += 1
+                self._reads += 1
+                self._read_cost += cost
+                self._sample_counters()
+            elif kind == KIND_WRITE:
+                self.clock += 1
+                self._writes += 1
+                self._write_cost += cost
+                self._sample_counters()
+
     def on_phase_enter(self, name: str) -> None:
         self._open_phases.append(name)
         self.builder.begin(name, self.clock, pid=self.pid, tid=self.tid, cat="phase")
@@ -249,7 +276,10 @@ class PerfettoObserver(MachineObserver):
     # ------------------------------------------------------------------
     def close(self) -> None:
         """Close any phases left open (e.g. a run aborted mid-phase), so
-        the exported trace always has matched ``B``/``E`` pairs."""
+        the exported trace always has matched ``B``/``E`` pairs. Buffered
+        batch events are flushed first so the timeline is complete."""
+        if self._core is not None:
+            self._core.flush_events()
         while self._open_phases:
             self.builder.end(
                 self._open_phases.pop(), self.clock, pid=self.pid, tid=self.tid

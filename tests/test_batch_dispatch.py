@@ -1,0 +1,307 @@
+"""Batched vs per-event dispatch parity (PR 6).
+
+The columnar event bus is an optimization, not a semantic change: every
+shipping observer and sanitizer must end a run in bit-identical state
+whether the machine delivers events synchronously (``dispatch="events"``)
+or accumulates them into :class:`~repro.observe.batch.EventBatch` flushes
+(``dispatch="batched"``), at any flush granularity. This file is the
+correctness harness for that contract:
+
+* a scripted-op corpus (reads, writes, peeks, acquire/release, touch,
+  nested phases, round boundaries, ragged blocks) driven through the full
+  observer rig — cost ledger, wear map, metrics, progress, Perfetto
+  trace, sanitizer suite, and a legacy per-event observer exercising the
+  replay fallback — compared field-by-field across dispatch modes and
+  flush sizes, on full, counting, and flash machines;
+* sanitizer *violation* parity on a deliberately breaching run;
+* the 20-experiment paired-mode sweep: records and check verdicts
+  identical under ``REPRO_DISPATCH=events`` and ``=batched``.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.core.params import AEMParams
+from repro.engine import ExperimentConfig
+from repro.experiments import REGISTRY, run_experiment
+from repro.machine.aem import AEMMachine
+from repro.machine.flash import FlashMachine
+from repro.observe.base import MachineObserver
+from repro.observe.progress import ProgressObserver
+from repro.observe.wear import WearMap
+from repro.sanitize.capacity import CapacitySanitizer
+from repro.sanitize.cost import CostSanitizer
+from repro.sanitize.suite import attach_sanitizers
+from repro.telemetry.observer import MetricsObserver
+from repro.telemetry.perfetto import PerfettoObserver
+
+P = AEMParams(M=64, B=8, omega=4)
+
+#: Flush granularities to exercise: every event, mid-batch at awkward
+#: offsets, and the default (one flush per boundary for this corpus).
+FLUSH_SIZES = (1, 3, 512)
+
+
+class EventLog(MachineObserver):
+    """Legacy per-event observer: no ``on_batch``, so in batched mode it
+    lands on the replay-fallback tier and must still see the exact event
+    sequence (payload lengths included) in the exact order."""
+
+    def __init__(self):
+        self.records = []
+
+    def on_read(self, addr, items, cost):
+        self.records.append(("read", addr, len(items), cost))
+
+    def on_write(self, addr, items, cost):
+        self.records.append(("write", addr, len(items), cost))
+
+    def on_acquire(self, k, what):
+        self.records.append(("acquire", k, what))
+
+    def on_release(self, k):
+        self.records.append(("release", k))
+
+    def on_touch(self, k):
+        self.records.append(("touch", k))
+
+    def on_phase_enter(self, name):
+        self.records.append(("enter", name))
+
+    def on_phase_exit(self, name):
+        self.records.append(("exit", name))
+
+    def on_round_boundary(self, index):
+        self.records.append(("round", index))
+
+
+# ----------------------------------------------------------------------
+# The scripted-op corpus.
+# ----------------------------------------------------------------------
+def drive(m) -> None:
+    """Every event kind, nested phases, rounds, ragged blocks.
+
+    Writing a block releases the written atoms (they move to external
+    memory), so every write is preceded by an acquire of its payload.
+    """
+    B = P.B
+    with m.phase("load"):
+        addrs = []
+        for i in range(4):
+            items = [i * B + j for j in range(B)]
+            m.acquire(items, "input")
+            addrs.append(m.write_fresh(items))
+        m.acquire(1, "input")
+        addrs.append(m.write_fresh([999]))  # ragged block
+        m.touch(3)
+    with m.phase("work"):
+        for r in range(2):
+            with m.phase(f"round{r}"):
+                for a in addrs[:4]:
+                    m.release(m.read(a))
+                m.acquire(5, "counters")
+                m.touch(7)
+                m.release(5)
+                payload = list(range(r, r + B))
+                m.acquire(payload, "staging")
+                m.write(addrs[r], payload)
+            m.round_boundary()
+        m.peek(addrs[1])
+        m.touch(0)  # zero-op touch: series-creation parity probe
+    m.release(m.read(addrs[4]))
+
+
+def rig_machine(dispatch, flush_every, *, counting=False):
+    machine = AEMMachine.for_algorithm(
+        P, counting=counting, dispatch=dispatch, flush_every=flush_every
+    )
+    return machine, {
+        "wear": machine.attach(WearMap()),
+        "metrics": machine.attach(MetricsObserver()),
+        "progress": machine.attach(
+            ProgressObserver(io.StringIO(), every=5, live=False)
+        ),
+        "perfetto": machine.attach(PerfettoObserver()),
+        "log": machine.attach(EventLog()) if not counting else None,
+        "suite": attach_sanitizers(machine, rounds=True),
+    }
+
+
+def state_of(machine, rig) -> dict:
+    """Everything an observer could have accumulated, as comparables."""
+    rig["progress"].close()
+    rig["perfetto"].close()
+    suite = rig["suite"]
+    cap = suite[CapacitySanitizer]
+    cost = suite[CostSanitizer]
+    state = {
+        "snapshot": machine.snapshot(),
+        "io_count": machine.core.io_count,
+        "mem_peak": machine.core.mem.peak,
+        "wear_counts": dict(rig["wear"].counts),
+        "wear_histogram": dict(rig["wear"].histogram()),
+        "metrics": rig["metrics"].collect(),
+        "progress": (
+            rig["progress"].reads,
+            rig["progress"].writes,
+            rig["progress"].rounds,
+            rig["progress"].stream.getvalue(),
+        ),
+        "perfetto": json.dumps(rig["perfetto"].builder.trace(), sort_keys=True),
+        "cap_events": cap.events,
+        "cap_peak": cap.peak,
+        "cost_events": cost.events,
+        "cost_tallies": (
+            cost.reads,
+            cost.writes,
+            cost.touches,
+            cost.read_cost_total,
+            cost.write_cost_total,
+        ),
+        "cost_phases": {k: list(v) for k, v in cost.phases.items()},
+        "violations": suite.violations,
+    }
+    if rig["log"] is not None:
+        state["log"] = list(rig["log"].records)
+    return state
+
+
+def run_scripted(dispatch, flush_every=None, *, counting=False) -> dict:
+    machine, rig = rig_machine(dispatch, flush_every, counting=counting)
+    drive(machine)
+    return state_of(machine, rig)
+
+
+# ----------------------------------------------------------------------
+# AEM machines: full and counting, across flush granularities.
+# ----------------------------------------------------------------------
+class TestScriptedParity:
+    @pytest.mark.parametrize("flush_every", FLUSH_SIZES)
+    def test_full_machine(self, flush_every):
+        baseline = run_scripted("events")
+        batched = run_scripted("batched", flush_every)
+        assert batched == baseline
+        assert baseline["violations"] == []
+
+    @pytest.mark.parametrize("flush_every", FLUSH_SIZES)
+    def test_counting_machine(self, flush_every):
+        baseline = run_scripted("events", counting=True)
+        batched = run_scripted("batched", flush_every, counting=True)
+        assert batched == baseline
+        assert baseline["violations"] == []
+
+    def test_counting_batched_matches_full_events(self):
+        # The two fast paths composed still reproduce the reference
+        # stream: counting+batched vs full+events, same observer state.
+        baseline = run_scripted("events")
+        fast = run_scripted("batched", counting=True)
+        for key in (
+            "snapshot", "io_count", "mem_peak", "wear_counts",
+            "wear_histogram", "metrics", "perfetto", "cap_events",
+            "cap_peak", "cost_events", "cost_tallies", "cost_phases",
+            "violations",
+        ):
+            assert fast[key] == baseline[key], key
+
+    def test_explicit_flush_is_idempotent(self):
+        machine, rig = rig_machine("batched", 512)
+        drive(machine)
+        machine.flush()
+        machine.flush()
+        assert state_of(machine, rig) == run_scripted("events")
+
+
+# ----------------------------------------------------------------------
+# Flash machines: volume-based costs through the same bus.
+# ----------------------------------------------------------------------
+class TestFlashParity:
+    @staticmethod
+    def drive_flash(fm) -> None:
+        with fm.core.phase("load"):
+            addrs = [
+                fm.write_fresh([i * fm.Bw + j for j in range(fm.Bw)])
+                for i in range(3)
+            ]
+        with fm.core.phase("reads"):
+            for a in addrs:
+                for j in range(fm.reads_per_write_block):
+                    fm.read_small(a, j)
+            fm.read_covering(addrs[0], 1, fm.Bw - 1)
+        fm.write_block(addrs[2], [7, 8, 9])
+
+    def run(self, dispatch, flush_every=None, *, counting=False) -> dict:
+        fm = FlashMachine(
+            M=64, Br=2, Bw=8,
+            counting=counting, dispatch=dispatch, flush_every=flush_every,
+        )
+        wear = fm.attach(WearMap())
+        metrics = fm.attach(MetricsObserver())
+        suite = attach_sanitizers(fm)
+        self.drive_flash(fm)
+        return {
+            "volume": (fm.volume, fm.read_volume, fm.write_volume),
+            "ops": (fm.read_ops, fm.write_ops),
+            "io_count": fm.core.io_count,
+            "wear_counts": dict(wear.counts),
+            "metrics": metrics.collect(),
+            "cost_tallies": (
+                suite[CostSanitizer].events,
+                suite[CostSanitizer].read_cost_total,
+                suite[CostSanitizer].write_cost_total,
+            ),
+            "violations": suite.violations,
+        }
+
+    @pytest.mark.parametrize("flush_every", FLUSH_SIZES)
+    @pytest.mark.parametrize("counting", [False, True])
+    def test_flash_machine(self, flush_every, counting):
+        baseline = self.run("events", counting=counting)
+        batched = self.run("batched", flush_every, counting=counting)
+        assert batched == baseline
+        assert baseline["violations"] == []
+
+
+# ----------------------------------------------------------------------
+# Violation parity: a breaching run reports the same verdicts either way.
+# ----------------------------------------------------------------------
+class TestViolationParity:
+    @staticmethod
+    def overfill(dispatch, flush_every=None):
+        machine = AEMMachine(
+            P, enforce_capacity=False, dispatch=dispatch, flush_every=flush_every
+        )
+        suite = attach_sanitizers(machine)
+        addrs = []
+        for i in range(2 * (P.M // P.B)):
+            items = list(range(i, i + P.B))
+            machine.acquire(items, "input")
+            addrs.append(machine.write_fresh(items))
+        for a in addrs:  # read everything, release nothing: occupancy 2M
+            machine.read(a)
+        return suite.violations
+
+    @pytest.mark.parametrize("flush_every", FLUSH_SIZES)
+    def test_capacity_breaches_identical(self, flush_every):
+        baseline = self.overfill("events")
+        batched = self.overfill("batched", flush_every)
+        assert batched == baseline
+        assert baseline  # the probe does breach
+        assert all(v.rule == "CAPACITY" for v in baseline)
+
+
+# ----------------------------------------------------------------------
+# The headline acceptance: every experiment, batched vs per-event, at
+# quick sizes — identical records and identical check verdicts.
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("eid", sorted(REGISTRY))
+def test_experiment_dispatch_parity(eid, monkeypatch):
+    monkeypatch.setenv("REPRO_DISPATCH", "events")
+    legacy = run_experiment(eid, ExperimentConfig(budget="quick"))
+    monkeypatch.setenv("REPRO_DISPATCH", "batched")
+    batched = run_experiment(eid, ExperimentConfig(budget="quick"))
+    assert batched.records == legacy.records
+    assert batched.checks == legacy.checks

@@ -18,6 +18,7 @@ from repro.engine import ExperimentConfig, ResultCache, SweepEngine
 from repro.experiments import REGISTRY, run_experiment
 from repro.experiments.common import measure_permute, measure_sort, measure_spmxv
 from repro.machine.aem import AEMMachine
+from repro.machine.em import em_machine
 from repro.machine.errors import AddressError
 from repro.machine.flash import FlashMachine
 from repro.machine.phantom import PHANTOM, PhantomBlock, PhantomBlockStore, token_of
@@ -182,6 +183,26 @@ class TestDetachGuard:
 
     def test_other_observers_detach_fine(self):
         m = AEMMachine(P)
+        obs = m.attach(MachineObserver())
+        m.detach(obs)
+        assert obs not in m.observers
+
+    @pytest.mark.parametrize(
+        "make",
+        [
+            pytest.param(lambda: AEMMachine(P), id="aem"),
+            pytest.param(lambda: em_machine(M=64, B=8), id="em"),
+            pytest.param(lambda: FlashMachine(M=64, Br=2, Bw=8), id="flash"),
+        ],
+    )
+    def test_guard_is_uniform_across_machines(self, make):
+        # PR 6: em_machine and FlashMachine refuse to detach their own
+        # CostObserver exactly like AEMMachine — the volume/cost readouts
+        # live in it and would silently freeze.
+        m = make()
+        with pytest.raises(ValueError, match="CostObserver"):
+            m.detach(m._cost)
+        # The guard is specific: foreign observers still detach fine.
         obs = m.attach(MachineObserver())
         m.detach(obs)
         assert obs not in m.observers

@@ -173,6 +173,138 @@ class TestAEM106:
 
 
 # ----------------------------------------------------------------------
+# AEM107: on_batch must not retain references to the reused batch.
+# ----------------------------------------------------------------------
+class TestAEM107:
+    def test_storing_the_batch_fires(self):
+        found = lint(
+            """
+            class Hoarder(MachineObserver):
+                def on_batch(self, batch):
+                    self.last = batch
+            """
+        )
+        assert rules(found) == {"AEM107"}
+
+    def test_storing_a_column_array_fires(self):
+        found = lint(
+            """
+            class Hoarder(MachineObserver):
+                def on_batch(self, batch):
+                    self.addrs = batch.addrs
+            """
+        )
+        assert rules(found) == {"AEM107"}
+
+    def test_appending_a_column_fires(self):
+        found = lint(
+            """
+            class Hoarder(MachineObserver):
+                def on_batch(self, batch):
+                    self.history.append(batch.kinds)
+            """
+        )
+        assert rules(found) == {"AEM107"}
+
+    def test_tuple_assignment_fires(self):
+        found = lint(
+            """
+            class Hoarder(MachineObserver):
+                def on_batch(self, batch):
+                    self.a, self.b = batch.costs, 0
+            """
+        )
+        assert rules(found) == {"AEM107"}
+
+    def test_other_parameter_name_fires(self):
+        found = lint(
+            """
+            class Hoarder(MachineObserver):
+                def on_batch(self, events):
+                    self.stash = events.lengths
+            """
+        )
+        assert rules(found) == {"AEM107"}
+
+    def test_copying_is_fine(self):
+        found = lint(
+            """
+            class Careful(MachineObserver):
+                def on_batch(self, batch):
+                    self.addrs = list(batch.addrs)
+                    self.kinds = tuple(batch.kinds)
+            """
+        )
+        assert found == []
+
+    def test_scalar_aggregates_are_fine(self):
+        found = lint(
+            """
+            class Careful(MachineObserver):
+                def on_batch(self, batch):
+                    self.reads = self.reads + batch.reads
+                    self.seen = batch.n
+            """
+        )
+        assert found == []
+
+    def test_extending_copies_elements_and_is_fine(self):
+        found = lint(
+            """
+            class Careful(MachineObserver):
+                def on_batch(self, batch):
+                    self.history.extend(batch.addrs)
+            """
+        )
+        assert found == []
+
+    def test_local_variable_is_fine(self):
+        found = lint(
+            """
+            class Careful(MachineObserver):
+                def on_batch(self, batch):
+                    addrs = batch.addrs
+                    for a in addrs:
+                        self.count = self.count + 1
+            """
+        )
+        assert found == []
+
+    def test_outside_on_batch_unconstrained(self):
+        # Per-event handlers get no batch; storing their arguments is the
+        # normal pattern (payload observers), not an AEM107 matter.
+        found = lint(
+            """
+            class Recorder(MachineObserver):
+                def on_read(self, addr, items, cost):
+                    self.items = items
+            """
+        )
+        assert found == []
+
+    def test_on_batch_is_a_known_handler(self):
+        # AEM105 must not fire on the vectorized hook.
+        found = lint(
+            """
+            class Vectorized(MachineObserver):
+                def on_batch(self, batch):
+                    pass
+            """
+        )
+        assert found == []
+
+    def test_line_disable_works(self):
+        found = lint(
+            """
+            class Pinned(MachineObserver):
+                def on_batch(self, batch):
+                    self.last = batch  # lint: disable=AEM107
+            """
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 # Escape hatches and the shipped tree.
 # ----------------------------------------------------------------------
 class TestDisables:

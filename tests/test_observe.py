@@ -106,14 +106,37 @@ class TestDispatch:
             def on_write(self, addr, items, cost):
                 self.writes += 1
 
+        # Events mode: the classic contract — only the overridden handler
+        # lands in a per-event callback list, and it fires synchronously.
         obs = WritesOnly()
-        machine = AEMMachine(P, observers=[obs])
+        machine = AEMMachine(P, observers=[obs], dispatch="events")
         core = machine.core
         assert obs.on_write in getattr(core, "_on_write")
         assert all(obs.on_read is not cb for cb in getattr(core, "_on_read"))
         machine.acquire(2)
         addr = machine.write_fresh([1, 2])
         machine.release(machine.read(addr))
+        assert obs.writes == 1
+
+    def test_legacy_observer_replayed_in_batched_mode(self):
+        class WritesOnly(MachineObserver):
+            def __init__(self):
+                self.writes = 0
+
+            def on_write(self, addr, items, cost):
+                self.writes += 1
+
+        obs = WritesOnly()
+        machine = AEMMachine(P, observers=[obs], dispatch="batched")
+        core = machine.core
+        # Batched mode: a legacy observer joins the replay tier instead of
+        # the per-event lists; its handlers fire at flush boundaries.
+        assert obs in core._replay
+        assert all(obs.on_write is not cb for cb in getattr(core, "_on_write"))
+        machine.acquire(2)
+        addr = machine.write_fresh([1, 2])
+        machine.release(machine.read(addr))
+        machine.flush()
         assert obs.writes == 1
 
     def test_attach_detach(self):
@@ -260,6 +283,7 @@ class TestFlashEvents:
         addr = fm.write_fresh(list(range(8)))
         fm.read_small(addr, 1)
         fm.read_covering(addr, 3, 7)
+        fm.flush()  # EventLog is a replayed (batch-buffered) consumer
         assert log.events[0] == ("write", addr, 8, 8)  # cost = Bw volume
         assert all(e[3] == 2 for e in log.events[1:])  # cost = Br volume
         # one explicit small read + three covering [3, 7) at Br=2
@@ -338,6 +362,7 @@ class TestProgressObserver:
         machine.acquire(1)
         a = machine.write_fresh([1])
         machine.release(machine.read(a))
+        machine.flush()  # deliver buffered I/O events to the observer
         assert "\r" in buf.getvalue()  # frames rendered despite non-TTY
 
     def test_explicit_live_beats_autodetect(self, monkeypatch):
@@ -403,6 +428,7 @@ class TestMachineCore:
         got = core.read_block(addr, 1.0)
         assert got == [1, 2]
         assert core.io_count == 2
+        core.flush_events()  # the log observer is replayed at flush
         assert [e[0] for e in log.events] == ["write", "read"]
 
     def test_import_order_observe_first(self):

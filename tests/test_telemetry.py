@@ -189,13 +189,40 @@ class TestMetricsObserver:
 
     @pytest.mark.no_sanitize  # counts exact listeners; sanitizers add theirs
     def test_no_observer_means_no_extra_callbacks(self):
-        """Acceptance: with no MetricsObserver attached, the core's
-        per-event callback lists are exactly the seed's — the metrics
-        layer adds zero per-I/O work to an unobserved run."""
+        """Acceptance: with no MetricsObserver attached, the metrics layer
+        adds zero per-I/O work to an unobserved run. Under batched
+        dispatch that means: no per-event I/O callbacks at all, one batch
+        consumer (the CostObserver ledger), and no column recording."""
         machine = AEMMachine(P)
         core = machine.core
-        # The always-attached CostObserver is the only listener.
+        # The always-attached CostObserver consumes batch aggregates only.
+        assert len(core._on_batch) == 1
+        assert len(core._on_read) == 0 and len(core._on_write) == 0
+        assert core._record_columns is False and core._replay == []
+        obs = MetricsObserver()
+        machine.attach(obs)
+        core = machine.core
+        # MetricsObserver is a second batch consumer (needing columns)
+        # plus synchronous phase/round handlers; still no per-I/O lists.
+        assert len(core._on_batch) == 2
+        assert core._record_columns is True
+        assert len(core._on_read) == 0 and len(core._on_write) == 0
+        assert len(core._on_phase_enter) == 2  # ledger + metrics
+        assert len(core._on_round_boundary) == 1
+        machine.detach(obs)
+        assert len(core._on_batch) == 1
+        assert core._record_columns is False
+        assert len(core._on_phase_enter) == 1 and len(core._on_round_boundary) == 0
+
+    @pytest.mark.no_sanitize  # inspects exact listener lists
+    def test_events_mode_keeps_legacy_callback_lists(self):
+        """The events dispatch mode preserves the seed's synchronous
+        contract: attach adds exactly the overridden handlers to the
+        per-event lists; detach restores them."""
+        machine = AEMMachine(P, dispatch="events")
+        core = machine.core
         assert len(core._on_read) == 1 and len(core._on_write) == 1
+        assert core._buffering is False
         baseline = {name: len(getattr(core, "_" + name)) for name in
                     ("on_read", "on_write", "on_touch", "on_phase_enter",
                      "on_phase_exit", "on_round_boundary")}
