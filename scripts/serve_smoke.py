@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI smoke for the cost-oracle serving layer.
+
+Boots a real server (ephemeral port, counting mode), then asserts the
+PR-7 acceptance surface end to end:
+
+1. every served answer is bit-for-bit the direct ``repro.api.evaluate``
+   result (same CostRecord fields, same values);
+2. identical concurrent queries dedup to exactly one engine evaluation
+   (dedup counters nonzero, executed == unique configs);
+3. the bundled load generator reports latency percentiles and a nonzero
+   dedup hit-rate under bursty zipfian traffic;
+4. the drain path leaves the engine stats consistent (requests served ==
+   dedup hits + engine measurements).
+
+Run as ``PYTHONPATH=src python scripts/serve_smoke.py``. Exits non-zero
+on any violation.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import sys
+
+from repro import api
+from repro.serve import BenchConfig, ServeConfig, ServerThread, render_report, run_bench
+
+QUERIES = [
+    {"workload": "sort", "n": 512, "M": 64, "B": 8, "omega": 4},
+    {"workload": "permute", "n": 256, "M": 64, "B": 8, "omega": 4},
+    {"workload": "spmxv", "n": 64, "delta": 2, "M": 64, "B": 8, "omega": 4},
+]
+
+
+def fail(msg: str) -> None:
+    print(f"serve smoke FAILED: {msg}", file=sys.stderr)
+    raise SystemExit(1)
+
+
+def check_parity_and_dedup() -> None:
+    fanout = 8
+    with ServerThread(
+        ServeConfig(port=0, counting=True, batch_window=0.05)
+    ) as srv:
+        with concurrent.futures.ThreadPoolExecutor(fanout * len(QUERIES)) as pool:
+            futures = [
+                pool.submit(srv.post, "/evaluate", q)
+                for q in QUERIES
+                for _ in range(fanout)
+            ]
+            responses = [f.result() for f in futures]
+        statuses = sorted({r.status for r in responses})
+        if statuses != [200]:
+            fail(f"expected all 200s, saw statuses {statuses}")
+        # Snapshot the counters before the parity re-queries below add
+        # their own (uncached, so re-executed) evaluations.
+        stats = srv.get("/stats").json()
+
+        # 1. bit-for-bit parity with the direct facade call.
+        for query in QUERIES:
+            served = srv.post("/evaluate", query).json()["result"]
+            direct = dict(api.evaluate(query["workload"], query, counting=True))
+            if served != json.loads(json.dumps(direct)):
+                fail(f"server answer diverges from api.evaluate for {query}:\n"
+                     f"  served: {served}\n  direct: {direct}")
+    executed = stats["engine"]["executed"]
+    dedup = stats["requests"]["dedup_hits"]
+
+    # 2. dedup collapsed the fan-out to one evaluation per unique config.
+    if executed != len(QUERIES):
+        fail(f"expected {len(QUERIES)} engine evaluations, got {executed}")
+    if dedup == 0:
+        fail("dedup counter is zero under identical concurrent queries")
+
+    # 4. request accounting balances.
+    served = dedup + stats["engine"]["measurements"]
+    if served < fanout * len(QUERIES):
+        fail(f"accounting leak: dedup+measurements={served} < "
+             f"{fanout * len(QUERIES)} evaluate requests")
+    print(
+        f"parity+dedup OK: {executed} executed, {dedup} dedup hit(s), "
+        f"batches={stats['requests']['batches']}"
+    )
+
+
+def check_bench() -> None:
+    with ServerThread(
+        ServeConfig(port=0, counting=True, batch_window=0.02)
+    ) as srv:
+        report = run_bench(
+            BenchConfig(
+                host=srv.host,
+                port=srv.port,
+                requests=80,
+                rate=2000.0,
+                burst=10,
+                distinct=4,
+                n_base=128,
+                seed=11,
+            )
+        )
+    print(render_report(report))
+    if report["completed"] != report["sent"]:
+        fail(f"bench lost requests: {report['completed']}/{report['sent']}")
+    for q in ("p50", "p95", "p99"):
+        if report["latency_ms"].get(q, 0) <= 0:
+            fail(f"bench reported no {q} latency")
+    if report["server"]["dedup_hit_rate"] <= 0:
+        fail("bench saw a zero dedup hit-rate on zipfian traffic")
+
+
+def main() -> int:
+    check_parity_and_dedup()
+    check_bench()
+    print("serve smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

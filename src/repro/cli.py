@@ -58,9 +58,10 @@ from .core.params import AEMParams
 from .core.regimes import boundary_B, classify, min_branch
 from .engine import ExperimentConfig, default_cache_dir, use_engine
 from .experiments import REGISTRY, run_all, run_experiment
-from .experiments.common import measure_permute, measure_sort, measure_spmxv
 from .permute.base import PERMUTERS
 from .sorting.base import SORTERS
+
+from . import api
 
 
 def _params(args) -> AEMParams:
@@ -258,14 +259,17 @@ def cmd_sort(args) -> int:
     observers = _run_observers(args)
     tel_observers, tel = _telemetry_observers(args)
     t0 = time.perf_counter()
-    rec = measure_sort(
-        args.sorter,
-        args.n,
-        p,
+    rec = api.evaluate(
+        "sort",
+        sorter=args.sorter,
+        n=args.n,
+        M=p.M,
+        B=p.B,
+        omega=p.omega,
         distribution=args.distribution,
         seed=args.seed,
-        observers=observers + tel_observers,
         counting=args.counting,
+        observers=observers + tel_observers,
     )
     _close_observers(observers)
     _finish_run_telemetry(
@@ -311,14 +315,17 @@ def cmd_permute(args) -> int:
     observers = _run_observers(args)
     tel_observers, tel = _telemetry_observers(args)
     t0 = time.perf_counter()
-    rec = measure_permute(
-        args.permuter,
-        args.n,
-        p,
+    rec = api.evaluate(
+        "permute",
+        permuter=args.permuter,
+        n=args.n,
+        M=p.M,
+        B=p.B,
+        omega=p.omega,
         family=args.family,
         seed=args.seed,
-        observers=observers + tel_observers,
         counting=args.counting,
+        observers=observers + tel_observers,
     )
     _close_observers(observers)
     _finish_run_telemetry(
@@ -369,15 +376,18 @@ def cmd_spmxv(args) -> int:
     observers = _run_observers(args)
     tel_observers, tel = _telemetry_observers(args)
     t0 = time.perf_counter()
-    rec = measure_spmxv(
-        args.algorithm,
-        args.n,
-        args.delta,
-        p,
+    rec = api.evaluate(
+        "spmxv",
+        algorithm=args.algorithm,
+        n=args.n,
+        delta=args.delta,
+        M=p.M,
+        B=p.B,
+        omega=p.omega,
         family=args.family,
         seed=args.seed,
-        observers=observers + tel_observers,
         counting=args.counting,
+        observers=observers + tel_observers,
     )
     _close_observers(observers)
     _finish_run_telemetry(
@@ -462,7 +472,7 @@ def cmd_check(args) -> int:
             print(f"  [FAIL] {v.render()}", file=sys.stderr)
         failures += len(violations)
     if run_lint:
-        print("source lint (rules AEM101-AEM107):")
+        print("source lint (rules AEM101-AEM108):")
         lint_violations = run_lint_checks(log=print)
         for lv in lint_violations:
             print(f"  [FAIL] {lv.render()}", file=sys.stderr)
@@ -490,6 +500,117 @@ def cmd_bounds(args) -> int:
           f"case analysis says '{classify(N, p).value}' "
           f"(boundary B* = {boundary_B(N, p):.1f}, actual B = {p.B})")
     return 0
+
+
+async def _serve_until_drained(config) -> int:
+    """Run one CostServer until a signal (or external shutdown) drains it."""
+    import asyncio
+    import signal
+
+    from .serve import CostServer
+
+    server = CostServer(config)
+    await server.start()
+    loop = asyncio.get_running_loop()
+
+    def _drain() -> None:
+        asyncio.ensure_future(server.shutdown())
+
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, _drain)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platforms/loops without signal support: ctrl-C still lands
+    print(
+        f"repro-aem serve: listening on http://{config.host}:{server.port} "
+        f"(batch window {config.batch_window * 1e3:g}ms, "
+        f"max pending {config.max_pending}); SIGINT/SIGTERM drains",
+        file=sys.stderr,
+    )
+    await server.wait_closed()
+    print("repro-aem serve: drained", file=sys.stderr)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Serve cost queries over HTTP until signalled to drain."""
+    import asyncio
+
+    from .serve import ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        batch_window=args.batch_window,
+        max_batch=args.max_batch,
+        max_pending=args.max_pending,
+        request_timeout=args.timeout,
+        jobs=args.jobs,
+        cache=args.cache,
+        cache_dir=args.cache_dir,
+        counting=args.counting,
+        telemetry_dir=args.telemetry_dir,
+    )
+    return asyncio.run(_serve_until_drained(config))
+
+
+def cmd_serve_bench(args) -> int:
+    """Load-test the cost oracle and report latency + dedup hit-rates."""
+    from .serve import BenchConfig, ServeConfig, ServerThread, render_report, run_bench
+
+    bench_fields = dict(
+        requests=args.requests,
+        rate=args.rate,
+        burst=args.burst,
+        workload=args.workload,
+        distinct=args.distinct,
+        zipf_s=args.zipf_s,
+        n_base=args.n_base,
+        counting=args.counting,
+        seed=args.seed,
+        timeout=args.timeout,
+    )
+    if args.attach:
+        host, _, port = args.attach.rpartition(":")
+        report = run_bench(
+            BenchConfig(host=host or "127.0.0.1", port=int(port), **bench_fields)
+        )
+    else:
+        serve_config = ServeConfig(
+            host="127.0.0.1",
+            port=0,
+            batch_window=args.batch_window,
+            max_pending=args.max_pending,
+            jobs=args.jobs,
+            cache=args.cache,
+            cache_dir=args.cache_dir,
+        )
+        with ServerThread(serve_config) as srv:
+            report = run_bench(
+                BenchConfig(host=srv.host, port=srv.port, **bench_fields)
+            )
+    if args.telemetry_dir:
+        from .telemetry import append_record, run_record
+
+        append_record(
+            args.telemetry_dir,
+            run_record(
+                "serve-bench",
+                config=report["config"],
+                wall_s=report["wall_s"],
+                metrics=report["metrics"],
+                extra={
+                    "statuses": report["statuses"],
+                    "latency_ms": report["latency_ms"],
+                    "server": report.get("server"),
+                },
+            ),
+        )
+    if args.json:
+        _emit_json(report)
+    else:
+        print(render_report(report))
+    return 0 if report["completed"] == report["sent"] else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -611,6 +732,105 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_mod.add_arguments(bn)
     bn.set_defaults(fn=bench_mod.run)
+
+    sv = sub.add_parser(
+        "serve",
+        help="serve cost queries over HTTP/JSON (batching + dedup + "
+        "backpressure over the shared sweep engine)",
+    )
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=int, default=8177, help="0 = ephemeral")
+    sv.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.010,
+        help="seconds admitted queries wait to coalesce into one engine call",
+    )
+    sv.add_argument(
+        "--max-batch", type=int, default=64, help="max queries per engine call"
+    )
+    sv.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="unique in-flight queries before new work gets 429 + Retry-After",
+    )
+    sv.add_argument(
+        "--timeout", type=float, default=60.0, help="per-request seconds before 504"
+    )
+    sv.add_argument(
+        "--jobs", type=int, default=1, help="engine worker processes for fan-out"
+    )
+    sv.add_argument(
+        "--cache",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="memoize answered queries in the shared on-disk result cache",
+    )
+    sv.add_argument("--cache-dir", default=default_cache_dir())
+    sv.add_argument(
+        "--counting",
+        action="store_true",
+        help="default queries to payload-free counting machines (a query's "
+        "explicit counting field wins)",
+    )
+    _add_telemetry_arg(sv)
+    sv.set_defaults(fn=cmd_serve)
+
+    svb = sub.add_parser(
+        "serve-bench",
+        help="load-test the cost oracle: bursty open-loop traffic with a "
+        "zipfian config mix; reports p50/p95/p99 latency and dedup/cache "
+        "hit-rates",
+    )
+    svb.add_argument(
+        "--attach",
+        default=None,
+        metavar="HOST:PORT",
+        help="target a running server instead of self-hosting one",
+    )
+    svb.add_argument("--requests", type=int, default=200)
+    svb.add_argument("--rate", type=float, default=200.0, help="mean requests/sec")
+    svb.add_argument(
+        "--burst", type=int, default=8, help="concurrent requests per arrival event"
+    )
+    svb.add_argument("--workload", choices=api.workload_names(), default="sort")
+    svb.add_argument(
+        "--distinct", type=int, default=8, help="distinct configs in the zipfian mix"
+    )
+    svb.add_argument("--zipf-s", type=float, default=1.1, help="zipf exponent")
+    svb.add_argument("--n-base", type=int, default=256, help="n of the hottest config")
+    svb.add_argument(
+        "--counting",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="benchmark with counting queries (fast; --no-counting for full runs)",
+    )
+    svb.add_argument("--seed", type=int, default=0)
+    svb.add_argument("--timeout", type=float, default=60.0)
+    svb.add_argument(
+        "--json", action="store_true", help="emit the full report as JSON"
+    )
+    svb.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.010,
+        help="self-hosted server's coalescing window (ignored with --attach)",
+    )
+    svb.add_argument(
+        "--max-pending",
+        type=int,
+        default=256,
+        help="self-hosted server's admission bound (ignored with --attach)",
+    )
+    svb.add_argument("--jobs", type=int, default=1)
+    svb.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=False,
+        help="enable the self-hosted server's on-disk result cache",
+    )
+    svb.add_argument("--cache-dir", default=default_cache_dir())
+    _add_telemetry_arg(svb)
+    svb.set_defaults(fn=cmd_serve_bench)
     return ap
 
 

@@ -27,6 +27,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -162,6 +163,12 @@ class CacheStats:
 
 _MISS = object()
 
+#: A read that hits partial JSON (weak rename visibility on network
+#: filesystems) is retried this many times, this far apart, before it
+#: counts as a miss.
+_READ_ATTEMPTS = 3
+_READ_RETRY_S = 0.001
+
 
 @dataclass
 class ResultCache:
@@ -196,19 +203,37 @@ class ResultCache:
         that is not a ``{"value": ...}`` object — e.g. hand-edited or
         written by an incompatible version) are all treated as misses; a
         corrupt file never crashes a sweep.
+
+        The cache is shared by concurrent writers without locks — safe
+        because :meth:`put` publishes via atomic rename and identical keys
+        produce identical bytes, so the worst concurrency outcome is a
+        redundant store, never a torn read on a POSIX filesystem. On
+        filesystems where rename visibility is weaker (network mounts), a
+        read can still observe partial JSON mid-publish; those decode
+        failures are retried briefly before counting as a miss, so one
+        torn read costs a millisecond instead of a redundant measurement.
         """
         path = self.path(key)
-        try:
-            with path.open("r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-        except (OSError, json.JSONDecodeError):
-            self.stats.misses += 1
-            return _MISS
-        if not isinstance(entry, dict) or "value" not in entry:
-            self.stats.misses += 1
-            return _MISS
-        self.stats.hits += 1
-        return _decode_value(entry["value"])
+        for attempt in range(_READ_ATTEMPTS):
+            try:
+                with path.open("r", encoding="utf-8") as fh:
+                    entry = json.load(fh)
+            except OSError:
+                self.stats.misses += 1
+                return _MISS
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                if attempt + 1 < _READ_ATTEMPTS:
+                    time.sleep(_READ_RETRY_S)
+                    continue
+                self.stats.misses += 1
+                return _MISS
+            if not isinstance(entry, dict) or "value" not in entry:
+                self.stats.misses += 1
+                return _MISS
+            self.stats.hits += 1
+            return _decode_value(entry["value"])
+        self.stats.misses += 1  # pragma: no cover - loop always returns
+        return _MISS
 
     def put(self, key: str, value: Any, *, meta: Optional[dict] = None) -> None:
         """Store ``value`` atomically (a killed run never leaves torn files)."""

@@ -13,7 +13,8 @@ from __future__ import annotations
 from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.params import AEMParams
-from .common import ExperimentConfig, ExperimentResult, measure_sort, register
+from ..api.measures import measure_sort
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("a2")

@@ -14,23 +14,11 @@ from __future__ import annotations
 import re
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, Optional
 
-import numpy as np
-
-from ..atoms.atom import Atom
-from ..atoms.permutation import Permutation
-from ..core.params import AEMParams
+from ..api import measures as _measures
 from ..engine import ExperimentConfig, active_engine, use_engine
-from ..machine.aem import AEMMachine
-from ..machine.cost import CostRecord, CostSnapshot
-from ..observe.base import MachineObserver
-from ..permute.base import PERMUTERS, verify_permutation_output
-from ..sorting.base import COUNTING_SORTERS, SORTERS, verify_sorted_output
-from ..spmxv.matrix import load_matrix, load_vector, verify_spmxv_output
-from ..spmxv.naive import spmxv_naive
-from ..spmxv.sort_based import spmxv_sort_based
-from ..workloads.generators import permutation, sort_input, spmxv_instance
+from ..machine.cost import CostRecord
 
 
 @dataclass
@@ -67,109 +55,37 @@ class ExperimentResult:
 
 
 # ----------------------------------------------------------------------
-# Measurement helpers (verified runs returning typed CostRecords, which
-# read like flat cost dicts). Each accepts ``observers`` — extra
-# MachineObserver instances attached to the fresh machine's event bus for
-# the duration of the run (wear maps, progress readouts, trace
-# recorders, ...). All three are top-level functions taking only picklable
-# arguments, so the sweep engine can fan them out to worker processes and
-# memoize them by content hash.
+# Measurement helpers — deprecation shims. The implementations moved to
+# repro.api.measures (the single routing table behind repro.api); these
+# wrappers keep old imports working while steering callers to the facade.
+# Experiments, the CLI, and the sanitizer battery all import the new
+# location, so a warning here always means third-party/legacy code.
 # ----------------------------------------------------------------------
-def measure_sort(
-    sorter: str,
-    N: int,
-    params: AEMParams,
-    *,
-    distribution: str = "uniform",
-    seed: int = 0,
-    slack: float = 4.0,
-    verify: bool = True,
-    observers: Sequence[MachineObserver] = (),
-    counting: bool = False,
-) -> CostRecord:
-    """Run a registered sorter on a fresh machine; returns cost fields.
-
-    ``counting=True`` requests the payload-free fast path; sorters not yet
-    ported to it (:data:`~repro.sorting.base.COUNTING_SORTERS` lists the
-    ported ones) fall back to a full machine with identical costs. Output
-    verification needs payloads, so a counting run skips it — the paired
-    full-mode runs in the test suite carry the correctness burden.
-    """
-    counting = counting and sorter in COUNTING_SORTERS
-    atoms = sort_input(N, distribution, np.random.default_rng(seed))
-    machine = AEMMachine.for_algorithm(
-        params, slack=slack, observers=observers, counting=counting
+def _warn_deprecated(name: str) -> None:
+    warnings.warn(
+        f"repro.experiments.common.{name} is deprecated; use "
+        f"repro.api.evaluate(...) or repro.api.measures.{name}",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    addrs = machine.load_input(atoms)
-    out = SORTERS[sorter](machine, addrs, params)
-    if verify and not counting:
-        verify_sorted_output(machine, atoms, out)
-    return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
 
 
-def measure_permute(
-    permuter: str,
-    N: int,
-    params: AEMParams,
-    *,
-    family: str = "random",
-    seed: int = 0,
-    slack: float = 4.0,
-    verify: bool = True,
-    observers: Sequence[MachineObserver] = (),
-    counting: bool = False,
-) -> CostRecord:
-    """Run a registered permuter on a fresh machine; returns cost fields.
-
-    Every registered permuter supports ``counting=True`` (payload-free fast
-    path); verification is skipped there, as it needs the output payloads.
-    """
-    rng = np.random.default_rng(seed)
-    atoms = [Atom(int(k), i) for i, k in enumerate(rng.integers(0, 8 * N, N))]
-    perm = permutation(N, family, rng)
-    machine = AEMMachine.for_algorithm(
-        params, slack=slack, observers=observers, counting=counting
-    )
-    addrs = machine.load_input(atoms)
-    out = PERMUTERS[permuter](machine, addrs, perm, params)
-    if verify and not counting:
-        verify_permutation_output(machine, atoms, out, perm)
-    return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
+def measure_sort(*args, **kwargs) -> CostRecord:
+    """Deprecated alias for :func:`repro.api.measures.measure_sort`."""
+    _warn_deprecated("measure_sort")
+    return _measures.measure_sort(*args, **kwargs)
 
 
-def measure_spmxv(
-    algorithm: str,
-    N: int,
-    delta: int,
-    params: AEMParams,
-    *,
-    family: str = "random",
-    seed: int = 0,
-    slack: float = 4.0,
-    verify: bool = True,
-    observers: Sequence[MachineObserver] = (),
-    counting: bool = False,
-) -> CostRecord:
-    """Run an SpMxV algorithm on a fresh machine; returns cost fields.
-
-    Both algorithms support ``counting=True`` (payload-free fast path);
-    verification is skipped there, as it needs the output vector.
-    """
-    conf, values, x = spmxv_instance(N, delta, family, np.random.default_rng(seed))
-    machine = AEMMachine.for_algorithm(
-        params, slack=slack, observers=observers, counting=counting
-    )
-    ma = load_matrix(machine, conf, values)
-    xa = load_vector(machine, x)
-    fn = {"naive": spmxv_naive, "sort_based": spmxv_sort_based}[algorithm]
-    out = fn(machine, ma, xa, conf, params)
-    if verify and not counting:
-        verify_spmxv_output(machine, conf, values, x, out)
-    return _cost_fields(machine.snapshot(), peak=machine.mem.peak)
+def measure_permute(*args, **kwargs) -> CostRecord:
+    """Deprecated alias for :func:`repro.api.measures.measure_permute`."""
+    _warn_deprecated("measure_permute")
+    return _measures.measure_permute(*args, **kwargs)
 
 
-def _cost_fields(snap: CostSnapshot, *, peak: int) -> CostRecord:
-    return CostRecord.from_snapshot(snap, peak=peak)
+def measure_spmxv(*args, **kwargs) -> CostRecord:
+    """Deprecated alias for :func:`repro.api.measures.measure_spmxv`."""
+    _warn_deprecated("measure_spmxv")
+    return _measures.measure_spmxv(*args, **kwargs)
 
 
 # ----------------------------------------------------------------------

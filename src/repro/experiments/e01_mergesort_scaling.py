@@ -13,7 +13,8 @@ from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.bounds import sort_read_shape, sort_upper_shape, sort_write_shape
 from ..core.params import AEMParams
-from .common import ExperimentConfig, ExperimentResult, measure_sort, register
+from ..api.measures import measure_sort
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e1")

@@ -17,7 +17,8 @@ from ..analysis.tables import format_table
 from ..core.bounds import sort_upper_shape
 from ..core.params import AEMParams
 from ..machine.errors import CapacityError
-from .common import ExperimentConfig, ExperimentResult, measure_sort, register
+from ..api.measures import measure_sort
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e2")

@@ -14,7 +14,8 @@ from ..analysis.tables import format_table
 from ..analysis.sweep import sweep_map
 from ..core.bounds import em_sort_shape, sort_upper_shape
 from ..core.params import AEMParams
-from .common import ExperimentConfig, ExperimentResult, measure_sort, register
+from ..api.measures import measure_sort
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e5")

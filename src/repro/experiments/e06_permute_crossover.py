@@ -14,7 +14,8 @@ from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.params import AEMParams
 from ..core.regimes import find_crossover
-from .common import ExperimentConfig, ExperimentResult, measure_permute, register
+from ..api.measures import measure_permute
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e6")

@@ -30,7 +30,8 @@ from ..permute.naive import permute_naive
 from ..analysis.sweep import sweep_map
 from ..rounds.convert import to_round_based
 from ..trace.program import capture
-from .common import ExperimentConfig, ExperimentResult, measure_permute, register
+from ..api.measures import measure_permute
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e7")

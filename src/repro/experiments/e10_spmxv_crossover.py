@@ -17,7 +17,8 @@ from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.params import AEMParams
 from ..spmxv.bounds import spmxv_naive_shape, spmxv_sort_shape
-from .common import ExperimentConfig, ExperimentResult, measure_spmxv, register
+from ..api.measures import measure_spmxv
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e10")

@@ -23,7 +23,8 @@ from ..spmxv.bounds import (
     theorem_5_1_exact,
 )
 from ..analysis.sweep import sweep_map
-from .common import ExperimentConfig, ExperimentResult, measure_spmxv, register
+from ..api.measures import measure_spmxv
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e11")

@@ -19,7 +19,8 @@ from ..analysis.sweep import sweep_map
 from ..analysis.tables import format_table
 from ..core.bounds import em_sort_shape, heapsort_shape, sort_upper_shape
 from ..core.params import AEMParams
-from .common import ExperimentConfig, ExperimentResult, measure_sort, register
+from ..api.measures import measure_sort
+from .common import ExperimentConfig, ExperimentResult, register
 
 AEM_SORTERS = ["aem_mergesort", "aem_samplesort", "aem_heapsort", "aem_pqsort"]
 

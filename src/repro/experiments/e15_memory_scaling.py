@@ -16,7 +16,8 @@ from ..analysis.tables import format_table
 from ..core.bounds import sort_levels, sort_upper_shape
 from ..core.counting import counting_lower_bound_general
 from ..core.params import AEMParams
-from .common import ExperimentConfig, ExperimentResult, measure_sort, register
+from ..api.measures import measure_sort
+from .common import ExperimentConfig, ExperimentResult, register
 
 
 @register("e15")

@@ -7,7 +7,7 @@ Two halves (see ``docs/sanitizers.md``):
   (``Q = Qr + omega*Qw`` recomputed from raw events), provenance (no
   teleported data), round form (Lemma 4.1), flash-reduction volume
   (Lemma 4.3);
-* **source lint** — AST rules AEM101-AEM107 enforcing the layering that
+* **source lint** — AST rules AEM101-AEM108 enforcing the layering that
   keeps the model honest (:mod:`repro.sanitize.lint`).
 
 Entry points: ``repro-aem check [--traces|--lint|--all]``, the

@@ -46,6 +46,14 @@ AEM107
     those buffers in place after every flush, so a stored reference goes
     stale silently. Snapshot with ``list(batch.addrs)`` (or copy the
     scalar aggregates) instead.
+AEM108
+    The serving layer (``repro.serve``) never constructs machines
+    directly — no ``AEMMachine``/``FlashMachine``/``MachineCore`` calls
+    (including ``.for_algorithm``). Server handlers route every
+    measurement through :mod:`repro.api`, so served answers share the
+    engine's caching/dedup identity and stay bit-identical to direct
+    ``api.evaluate`` calls; a machine built inside a handler bypasses
+    all of that.
 """
 
 from __future__ import annotations
@@ -105,6 +113,10 @@ _ALLOWED_HANDLERS = set(EVENTS) | {"on_attach", "on_detach", "on_batch"}
 #: Column arrays of :class:`repro.observe.batch.EventBatch` — the mutable
 #: buffers the bus reuses across flushes (AEM107).
 _BATCH_COLUMNS = {"kinds", "addrs", "lengths", "costs", "occs", "whats"}
+
+#: Machine classes the serving layer must never construct (AEM108);
+#: cost queries route through repro.api instead.
+_MACHINE_CLASSES = {"AEMMachine", "FlashMachine", "MachineCore"}
 
 _DISABLE_LINE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
 _DISABLE_FILE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
@@ -171,6 +183,7 @@ class _Checker(ast.NodeVisitor):
         self.in_machine_pkg = "machine" in module_parts
         self.in_algorithm_pkg = any(p in module_parts for p in ALGORITHM_PACKAGES)
         self.in_cost_module = module_parts[-2:] == ("machine", "cost")
+        self.in_serve_pkg = "serve" in module_parts
         self.found: list[LintViolation] = []
         self._observer_depth = 0
         # Name of the batch parameter while inside an observer's
@@ -345,7 +358,41 @@ class _Checker(ast.NodeVisitor):
             and parts[1].lstrip("_") in _CORE_ROOTS
         )
 
+    # -- AEM108 --------------------------------------------------------
+    def _machine_construction(self, func: ast.expr) -> Optional[str]:
+        """The machine class this call constructs, if any.
+
+        Matches bare names (``AEMMachine(...)``), qualified references
+        (``aem.AEMMachine(...)``), and the ``for_algorithm`` classmethod
+        constructors (``AEMMachine.for_algorithm(...)``).
+        """
+        if isinstance(func, ast.Name) and func.id in _MACHINE_CLASSES:
+            return func.id
+        if isinstance(func, ast.Attribute):
+            if func.attr in _MACHINE_CLASSES:
+                return func.attr
+            if func.attr == "for_algorithm":
+                base = func.value
+                tail = (
+                    base.attr
+                    if isinstance(base, ast.Attribute)
+                    else base.id if isinstance(base, ast.Name) else None
+                )
+                if tail in _MACHINE_CLASSES:
+                    return f"{tail}.for_algorithm"
+        return None
+
     def visit_Call(self, node: ast.Call) -> None:
+        if self.in_serve_pkg:
+            constructed = self._machine_construction(node.func)
+            if constructed is not None:
+                self.flag(
+                    "AEM108",
+                    node,
+                    f"serving code constructs a machine directly "
+                    f"({constructed}); route the query through repro.api "
+                    "so it shares the engine's cache/dedup identity",
+                )
         if (
             self._observer_depth > 0
             and isinstance(node.func, ast.Attribute)

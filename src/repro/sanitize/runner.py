@@ -68,7 +68,7 @@ def _permute_program(n: int, permuter: str, seed: int = 7):
 
 def run_trace_checks(*, log: Log = None) -> list[Violation]:
     """Run the live-sanitizer and lemma battery; returns all violations."""
-    from ..experiments.common import measure_permute, measure_sort, measure_spmxv
+    from ..api.measures import measure_permute, measure_sort, measure_spmxv
 
     violations: list[Violation] = []
 

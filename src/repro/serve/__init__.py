@@ -1,0 +1,30 @@
+"""``repro.serve`` — the cost-oracle serving layer.
+
+A stdlib-only asyncio HTTP/JSON server that answers AEM cost queries by
+routing them through :mod:`repro.api` into the shared
+:class:`~repro.engine.core.SweepEngine` — with request batching,
+content-addressed deduplication, and bounded-queue backpressure. See
+:mod:`repro.serve.server` for the serving semantics, ``docs/serving.md``
+for the operational story, and `repro-aem serve` / `serve-bench` for the
+CLI entry points.
+"""
+
+from .bench import BenchConfig, render_report, run_bench
+from .http import ProtocolError, Request, Response, arequest, request
+from .server import SERVE_PID, CostServer, ServeConfig
+from .testing import ServerThread
+
+__all__ = [
+    "BenchConfig",
+    "CostServer",
+    "ProtocolError",
+    "Request",
+    "Response",
+    "SERVE_PID",
+    "ServeConfig",
+    "ServerThread",
+    "arequest",
+    "render_report",
+    "request",
+    "run_bench",
+]

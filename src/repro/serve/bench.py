@@ -1,0 +1,269 @@
+"""`repro-aem serve-bench`: open-loop load generation for the cost oracle.
+
+The generator replays *bursty open-loop* traffic — arrival events come
+off an exponential clock and each event fires a burst of concurrent
+requests without waiting for earlier ones, so the server sees real
+concurrency, not lock-step request/response pairs. The query mix is
+*zipfian* over a pool of distinct configs: a few configs are hot and
+most are cold, which is exactly the shape the serving layer's dedup +
+batch machinery exists for. The report carries p50/p95/p99 latency and
+the server's dedup/cache hit-rates, all collected through
+:class:`~repro.telemetry.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Optional
+
+from ..telemetry import MetricsRegistry
+from .http import arequest
+
+_PERCENTILES = (0.5, 0.95, 0.99)
+
+
+@dataclass(frozen=True)
+class BenchConfig:
+    """One load-generation run against a live server.
+
+    ``rate`` is the mean *request* rate (requests/second); arrivals come
+    in bursts of ``burst`` back-to-back requests, so burst events fire at
+    ``rate / burst`` per second with exponential gaps. ``distinct``
+    configs are drawn zipfian with exponent ``zipf_s`` (rank ``k`` has
+    weight ``1 / (k+1)**zipf_s``): small ``distinct`` / large ``zipf_s``
+    concentrates traffic and stresses dedup, the opposite stresses
+    batching and the engine.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    requests: int = 200
+    rate: float = 200.0
+    burst: int = 8
+    workload: str = "sort"
+    distinct: int = 8
+    zipf_s: float = 1.1
+    n_base: int = 256
+    counting: bool = True
+    seed: int = 0
+    timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.rate <= 0:
+            raise ValueError(f"rate must be > 0, got {self.rate}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if self.distinct < 1:
+            raise ValueError(f"distinct must be >= 1, got {self.distinct}")
+
+
+def _query_pool(cfg: BenchConfig) -> list:
+    """The ``distinct`` queries traffic is drawn from (rank 0 hottest)."""
+    pool = []
+    for rank in range(cfg.distinct):
+        query: dict = {
+            "workload": cfg.workload,
+            "n": cfg.n_base * (rank + 1),
+            "seed": cfg.seed,
+        }
+        if cfg.counting:
+            query["counting"] = True
+        pool.append(query)
+    return pool
+
+
+def _zipf_picker(cfg: BenchConfig, rng: random.Random):
+    """Sample ranks 0..distinct-1 with weight ``1/(rank+1)**zipf_s``."""
+    weights = [1.0 / (rank + 1) ** cfg.zipf_s for rank in range(cfg.distinct)]
+    cumulative = []
+    total = 0.0
+    for w in weights:
+        total += w
+        cumulative.append(total)
+
+    def pick() -> int:
+        x = rng.random() * total
+        for rank, edge in enumerate(cumulative):
+            if x <= edge:
+                return rank
+        return cfg.distinct - 1  # pragma: no cover - float edge
+
+    return pick
+
+
+async def _fire(
+    cfg: BenchConfig,
+    query: dict,
+    rank: int,
+    latency_ms,
+    responses,
+    errors,
+) -> None:
+    start = time.perf_counter()
+    try:
+        resp = await arequest(
+            cfg.host, cfg.port, "POST", "/evaluate", query, timeout=cfg.timeout
+        )
+    except (ConnectionError, OSError, asyncio.TimeoutError, ValueError):
+        errors.inc()
+        return
+    latency_ms.labels(rank=str(rank)).observe((time.perf_counter() - start) * 1e3)
+    responses.labels(status=str(resp.status)).inc()
+
+
+async def _generate(cfg: BenchConfig, registry: MetricsRegistry) -> dict:
+    rng = random.Random(cfg.seed)
+    pool = _query_pool(cfg)
+    pick = _zipf_picker(cfg, rng)
+    latency_ms = registry.histogram(
+        "bench_latency_ms", "request wall time by config rank", labels=("rank",)
+    )
+    responses = registry.counter(
+        "bench_responses_total", "responses by status", labels=("status",)
+    )
+    errors = registry.counter(
+        "bench_transport_errors_total", "requests that never got a response"
+    )
+
+    tasks = []
+    sent = 0
+    t_start = time.perf_counter()
+    while sent < cfg.requests:
+        take = min(cfg.burst, cfg.requests - sent)
+        for _ in range(take):
+            rank = pick()
+            tasks.append(
+                asyncio.ensure_future(
+                    _fire(cfg, pool[rank], rank, latency_ms, responses, errors)
+                )
+            )
+        sent += take
+        if sent < cfg.requests:
+            # Open loop: the clock keeps ticking whether or not responses
+            # came back. Mean gap = burst/rate => mean rate = cfg.rate.
+            await asyncio.sleep(rng.expovariate(cfg.rate / cfg.burst))
+    await asyncio.gather(*tasks)
+    wall_s = time.perf_counter() - t_start
+
+    # One merged latency distribution across ranks for the headline view.
+    merged = registry.histogram("bench_latency_all_ms", "request wall time, all ranks")
+    for _labels, hist in latency_ms.series():
+        for value in hist.values:
+            merged.observe(value)
+
+    stats = await _server_stats(cfg)
+    return _report(cfg, registry, sent, wall_s, stats)
+
+
+async def _server_stats(cfg: BenchConfig) -> Optional[dict]:
+    try:
+        resp = await arequest(
+            cfg.host, cfg.port, "GET", "/stats", timeout=cfg.timeout
+        )
+        return resp.json() if resp.status == 200 else None
+    except (ConnectionError, OSError, asyncio.TimeoutError, ValueError):
+        return None
+
+
+def _report(
+    cfg: BenchConfig,
+    registry: MetricsRegistry,
+    sent: int,
+    wall_s: float,
+    stats: Optional[dict],
+) -> dict:
+    responses = registry.get("bench_responses_total")
+    statuses = {
+        labels["status"]: counter.as_value()
+        for labels, counter in responses.series()
+    } if responses is not None else {}
+    completed = int(sum(statuses.values()))
+    merged = registry.get("bench_latency_all_ms")
+    latency = (
+        merged.labels().summary(_PERCENTILES)
+        if merged is not None
+        else {"count": 0}
+    )
+    report: dict[str, Any] = {
+        "config": asdict(cfg),
+        "sent": sent,
+        "completed": completed,
+        "errors": sent - completed,
+        "statuses": statuses,
+        "wall_s": wall_s,
+        "throughput_rps": completed / wall_s if wall_s > 0 else 0.0,
+        "latency_ms": latency,
+        "metrics": registry.collect(),
+    }
+    if stats is not None:
+        requests = stats.get("requests", {})
+        engine = stats.get("engine") or {}
+        cache = stats.get("cache") or {}
+        dedup_hits = requests.get("dedup_hits", 0)
+        unique = engine.get("measurements", 0)
+        lookups = (cache.get("hits", 0) or 0) + (cache.get("misses", 0) or 0)
+        report["server"] = {
+            "dedup_hits": dedup_hits,
+            "dedup_hit_rate": dedup_hits / max(1, dedup_hits + unique),
+            "batches": requests.get("batches", 0),
+            "mean_batch_size": (
+                unique / requests.get("batches") if requests.get("batches") else 0.0
+            ),
+            "engine": engine,
+            "cache_hit_rate": (cache.get("hits", 0) / lookups) if lookups else None,
+            "cache": cache or None,
+        }
+    return report
+
+
+def run_bench(
+    config: Optional[BenchConfig] = None,
+    *,
+    registry: Optional[MetricsRegistry] = None,
+) -> dict:
+    """Run one load-generation pass; returns the JSON-able report."""
+    cfg = config if config is not None else BenchConfig()
+    return asyncio.run(_generate(cfg, registry or MetricsRegistry()))
+
+
+def render_report(report: dict) -> str:
+    """The human-readable summary `repro-aem serve-bench` prints."""
+    lat = report["latency_ms"]
+    lines = [
+        f"serve-bench: {report['sent']} sent, {report['completed']} completed, "
+        f"{report['errors']} transport error(s) in {report['wall_s']:.2f}s "
+        f"({report['throughput_rps']:.1f} req/s)",
+        "  statuses: "
+        + (
+            ", ".join(f"{s}: {int(n)}" for s, n in sorted(report["statuses"].items()))
+            or "none"
+        ),
+        (
+            f"  latency ms: p50={lat.get('p50', 0):.2f} p95={lat.get('p95', 0):.2f} "
+            f"p99={lat.get('p99', 0):.2f} max={lat.get('max', 0):.2f} "
+            f"(n={lat.get('count', 0)})"
+        ),
+    ]
+    server = report.get("server")
+    if server:
+        lines.append(
+            f"  dedup: {server['dedup_hits']} hit(s), "
+            f"hit-rate {server['dedup_hit_rate']:.1%}; "
+            f"{server['batches']} batch(es), "
+            f"mean size {server['mean_batch_size']:.2f}"
+        )
+        engine = server.get("engine") or {}
+        cache_rate = server.get("cache_hit_rate")
+        cache_bit = (
+            f", cache hit-rate {cache_rate:.1%}" if cache_rate is not None else ""
+        )
+        lines.append(
+            f"  engine: {engine.get('executed', 0)} executed, "
+            f"{engine.get('cache_hits', 0)} cache hit(s){cache_bit}"
+        )
+    return "\n".join(lines)

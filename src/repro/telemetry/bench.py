@@ -79,7 +79,7 @@ class BenchCase:
 def _sort_case(
     sorter: str, n: int, params: AEMParams, *, counting: bool = False
 ) -> BenchCase:
-    from ..experiments.common import measure_sort
+    from ..api.measures import measure_sort
 
     return BenchCase(
         f"sort/{sorter}/n{n}" + ("/counting" if counting else ""),
@@ -90,7 +90,7 @@ def _sort_case(
 def _permute_case(
     permuter: str, n: int, params: AEMParams, *, counting: bool = False
 ) -> BenchCase:
-    from ..experiments.common import measure_permute
+    from ..api.measures import measure_permute
 
     return BenchCase(
         f"permute/{permuter}/n{n}" + ("/counting" if counting else ""),
@@ -101,7 +101,7 @@ def _permute_case(
 def _spmxv_case(
     algorithm: str, n: int, delta: int, params: AEMParams, *, counting: bool = False
 ) -> BenchCase:
-    from ..experiments.common import measure_spmxv
+    from ..api.measures import measure_spmxv
 
     return BenchCase(
         f"spmxv/{algorithm}/n{n}d{delta}" + ("/counting" if counting else ""),

@@ -1,0 +1,240 @@
+"""The ``repro.api`` facade: one entry surface for CLI, experiments, server.
+
+Covers the registry (normalization, defaults, validation, query keys),
+the ``evaluate``/``sweep`` verbs (equivalence with the underlying measure
+functions, engine routing, ordering), and the deprecation shims the old
+``repro.experiments.common.measure_*`` paths turned into.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.api import measures
+from repro.api.registry import normalize
+from repro.core.params import AEMParams
+from repro.engine import ResultCache, SweepEngine
+from repro.machine.cost import CostRecord
+
+P = AEMParams(M=64, B=8, omega=4)
+P_QUERY = {"M": 64, "B": 8, "omega": 4}
+
+
+# ----------------------------------------------------------------------
+# Normalization.
+# ----------------------------------------------------------------------
+class TestNormalize:
+    def test_defaults_filled_and_params_folded(self):
+        spec, config = normalize({"workload": "sort", "n": 500})
+        assert spec.name == "sort"
+        assert config == {
+            "N": 500,
+            "sorter": "aem_mergesort",
+            "distribution": "uniform",
+            "seed": 0,
+            "params": AEMParams(M=128, B=16, omega=8.0),
+        }
+
+    def test_counting_omitted_stays_out_of_config(self):
+        # No default on purpose: the serving layer injects its policy by
+        # adding the field to the *query*, keeping cache keys honest.
+        _, config = normalize({"workload": "sort", "n": 500})
+        assert "counting" not in config
+        _, config = normalize({"workload": "sort", "n": 500, "counting": True})
+        assert config["counting"] is True
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(api.QueryError, match="unknown workload"):
+            normalize({"workload": "qsort", "n": 10})
+
+    def test_missing_workload_rejected(self):
+        with pytest.raises(api.QueryError, match="missing the 'workload'"):
+            normalize({"n": 10})
+
+    def test_missing_required_field_rejected(self):
+        with pytest.raises(api.QueryError, match="requires the 'n'"):
+            normalize({"workload": "sort"})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(api.QueryError, match="unknown field"):
+            normalize({"workload": "sort", "n": 10, "frobnicate": 1})
+
+    def test_bad_choice_rejected(self):
+        with pytest.raises(api.QueryError, match="'sorter' must be one of"):
+            normalize({"workload": "sort", "n": 10, "sorter": "quicksort"})
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("n", True), ("n", 10.5), ("n", "ten"), ("counting", 1), ("omega", "x")],
+    )
+    def test_bad_types_rejected(self, field, value):
+        with pytest.raises(api.QueryError):
+            normalize({"workload": "sort", "n": 10, field: value})
+
+    def test_non_mapping_rejected(self):
+        with pytest.raises(api.QueryError, match="JSON object"):
+            normalize(["workload", "sort"])
+
+    def test_describe_workloads_is_json_able(self):
+        desc = api.describe_workloads()
+        assert set(desc) == {"permute", "sort", "spmxv"}
+        assert desc["sort"]["fields"]["n"]["required"] is True
+        assert desc["sort"]["fields"]["sorter"]["default"] == "aem_mergesort"
+        json.dumps(desc)  # must not raise
+
+
+# ----------------------------------------------------------------------
+# Query keys — the shared dedup/cache identity.
+# ----------------------------------------------------------------------
+class TestQueryKey:
+    def test_spelled_defaults_share_the_key(self):
+        implicit = api.query_key({"workload": "sort", "n": 800})
+        explicit = api.query_key(
+            {
+                "workload": "sort",
+                "n": 800,
+                "sorter": "aem_mergesort",
+                "distribution": "uniform",
+                "seed": 0,
+                "M": 128,
+                "B": 16,
+                "omega": 8.0,
+            }
+        )
+        assert implicit == explicit
+
+    def test_field_order_is_irrelevant(self):
+        a = api.query_key({"workload": "sort", "n": 800, "seed": 3})
+        b = api.query_key({"seed": 3, "n": 800, "workload": "sort"})
+        assert a == b
+
+    def test_different_configs_get_different_keys(self):
+        base = {"workload": "sort", "n": 800}
+        assert api.query_key(base) != api.query_key({**base, "n": 801})
+        assert api.query_key(base) != api.query_key({**base, "omega": 2})
+        assert api.query_key(base) != api.query_key({**base, "counting": True})
+
+    def test_workloads_never_alias(self):
+        assert api.query_key({"workload": "sort", "n": 128}) != api.query_key(
+            {"workload": "permute", "n": 128}
+        )
+
+
+# ----------------------------------------------------------------------
+# evaluate / sweep.
+# ----------------------------------------------------------------------
+class TestEvaluate:
+    def test_matches_direct_measure_call(self):
+        via_api = api.evaluate("sort", n=400, **P_QUERY, seed=2)
+        direct = measures.measure_sort("aem_mergesort", 400, P, seed=2)
+        assert isinstance(via_api, CostRecord)
+        assert via_api == direct
+
+    def test_query_dict_and_kwargs_merge(self):
+        a = api.evaluate("permute", {"n": 256, **P_QUERY})
+        b = api.evaluate("permute", {"n": 9999, **P_QUERY}, n=256)  # kwargs win
+        assert a == b
+
+    def test_bad_query_raises_query_error(self):
+        with pytest.raises(api.QueryError):
+            api.evaluate("sort", n=100, sorter="nope")
+
+    def test_explicit_engine_is_used(self):
+        engine = SweepEngine()
+        api.evaluate("sort", n=200, **P_QUERY, engine=engine)
+        assert engine.stats.executed == 1
+
+    def test_observed_run_sees_machine_events(self):
+        events = []
+
+        class Probe:
+            def on_attach(self, core):
+                events.append("attach")
+
+        observed = api.evaluate("sort", n=200, **P_QUERY, observers=[Probe()])
+        plain = api.evaluate("sort", n=200, **P_QUERY)
+        assert events and observed == plain
+
+
+class TestSweep:
+    def test_order_preserved_across_workload_groups(self):
+        queries = [
+            {"workload": "sort", "n": 200, **P_QUERY},
+            {"workload": "permute", "n": 128, **P_QUERY},
+            {"workload": "sort", "n": 300, **P_QUERY},
+            {"workload": "spmxv", "n": 64, "delta": 2, **P_QUERY},
+        ]
+        results = api.sweep(queries)
+        singles = [api.evaluate(q["workload"], q) for q in queries]
+        assert results == singles
+
+    def test_one_engine_sweep_per_workload_group(self):
+        engine = SweepEngine()
+        api.sweep(
+            [
+                {"workload": "sort", "n": 200, **P_QUERY},
+                {"workload": "sort", "n": 300, **P_QUERY},
+                {"workload": "permute", "n": 128, **P_QUERY},
+            ],
+            engine=engine,
+        )
+        assert engine.stats.sweeps == 2
+        assert engine.stats.executed == 3
+
+    def test_bad_query_fails_before_anything_runs(self):
+        engine = SweepEngine()
+        with pytest.raises(api.QueryError):
+            api.sweep(
+                [
+                    {"workload": "sort", "n": 200, **P_QUERY},
+                    {"workload": "sort"},  # missing n
+                ],
+                engine=engine,
+            )
+        assert engine.stats.executed == 0
+
+    def test_cached_engine_shares_entries_with_query_key(self, tmp_path):
+        # The server's dedup identity IS the engine cache identity: a
+        # sweep stores under exactly query_key(q).
+        cache = ResultCache(tmp_path)
+        engine = SweepEngine(cache=cache)
+        query = {"workload": "sort", "n": 200, **P_QUERY}
+        api.sweep([query], engine=engine)
+        assert cache.path(api.query_key(query)).exists()
+        api.sweep([query], engine=engine)
+        assert engine.stats.cache_hits == 1
+
+
+# ----------------------------------------------------------------------
+# The deprecation shims over the old entry points.
+# ----------------------------------------------------------------------
+class TestDeprecatedShims:
+    def test_measure_sort_warns_and_delegates(self):
+        from repro.experiments import common
+
+        with pytest.warns(DeprecationWarning, match="measure_sort is deprecated"):
+            shimmed = common.measure_sort("aem_mergesort", 200, P)
+        assert shimmed == measures.measure_sort("aem_mergesort", 200, P)
+
+    def test_measure_permute_warns(self):
+        from repro.experiments import common
+
+        with pytest.warns(DeprecationWarning, match="measure_permute"):
+            common.measure_permute("naive", 64, P)
+
+    def test_measure_spmxv_warns(self):
+        from repro.experiments import common
+
+        with pytest.warns(DeprecationWarning, match="measure_spmxv"):
+            common.measure_spmxv("sort_based", 64, 2, P)
+
+    def test_new_path_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            measures.measure_sort("aem_mergesort", 200, P)
+            api.evaluate("sort", n=200, **P_QUERY)

@@ -16,7 +16,7 @@ import pytest
 from repro.core.params import AEMParams
 from repro.engine import ExperimentConfig, ResultCache, SweepEngine
 from repro.experiments import REGISTRY, run_experiment
-from repro.experiments.common import measure_permute, measure_sort, measure_spmxv
+from repro.api.measures import measure_permute, measure_sort, measure_spmxv
 from repro.machine.aem import AEMMachine
 from repro.machine.em import em_machine
 from repro.machine.errors import AddressError

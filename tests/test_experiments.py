@@ -7,14 +7,10 @@ under a minute.
 
 import pytest
 
+from repro.api.measures import measure_permute, measure_sort, measure_spmxv
 from repro.engine import ExperimentConfig
 from repro.experiments import REGISTRY, experiment_order, natural_key, run_experiment
-from repro.experiments.common import (
-    ExperimentResult,
-    measure_permute,
-    measure_sort,
-    measure_spmxv,
-)
+from repro.experiments.common import ExperimentResult
 from repro.core.params import AEMParams
 from repro.machine.cost import CostRecord
 

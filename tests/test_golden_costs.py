@@ -13,7 +13,7 @@ random conformation (seed 42).
 import pytest
 
 from repro.core.params import AEMParams
-from repro.experiments.common import measure_permute, measure_sort, measure_spmxv
+from repro.api.measures import measure_permute, measure_sort, measure_spmxv
 
 P = AEMParams(M=64, B=8, omega=4)
 

@@ -305,6 +305,56 @@ class TestAEM107:
 
 
 # ----------------------------------------------------------------------
+# AEM108: the serving layer routes through repro.api, never machines.
+# ----------------------------------------------------------------------
+class TestAEM108:
+    def test_direct_construction_fires(self):
+        found = lint(
+            "machine = AEMMachine(params)", module="repro/serve/server"
+        )
+        assert rules(found) == {"AEM108"}
+
+    def test_for_algorithm_fires(self):
+        found = lint(
+            "machine = AEMMachine.for_algorithm(params)",
+            module="repro/serve/server",
+        )
+        assert rules(found) == {"AEM108"}
+
+    def test_qualified_reference_fires(self):
+        found = lint(
+            "core = aem.MachineCore(params)", module="repro/serve/handlers"
+        )
+        assert rules(found) == {"AEM108"}
+
+    def test_flash_machine_covered(self):
+        found = lint(
+            "m = FlashMachine.for_algorithm(params)", module="repro/serve/server"
+        )
+        assert rules(found) == {"AEM108"}
+
+    def test_routing_through_api_is_fine(self):
+        found = lint(
+            "rec = api.evaluate('sort', n=512)", module="repro/serve/server"
+        )
+        assert found == []
+
+    def test_outside_serve_unconstrained(self):
+        found = lint(
+            "machine = AEMMachine.for_algorithm(params)",
+            module="repro/experiments/e01",
+        )
+        assert found == []
+
+    def test_line_disable_works(self):
+        found = lint(
+            "machine = AEMMachine(params)  # lint: disable=AEM108",
+            module="repro/serve/server",
+        )
+        assert found == []
+
+
+# ----------------------------------------------------------------------
 # Escape hatches and the shipped tree.
 # ----------------------------------------------------------------------
 class TestDisables:

@@ -12,7 +12,7 @@ import io
 import pytest
 
 from repro.core.params import AEMParams
-from repro.experiments.common import measure_sort
+from repro.api.measures import measure_sort
 from repro.machine.aem import AEMMachine
 from repro.machine.core import MachineCore
 from repro.machine.flash import FlashMachine

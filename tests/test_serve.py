@@ -1,0 +1,326 @@
+"""The cost-oracle server: dedup, batching, backpressure, drain, parity.
+
+The PR-7 acceptance surface: N identical concurrent queries cost exactly
+one engine evaluation; batch coalescing preserves per-request results;
+saturation answers 429 with Retry-After; shutdown drains cleanly (both
+the in-process path and the real SIGTERM path); and every served answer
+is bit-for-bit the direct ``repro.api.evaluate`` result.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro import api
+from repro.serve import (
+    BenchConfig,
+    ProtocolError,
+    ServeConfig,
+    ServerThread,
+    render_report,
+    run_bench,
+)
+
+QUERY = {"workload": "sort", "n": 512, "M": 64, "B": 8, "omega": 4}
+
+
+def serve_config(**overrides) -> ServeConfig:
+    defaults = dict(port=0, counting=True, batch_window=0.05)
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(serve_config()) as srv:
+        yield srv
+
+
+# ----------------------------------------------------------------------
+# Plumbing endpoints.
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_healthz(self, server):
+        resp = server.get("/healthz")
+        assert resp.status == 200
+        assert resp.json() == {"ok": True, "draining": False}
+
+    def test_workloads_schema_matches_api(self, server):
+        resp = server.get("/workloads")
+        assert resp.status == 200
+        assert resp.json() == json.loads(json.dumps(api.describe_workloads()))
+
+    def test_metrics_and_stats(self, server):
+        server.post("/evaluate", QUERY)
+        metrics = server.get("/metrics").json()
+        assert "serve_requests_total" in metrics
+        stats = server.get("/stats").json()
+        assert stats["engine"]["measurements"] >= 1
+        assert stats["requests"]["latency_ms"]["count"] >= 1
+
+    def test_unknown_route_404(self, server):
+        assert server.post("/nope", {}).status == 404
+
+    def test_wrong_method_405(self, server):
+        assert server.get("/evaluate").status == 405
+        assert server.post("/healthz", {}).status == 405
+
+    def test_bad_json_400(self, server):
+        import repro.serve.http as http
+
+        raw = http.request(server.host, server.port, "POST", "/evaluate")
+        assert raw.status == 400
+
+    def test_bad_query_400(self, server):
+        resp = server.post("/evaluate", {"workload": "nope"})
+        assert resp.status == 400
+        assert "unknown workload" in resp.json()["error"]
+
+
+# ----------------------------------------------------------------------
+# Parity: the server is a transparent front-end over repro.api.
+# ----------------------------------------------------------------------
+class TestParity:
+    def test_served_answer_matches_direct_evaluate(self, server):
+        resp = server.post("/evaluate", QUERY)
+        assert resp.status == 200
+        body = resp.json()
+        direct = api.evaluate("sort", QUERY, counting=True)
+        assert body["result"] == json.loads(json.dumps(dict(direct)))
+        assert body["key"] == api.query_key({**QUERY, "counting": True})
+
+    def test_counting_policy_injected_like_engine_policy(self, server):
+        # The module server runs counting=True: an unspecified query gets
+        # the counting key, an explicit counting=False keeps its own.
+        body = server.post("/evaluate", QUERY).json()
+        assert body["key"] == api.query_key({**QUERY, "counting": True})
+        explicit = server.post(
+            "/evaluate", {**QUERY, "counting": False}
+        ).json()
+        assert explicit["key"] == api.query_key({**QUERY, "counting": False})
+        assert explicit["result"] == body["result"]  # same costs either way
+
+
+# ----------------------------------------------------------------------
+# Dedup + batching.
+# ----------------------------------------------------------------------
+class TestDedupAndBatching:
+    def test_identical_concurrent_queries_run_once(self):
+        with ServerThread(serve_config(batch_window=0.1)) as srv:
+            n = 12
+            query = {**QUERY, "n": 768}
+            with concurrent.futures.ThreadPoolExecutor(n) as pool:
+                responses = list(
+                    pool.map(lambda _: srv.post("/evaluate", query), range(n))
+                )
+            assert [r.status for r in responses] == [200] * n
+            bodies = [r.json() for r in responses]
+            assert all(b == bodies[0] for b in bodies)
+            stats = srv.get("/stats").json()
+            assert stats["engine"]["executed"] == 1
+            assert stats["requests"]["dedup_hits"] == n - 1
+
+    def test_batch_coalesces_but_preserves_per_request_results(self):
+        with ServerThread(serve_config(batch_window=0.15)) as srv:
+            sizes = [256, 320, 384, 448, 512, 576]
+            queries = [{**QUERY, "n": n} for n in sizes]
+            with concurrent.futures.ThreadPoolExecutor(len(queries)) as pool:
+                responses = list(pool.map(lambda q: srv.post("/evaluate", q), queries))
+            assert [r.status for r in responses] == [200] * len(queries)
+            direct = [dict(api.evaluate("sort", q, counting=True)) for q in queries]
+            for resp, expected in zip(responses, direct):
+                assert resp.json()["result"] == json.loads(json.dumps(expected))
+            stats = srv.get("/stats").json()
+            # Six distinct queries in one window: fewer dispatches than
+            # queries proves coalescing; per-request bodies prove routing.
+            assert stats["requests"]["batches"] < len(queries)
+            assert stats["engine"]["executed"] == len(queries)
+
+    def test_multi_query_request_keeps_order(self, server):
+        queries = [
+            {**QUERY, "n": 128},
+            {"workload": "permute", "n": 64, "M": 64, "B": 8, "omega": 4},
+            {**QUERY, "n": 192},
+        ]
+        resp = server.post("/evaluate", {"queries": queries})
+        assert resp.status == 200
+        results = resp.json()["results"]
+        direct = [
+            dict(api.evaluate(q["workload"], q, counting=True)) for q in queries
+        ]
+        assert results == json.loads(json.dumps(direct))
+
+    def test_empty_batch_rejected(self, server):
+        assert server.post("/evaluate", {"queries": []}).status == 400
+
+
+# ----------------------------------------------------------------------
+# Backpressure + timeouts.
+# ----------------------------------------------------------------------
+class TestBackpressure:
+    def test_saturation_answers_429_with_retry_after(self):
+        config = serve_config(
+            batch_window=2.0, max_pending=1, retry_after=7.0
+        )
+        with ServerThread(config) as srv:
+            first_status = []
+
+            def first():
+                first_status.append(srv.post("/evaluate", QUERY, timeout=60).status)
+
+            t = threading.Thread(target=first)
+            t.start()
+            deadline = time.time() + 5
+            while time.time() < deadline:
+                if srv.get("/stats").json()["inflight"] >= 1:
+                    break
+                time.sleep(0.005)
+            else:
+                pytest.fail("first query never became in-flight")
+            resp = srv.post("/evaluate", {**QUERY, "n": 999})
+            assert resp.status == 429
+            assert resp.headers["retry-after"] == "7"
+            assert resp.json()["max_pending"] == 1
+            stats = srv.get("/stats").json()
+            assert stats["requests"]["rejected"] == 1
+            # The identical in-flight query still dedups instead of 429ing.
+            assert srv.post("/evaluate", QUERY, timeout=60).status == 200
+            t.join(timeout=60)
+            assert first_status == [200]
+
+    def test_slow_evaluation_times_out_with_504(self):
+        config = serve_config(batch_window=5.0, request_timeout=0.1)
+        with ServerThread(config) as srv:
+            t0 = time.perf_counter()
+            resp = srv.post("/evaluate", QUERY, timeout=30)
+            assert resp.status == 504
+            assert time.perf_counter() - t0 < 5.0  # gave up, not drained
+
+
+# ----------------------------------------------------------------------
+# Drain.
+# ----------------------------------------------------------------------
+class TestDrain:
+    def test_stop_finishes_admitted_queries(self):
+        srv = ServerThread(serve_config(batch_window=0.3)).start()
+        results = []
+
+        def post():
+            results.append(srv.post("/evaluate", QUERY, timeout=30))
+
+        t = threading.Thread(target=post)
+        t.start()
+        deadline = time.time() + 5
+        while time.time() < deadline:
+            if srv.get("/stats").json()["inflight"] >= 1:
+                break
+            time.sleep(0.005)
+        srv.stop()  # drain starts while the query sits in its batch window
+        t.join(timeout=60)
+        assert [r.status for r in results] == [200]
+        with pytest.raises(OSError):
+            socket.create_connection((srv.host, srv.port), timeout=0.5)
+
+    def test_sigterm_drains_the_cli_server(self, tmp_path):
+        env = {**os.environ, "PYTHONPATH": "src", "PYTHONUNBUFFERED": "1"}
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--counting", "--no-cache",
+                "--telemetry-dir", str(tmp_path),
+            ],
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+        )
+        try:
+            line = proc.stderr.readline()
+            assert "listening on" in line
+            port = int(line.split("http://127.0.0.1:")[1].split(" ")[0])
+            import repro.serve.http as http
+
+            assert http.request("127.0.0.1", port, "GET", "/healthz").status == 200
+            proc.send_signal(signal.SIGTERM)
+            out = proc.stderr.read()
+            assert proc.wait(timeout=30) == 0
+            assert "drained" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+        # The drain flushed serving telemetry: a trace + a manifest line.
+        assert (tmp_path / "serve_trace.json").exists()
+        record = json.loads((tmp_path / "manifest.jsonl").read_text().splitlines()[-1])
+        assert record["command"] == "serve"
+
+
+# ----------------------------------------------------------------------
+# The load generator.
+# ----------------------------------------------------------------------
+class TestServeBench:
+    def test_bench_reports_percentiles_and_dedup(self):
+        with ServerThread(serve_config(batch_window=0.02)) as srv:
+            report = run_bench(
+                BenchConfig(
+                    host=srv.host,
+                    port=srv.port,
+                    requests=60,
+                    rate=2000.0,
+                    burst=12,
+                    distinct=3,
+                    n_base=128,
+                    seed=7,
+                )
+            )
+        assert report["completed"] == report["sent"] == 60
+        assert report["statuses"] == {"200": 60}
+        for q in ("p50", "p95", "p99"):
+            assert report["latency_ms"][q] > 0
+        assert report["server"]["dedup_hits"] > 0
+        assert report["server"]["dedup_hit_rate"] > 0
+        assert report["metrics"]["bench_latency_all_ms"]["series"]
+        text = render_report(report)
+        assert "p99=" in text and "dedup:" in text
+
+    def test_trace_spans_cover_the_pipeline(self, tmp_path):
+        from repro.telemetry import validate_trace
+
+        config = serve_config(telemetry_dir=str(tmp_path))
+        with ServerThread(config) as srv:
+            srv.post("/evaluate", QUERY)
+        trace = json.loads((tmp_path / "serve_trace.json").read_text())
+        validate_trace(trace)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert {"admission", "batch window", "engine", "respond"} <= names
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing corners.
+# ----------------------------------------------------------------------
+class TestHttpPlumbing:
+    def test_oversized_body_rejected(self, server):
+        import repro.serve.http as http
+
+        with pytest.raises(ProtocolError, match="out of range"):
+            http._content_length({"content-length": str(http.MAX_BODY_BYTES + 1)})
+
+    def test_chunked_rejected(self):
+        import repro.serve.http as http
+
+        with pytest.raises(ProtocolError, match="chunked"):
+            http._content_length({"transfer-encoding": "chunked"})
+
+    def test_garbage_request_line_gets_400(self, server):
+        with socket.create_connection((server.host, server.port), timeout=5) as sock:
+            sock.sendall(b"NOT A REQUEST\r\n\r\n")
+            data = sock.recv(65536)
+        assert b"400" in data.split(b"\r\n", 1)[0]
