@@ -24,7 +24,7 @@ live in :mod:`repro.api.measures`.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from ..engine.core import SweepEngine, ambient_engine
 from ..machine.cost import CostRecord
@@ -79,6 +79,7 @@ def sweep(
     queries: Iterable[Mapping[str, Any]],
     *,
     engine: Optional[SweepEngine] = None,
+    spans: Optional[Sequence] = None,
 ) -> list:
     """Price many queries; results in query order.
 
@@ -88,8 +89,19 @@ def sweep(
     group — so a mixed batch still gets the engine's caching and
     parallel fan-out, and the server's batch window coalesces into the
     minimum number of engine calls.
+
+    ``spans`` (parallel to ``queries``, entries may be ``None``) carries
+    per-query :class:`~repro.telemetry.spans.SpanContext` roots down to
+    the engine, which executes each query under a child span — the
+    propagation hop between the serving layer's request spans and the
+    machine-phase segments in one flow-linked trace.
     """
     normalized = [normalize(q) for q in queries]
+    spans_list = list(spans) if spans is not None else None
+    if spans_list is not None and len(spans_list) != len(normalized):
+        raise ValueError(
+            f"spans ({len(spans_list)}) must parallel queries ({len(normalized)})"
+        )
     eng = engine if engine is not None else ambient_engine()
     results: list = [None] * len(normalized)
     groups: dict[str, list[int]] = {}
@@ -98,7 +110,12 @@ def sweep(
     for name, indices in groups.items():
         spec = WORKLOADS[name]
         configs = [normalized[i][1] for i in indices]
-        for i, result in zip(indices, eng.map(spec.measure, configs)):
+        group_spans = (
+            [spans_list[i] for i in indices] if spans_list is not None else None
+        )
+        for i, result in zip(
+            indices, eng.map(spec.measure, configs, spans=group_spans)
+        ):
             results[i] = result
     return results
 

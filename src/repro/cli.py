@@ -428,6 +428,110 @@ def cmd_spmxv(args) -> int:
     return 0
 
 
+def _profile_query(args) -> dict:
+    """The workload query dict a ``profile <workload>`` target prices."""
+    p = _params(args)
+    base = {
+        "n": args.n,
+        "M": p.M,
+        "B": p.B,
+        "omega": p.omega,
+        "seed": args.seed,
+        "counting": args.counting,
+    }
+    if args.target == "sort":
+        return {**base, "sorter": args.sorter, "distribution": args.distribution}
+    if args.target == "permute":
+        return {**base, "permuter": args.permuter, "family": args.family}
+    if args.target == "spmxv":
+        return {**base, "algorithm": args.algorithm, "delta": args.delta,
+                "family": args.family}
+    return base
+
+
+def cmd_profile(args) -> int:
+    """Attribute I/O cost to nested phase paths; see docs/observability.md.
+
+    The target is either a workload name (one profiled evaluation) or an
+    experiment id (every profilable measurement in the run, merged per
+    task label). Conservation — attributed totals == the cost ledger —
+    is checked in-command and is a hard failure, so CI can assert it by
+    exit code alone.
+    """
+    from .telemetry import CostProfiler, folded, merge_paths, render_table, speedscope
+
+    if args.target in api.workload_names():
+        profiler = CostProfiler(root=args.target, track_blocks=True)
+        rec = api.evaluate(args.target, _profile_query(args), observers=[profiler])
+        paths = profiler.paths()
+        root = args.target
+        errors = [
+            f"{args.target}: {e}" for e in profiler.conservation_errors(rec)
+        ]
+    elif args.target in REGISTRY:
+        config = ExperimentConfig(
+            budget="full" if args.full else "quick",
+            cache=False,
+            counting=args.counting,
+            profile=True,
+        )
+        engine = config.make_engine()
+        with use_engine(engine):
+            run_experiment(args.target, config)
+        if not engine.profiles:
+            print(
+                f"profile: experiment {args.target!r} ran no profilable "
+                "measurements (none accept observers)",
+                file=sys.stderr,
+            )
+            return 1
+        errors = []
+        for entry in engine.profiles:
+            ledger = entry.result
+            if isinstance(ledger, dict) or hasattr(ledger, "keys"):
+                errors.extend(
+                    f"{entry.label}: {e}"
+                    for e in entry.profiler.conservation_errors(ledger)
+                )
+        paths = merge_paths(
+            (entry.label, entry.profiler.paths()) for entry in engine.profiles
+        )
+        root = args.target
+    else:
+        known = sorted(api.workload_names()) + sorted(REGISTRY)
+        print(
+            f"profile: unknown target {args.target!r} "
+            f"(expected a workload or experiment id from {known})",
+            file=sys.stderr,
+        )
+        return 2
+
+    print(render_table(paths, weight=args.weight, top=args.top, root=root))
+    depth = max((len(p) for p in paths), default=0)
+    total = sum(stats.weight(args.weight) for stats in paths.values())
+    print(f"total {args.weight} = {total:g} over {len(paths)} path(s), max depth {depth}")
+    if args.out:
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "profile.folded").write_text(
+            folded(paths, weight=args.weight, root=root)
+        )
+        (out / "profile.speedscope.json").write_text(
+            json.dumps(speedscope(paths, weight=args.weight, root=root),
+                       sort_keys=True)
+        )
+        print(f"wrote {out / 'profile.folded'} and {out / 'profile.speedscope.json'}")
+    if errors:
+        for err in errors:
+            print(f"  [FAIL] conservation: {err}", file=sys.stderr)
+        print(
+            f"profile FAILED conservation: {len(errors)} mismatch(es)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def cmd_inspect(args) -> int:
     """Record a permuting program and render its trace."""
     import numpy as np
@@ -472,7 +576,7 @@ def cmd_check(args) -> int:
             print(f"  [FAIL] {v.render()}", file=sys.stderr)
         failures += len(violations)
     if run_lint:
-        print("source lint (rules AEM101-AEM108):")
+        print("source lint (rules AEM101-AEM109):")
         lint_violations = run_lint_checks(log=print)
         for lv in lint_violations:
             print(f"  [FAIL] {lv.render()}", file=sys.stderr)
@@ -683,6 +787,53 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(sp)
     _add_run_args(sp)
     sp.set_defaults(fn=cmd_spmxv)
+
+    from .telemetry.profile import WEIGHTS
+
+    pf = sub.add_parser(
+        "profile",
+        help="attribute I/O cost (Qr/Qw/Q) to nested phase paths and "
+        "export folded-stack + speedscope profiles",
+    )
+    pf.add_argument(
+        "target",
+        help="a workload name (sort/permute/spmxv) or an experiment id",
+    )
+    pf.add_argument(
+        "--weight",
+        choices=WEIGHTS,
+        default="q",
+        help="attribution weight: q (asymmetric cost), qw/qr (write/read "
+        "I/Os), io (total I/Os)",
+    )
+    pf.add_argument(
+        "--top", type=int, default=20, help="paths shown in the table"
+    )
+    pf.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write profile.folded and profile.speedscope.json here",
+    )
+    pf.add_argument("--sorter", choices=sorted(SORTERS), default="aem_mergesort")
+    pf.add_argument("--permuter", choices=sorted(PERMUTERS), default="adaptive")
+    pf.add_argument(
+        "--algorithm", choices=["naive", "sort_based"], default="sort_based"
+    )
+    pf.add_argument("--n", type=int, default=4_096)
+    pf.add_argument("--delta", type=int, default=4)
+    pf.add_argument("--distribution", default="uniform")
+    pf.add_argument("--family", default="random")
+    pf.add_argument(
+        "--full", action="store_true", help="full-size sweeps (experiment targets)"
+    )
+    pf.add_argument(
+        "--counting",
+        action="store_true",
+        help="profile on payload-free counting machines (identical costs)",
+    )
+    _add_machine_args(pf)
+    pf.set_defaults(fn=cmd_profile)
 
     chk = sub.add_parser(
         "check",

@@ -32,6 +32,7 @@ from .config import ExperimentConfig
 from .core import (
     EngineStats,
     EngineWorkerError,
+    ProfileEntry,
     SweepEngine,
     active_engine,
     ambient_engine,
@@ -44,6 +45,7 @@ __all__ = [
     "EngineStats",
     "EngineWorkerError",
     "ExperimentConfig",
+    "ProfileEntry",
     "ResultCache",
     "SweepEngine",
     "active_engine",

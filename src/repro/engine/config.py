@@ -51,6 +51,10 @@ class ExperimentConfig:
         measure function supports it; costs are bit-identical to full
         runs, output verification is skipped. See
         :mod:`repro.machine.phantom`.
+    profile:
+        Attach a :class:`~repro.telemetry.profile.CostProfiler` to every
+        measurement, collected per-config on the engine's ``profiles``
+        list (forces serial, cache-less execution like ``observers``).
     """
 
     budget: str = "quick"
@@ -60,6 +64,7 @@ class ExperimentConfig:
     cache_dir: str = field(default_factory=default_cache_dir)
     observers: Tuple = ()
     counting: bool = False
+    profile: bool = False
 
     def __post_init__(self) -> None:
         if self.budget not in BUDGETS:
@@ -94,4 +99,5 @@ class ExperimentConfig:
             seed=self.seed,
             observers=self.observers,
             counting=self.counting,
+            profile=self.profile,
         )

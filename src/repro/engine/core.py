@@ -93,12 +93,27 @@ def _call(measure: Callable, config: Mapping) -> Any:
     return measure(**config)
 
 
-def _call_guarded(measure: Callable, config: Mapping, label: str) -> tuple:
+@dataclass
+class ProfileEntry:
+    """One profiled measurement from a ``profile=True`` engine run."""
+
+    label: str
+    config: dict
+    profiler: Any  # repro.telemetry.profile.CostProfiler (duck-typed here)
+    result: Any
+
+
+def _call_guarded(
+    measure: Callable, config: Mapping, label: str, span=None
+) -> tuple:
     """Pool target: run the measurement, shipping failures back safely.
 
-    Returns ``("ok", value, None)`` on success. On failure, the exception
-    is returned as a value — ``("exc", exception, None)`` when it survives
-    a pickle round-trip intact, else ``("err", (type_name, message),
+    Returns ``("ok", value, extra)`` on success, where ``extra`` is
+    ``None`` — or, when a ``span`` context rode along, the machine span
+    segments recorded in this worker (plain dicts; the parent merges them
+    into its ambient collector). On failure, the exception is returned as
+    a value — ``("exc", exception, None)`` when it survives a pickle
+    round-trip intact, else ``("err", (type_name, message),
     formatted_traceback)``. Letting the exception propagate out of the
     pool target instead would make ``future.result()`` re-raise it via
     unpickling, and any exception that does not unpickle (a custom
@@ -106,7 +121,14 @@ def _call_guarded(measure: Callable, config: Mapping, label: str) -> tuple:
     opaque ``BrokenProcessPool``.
     """
     try:
-        return ("ok", _call(measure, config), None)
+        if span is None:
+            return ("ok", _call(measure, config), None)
+        from ..telemetry.spans import SpanCollector, use_collector, use_span
+
+        collector = SpanCollector()
+        with use_span(span), use_collector(collector):
+            value = _call(measure, config)
+        return ("ok", value, collector.export())
     except Exception as exc:
         try:
             pickle.loads(pickle.dumps(exc))
@@ -166,6 +188,12 @@ class SweepEngine:
         ``counting`` already in a config wins). The injected flag is part
         of the config before cache keys are computed, so counting and
         full runs never alias in the cache.
+    profile:
+        Attach a fresh :class:`repro.telemetry.profile.CostProfiler` to
+        every measure call that accepts observers, collected (with its
+        config and result) in :attr:`profiles`. Like ``observers``, this
+        forces serial, cache-less execution — attribution needs the live
+        event stream.
     """
 
     def __init__(
@@ -177,6 +205,7 @@ class SweepEngine:
         observers: Sequence = (),
         telemetry=None,
         counting: bool = False,
+        profile: bool = False,
     ):
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -186,35 +215,78 @@ class SweepEngine:
         self.observers = tuple(observers)
         self.telemetry = telemetry
         self.counting = bool(counting)
+        self.profile = bool(profile)
+        self.profiles: List[ProfileEntry] = []
         self.stats = EngineStats()
         self._pool: Optional[ProcessPoolExecutor] = None
 
     # ------------------------------------------------------------------
     # Execution.
     # ------------------------------------------------------------------
-    def map(self, measure: Callable, configs: Iterable[Mapping]) -> List[Any]:
+    def map(
+        self,
+        measure: Callable,
+        configs: Iterable[Mapping],
+        *,
+        spans: Optional[Sequence] = None,
+    ) -> List[Any]:
         """``[measure(**c) for c in configs]`` in config order.
 
         Cache hits are returned without executing; misses run serially or
         on the pool and are stored as they complete.
+
+        ``spans`` (parallel to ``configs``, entries may be ``None``)
+        threads per-config :class:`~repro.telemetry.spans.SpanContext`
+        through execution: each executed config runs under a child span —
+        re-established inside pool workers, whose recorded machine
+        segments ship back into the parent's ambient collector — and
+        every telemetry task record carries its span, so serve-request,
+        engine-task, and machine-phase tracks stitch into one flow chain.
         """
         self.stats.sweeps += 1
         telemetry = self.telemetry
         configs = [dict(c) for c in configs]
+        if spans is not None:
+            spans = list(spans)
+            if len(spans) != len(configs):
+                raise ValueError(
+                    f"spans ({len(spans)}) must parallel configs ({len(configs)})"
+                )
+
+        def task_span(i: int):
+            if spans is None or spans[i] is None:
+                return None
+            return spans[i].child()
+
         if self.counting and _accepts_kwarg(measure, "counting"):
             # Injected before cache keys are computed (below), so counting
             # sweeps get their own cache entries; explicit flags win.
             configs = [{"counting": True, **c} for c in configs]
-        if self.observers and _accepts_observers(measure):
-            # Observed runs must happen here and now, unmemoized.
-            return [
-                self._execute_local(
+        if (self.observers or self.profile) and _accepts_observers(measure):
+            # Observed (and profiled) runs must happen here and now,
+            # unmemoized: attribution needs the live event stream.
+            results = []
+            for i, c in enumerate(configs):
+                label = _task_label(measure, i)
+                extra = (*self.observers, *(c.pop("observers", None) or ()))
+                profiler = None
+                if self.profile:
+                    from ..telemetry.profile import CostProfiler
+
+                    profiler = CostProfiler(root=label)
+                    extra = (*extra, profiler)
+                value = self._execute_local(
                     measure,
-                    {**c, "observers": self.observers},
-                    label=_task_label(measure, i),
+                    {**c, "observers": extra},
+                    label=label,
+                    span=task_span(i),
                 )
-                for i, c in enumerate(configs)
-            ]
+                if profiler is not None:
+                    self.profiles.append(
+                        ProfileEntry(label, dict(c), profiler, value)
+                    )
+                results.append(value)
+            return results
 
         results: List[Any] = [None] * len(configs)
         pending: List[tuple] = []  # (index, key-or-None, config)
@@ -227,8 +299,9 @@ class SweepEngine:
                     self.stats.cache_hits += 1
                     if telemetry is not None:
                         now = time.perf_counter()
-                        telemetry.record_task(
-                            _task_label(measure, i), now, now, cache_hit=True
+                        self._record(
+                            _task_label(measure, i), now, now,
+                            cache_hit=True, span=task_span(i),
                         )
                     continue
                 self.stats.cache_misses += 1
@@ -251,38 +324,50 @@ class SweepEngine:
 
             futures = []
             for i, key, config in pending:
+                child = task_span(i)
                 submitted = time.perf_counter()
                 fut = pool.submit(
-                    _call_guarded, measure, config, _task_label(measure, i)
+                    _call_guarded, measure, config, _task_label(measure, i),
+                    child,
                 )
                 if telemetry is not None:
                     fut.add_done_callback(_mark_done(i))
-                futures.append((i, key, config, submitted, fut))
-            for i, key, config, submitted, fut in futures:
-                status, payload, worker_tb = fut.result()
+                futures.append((i, key, config, child, submitted, fut))
+            for i, key, config, child, submitted, fut in futures:
+                status, payload, extra = fut.result()
                 if status == "exc":
                     raise payload
                 if status == "err":
                     exc_type, message = payload
                     raise EngineWorkerError(
-                        _task_label(measure, i), exc_type, message, worker_tb
+                        _task_label(measure, i), exc_type, message, extra
                     )
                 results[i] = self._finish(measure, key, config, payload)
+                if extra:
+                    self._absorb_segments(extra)
                 if telemetry is not None:
-                    telemetry.record_task(
+                    self._record(
                         _task_label(measure, i),
                         submitted,
                         done_at.get(i, time.perf_counter()),
+                        span=child,
                     )
         else:
             for i, key, config in pending:
+                child = task_span(i)
                 started = time.perf_counter()
-                results[i] = self._finish(
-                    measure, key, config, _call(measure, config)
-                )
+                if child is not None:
+                    from ..telemetry.spans import use_span
+
+                    with use_span(child):
+                        value = _call(measure, config)
+                else:
+                    value = _call(measure, config)
+                results[i] = self._finish(measure, key, config, value)
                 if telemetry is not None:
-                    telemetry.record_task(
-                        _task_label(measure, i), started, time.perf_counter()
+                    self._record(
+                        _task_label(measure, i), started,
+                        time.perf_counter(), span=child,
                     )
         return results
 
@@ -302,15 +387,53 @@ class SweepEngine:
         return self.map(measure, [config])[0]
 
     def _execute_local(
-        self, measure: Callable, config: Mapping, *, label: str = "measure"
+        self,
+        measure: Callable,
+        config: Mapping,
+        *,
+        label: str = "measure",
+        span=None,
     ) -> Any:
         self.stats.executed += 1
-        if self.telemetry is None:
-            return _call(measure, config)
         started = time.perf_counter()
-        value = _call(measure, config)
-        self.telemetry.record_task(label, started, time.perf_counter())
+        if span is not None:
+            from ..telemetry.spans import use_span
+
+            with use_span(span):
+                value = _call(measure, config)
+        else:
+            value = _call(measure, config)
+        if self.telemetry is not None:
+            self._record(label, started, time.perf_counter(), span=span)
         return value
+
+    def _record(
+        self, label: str, start: float, end: float, *,
+        cache_hit: bool = False, span=None,
+    ) -> None:
+        """Report one task span to the duck-typed telemetry hook.
+
+        The ``span`` keyword is only passed when one exists, so
+        pre-existing recorders with the narrower ``record_task``
+        signature keep working for un-spanned runs.
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        if span is not None:
+            telemetry.record_task(label, start, end, cache_hit=cache_hit, span=span)
+        elif cache_hit:
+            telemetry.record_task(label, start, end, cache_hit=True)
+        else:
+            telemetry.record_task(label, start, end)
+
+    def _absorb_segments(self, segments) -> None:
+        """Merge worker-recorded machine segments into the ambient sink."""
+        from ..telemetry.spans import current_collector
+
+        collector = current_collector()
+        if collector is not None:
+            collector.extend(segments)
 
     def _finish(
         self, measure: Callable, key: Optional[str], config: Mapping, value: Any

@@ -83,6 +83,23 @@ DEFAULT_FLUSH_EVERY = 512
 
 _BATCHED_SET = frozenset(BATCHED_EVENTS)
 
+#: Installed by :mod:`repro.telemetry.spans`: a zero-argument callable
+#: returning an observer to auto-attach to every new core (or ``None``
+#: when no trace is active). The machine layer stays import-free of
+#: telemetry; the factory is the one seam between them.
+_SPAN_OBSERVER_FACTORY = None
+
+
+def install_span_observer_factory(factory) -> None:
+    """Register the ambient span-recorder factory (telemetry's hook).
+
+    ``factory()`` is called once per :class:`MachineCore` construction
+    and must be cheap when no trace is active (return ``None``); a
+    non-``None`` return value is attached like any other observer.
+    """
+    global _SPAN_OBSERVER_FACTORY
+    _SPAN_OBSERVER_FACTORY = factory
+
 
 def default_dispatch() -> str:
     """The dispatch mode used when machines don't pass one explicitly."""
@@ -159,6 +176,10 @@ class MachineCore:
             setattr(self, "_" + name, [])
         for obs in observers:
             self.attach(obs)
+        if _SPAN_OBSERVER_FACTORY is not None:
+            span_observer = _SPAN_OBSERVER_FACTORY()
+            if span_observer is not None:
+                self.attach(span_observer)
 
     # ------------------------------------------------------------------
     # Observer management.

@@ -20,6 +20,9 @@ the machines:
   sequences the Section 4–5 lower-bound machinery consumes.
 * :class:`WearMap` — per-block write-endurance histogram (NVM wear).
 * :class:`ProgressObserver` — live I/O/phase readout for long CLI runs.
+* :class:`PhaseStack` — the shared nested-phase bookkeeping those
+  consumers (and the telemetry profiler) drive from
+  ``on_phase_enter``/``on_phase_exit``.
 
 Dispatch is cheap by construction: a machine core keeps one callback list
 per event kind, populated only with observers that *override* that event,
@@ -34,6 +37,7 @@ tiers (``on_batch`` / ``needs_events`` / per-event replay).
 from .base import EVENTS, MachineObserver
 from .batch import BATCHED_EVENTS, EventBatch
 from .cost import CostObserver
+from .phases import PhaseStack
 from .progress import ProgressObserver
 from .trace import TraceRecorder
 from .wear import WearMap
@@ -44,6 +48,7 @@ __all__ = [
     "CostObserver",
     "EventBatch",
     "MachineObserver",
+    "PhaseStack",
     "ProgressObserver",
     "TraceRecorder",
     "WearMap",

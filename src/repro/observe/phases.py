@@ -1,0 +1,82 @@
+"""Shared nested-phase bookkeeping for observers.
+
+Several observers need to know *where in the phase tree* the machine
+currently is: the profiler attributes every I/O to the live stack path,
+and :class:`~repro.observe.progress.ProgressObserver` renders it. Both
+used to keep (or mis-keep) private stacks; :class:`PhaseStack` is the one
+implementation.
+
+A stack path is a tuple of phase names from outermost to innermost —
+``("sort", "form_runs", "merge_pass/2")``. ``enter``/``exit`` mirror the
+machine core's ``on_phase_enter``/``on_phase_exit`` events; because the
+core guarantees strictly nested phases (``PhaseError`` on mismatch), the
+stack here only has to be a faithful mirror, plus two conveniences:
+
+* first-seen path recording (``paths``) — the distinct stack paths in the
+  order they first appeared, for end-of-run summaries;
+* graceful handling of an ``exit`` with nothing open (an aborted run
+  whose observer outlived the machine) — ignored rather than raised,
+  since observation must never take down the run.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+#: The path used for events emitted outside any declared phase.
+ROOT_PATH: Tuple[str, ...] = ()
+
+
+class PhaseStack:
+    """A live mirror of the machine's nested ``phase()`` state."""
+
+    __slots__ = ("_stack", "_seen", "paths")
+
+    def __init__(self) -> None:
+        self._stack: list[str] = []
+        self._seen: set[Tuple[str, ...]] = set()
+        #: Distinct non-empty stack paths, in first-seen order.
+        self.paths: list[Tuple[str, ...]] = []
+
+    def enter(self, name: str) -> None:
+        self._stack.append(name)
+        path = tuple(self._stack)
+        if path not in self._seen:
+            self._seen.add(path)
+            self.paths.append(path)
+
+    def exit(self, name: Optional[str] = None) -> None:
+        if self._stack:
+            self._stack.pop()
+
+    @property
+    def current(self) -> Tuple[str, ...]:
+        """The live stack path (``()`` outside any phase)."""
+        return tuple(self._stack)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    def render(self, sep: str = "/") -> str:
+        """The live path as ``outer/inner``; ``"-"`` outside any phase."""
+        return sep.join(self._stack) if self._stack else "-"
+
+    def render_paths(
+        self, sep: str = "/", limit: Optional[int] = None
+    ) -> str:
+        """Every first-seen path, comma-joined, optionally truncated."""
+        rendered = [sep.join(p) for p in self.paths]
+        if limit is not None and len(rendered) > limit:
+            more = len(rendered) - limit
+            rendered = rendered[:limit] + [f"+{more} more"]
+        return ",".join(rendered)
+
+    def __len__(self) -> int:
+        return len(self._stack)
+
+    def __iter__(self) -> Iterable[str]:
+        return iter(self._stack)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PhaseStack({self.render()!r}, {len(self.paths)} paths seen)"

@@ -23,6 +23,7 @@ import sys
 from typing import IO, Optional, Sequence
 
 from .base import MachineObserver
+from .phases import PhaseStack
 
 #: Environment override: force live frames even on a non-TTY stream.
 PROGRESS_ENV = "REPRO_PROGRESS"
@@ -75,7 +76,7 @@ class ProgressObserver(MachineObserver):
         self.reads = 0
         self.writes = 0
         self.rounds = 0
-        self._phases: list[str] = []
+        self.phases = PhaseStack()
         self._pending = 0
         self._core = None
 
@@ -107,12 +108,11 @@ class ProgressObserver(MachineObserver):
             self._render()
 
     def on_phase_enter(self, name: str) -> None:
-        self._phases.append(name)
+        self.phases.enter(name)
         self._render()
 
     def on_phase_exit(self, name: str) -> None:
-        if self._phases:
-            self._phases.pop()
+        self.phases.exit(name)
 
     def on_round_boundary(self, index: int) -> None:
         self.rounds += 1
@@ -121,7 +121,7 @@ class ProgressObserver(MachineObserver):
     # Rendering.
     # ------------------------------------------------------------------
     def _line(self) -> str:
-        phase = "/".join(self._phases) if self._phases else "-"
+        phase = self.phases.render()
         prefix = f"[{self.label}] " if self.label else ""
         line = f"{prefix}Qr={self.reads} Qw={self.writes} phase={phase}"
         if self.rounds:
@@ -146,12 +146,18 @@ class ProgressObserver(MachineObserver):
         On a live stream this replaces the in-place status line and moves
         off it; on a piped stream it is the *only* output the observer
         ever produces. Buffered batch events are flushed first, so the
-        printed counts are exact rather than trailing the run.
+        printed counts are exact rather than trailing the run. By the
+        time a run closes every phase has exited, so the summary reports
+        the *visited* nested paths (``phases=sort/merge,...``) instead of
+        the long-empty current stack.
         """
         if self._core is not None:
             self._core.flush_events()
+        line = self._line()
+        if self.phases.paths:
+            line += f" phases={self.phases.render_paths(limit=8)}"
         if self.live:
-            self.stream.write("\r" + self._line().ljust(78) + "\n")
+            self.stream.write("\r" + line.ljust(78) + "\n")
         else:
-            self.stream.write(self._line() + "\n")
+            self.stream.write(line + "\n")
         self.stream.flush()

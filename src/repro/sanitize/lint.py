@@ -54,6 +54,19 @@ AEM108
     engine's caching/dedup identity and stay bit-identical to direct
     ``api.evaluate`` calls; a machine built inside a handler bypasses
     all of that.
+AEM109
+    Observers keep their hands off the ambient span machinery (the
+    AEM107 of trace propagation): inside an observer class, the span
+    stack and collector mutators (``use_span``, ``use_collector``,
+    ``set_collector``, ``install_span_observer_factory``) are never
+    called, and the ambient readers (``current_span``,
+    ``current_collector``) appear only in the sanctioned hooks —
+    ``__init__``, ``on_attach``, ``on_detach``. A dispatched handler
+    grabbing ``current_span()`` retains whatever request context happens
+    to be live at flush time, which is not necessarily the run it is
+    observing (batched dispatch defers handler execution); take the span
+    as a constructor argument like
+    :class:`~repro.telemetry.spans.SpanPhaseRecorder` does.
 """
 
 from __future__ import annotations
@@ -117,6 +130,20 @@ _BATCH_COLUMNS = {"kinds", "addrs", "lengths", "costs", "occs", "whats"}
 #: Machine classes the serving layer must never construct (AEM108);
 #: cost queries route through repro.api instead.
 _MACHINE_CLASSES = {"AEMMachine", "FlashMachine", "MachineCore"}
+
+#: Span-stack/collector mutators no observer may call at all (AEM109).
+_SPAN_MUTATORS = {
+    "use_span",
+    "use_collector",
+    "set_collector",
+    "install_span_observer_factory",
+}
+
+#: Ambient span readers observers may call only in sanctioned hooks
+#: (AEM109): construction and attach/detach, never dispatched handlers.
+_SPAN_READERS = {"current_span", "current_collector"}
+
+_SANCTIONED_SPAN_HOOKS = {"__init__", "on_attach", "on_detach"}
 
 _DISABLE_LINE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
 _DISABLE_FILE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
@@ -189,6 +216,9 @@ class _Checker(ast.NodeVisitor):
         # Name of the batch parameter while inside an observer's
         # ``on_batch`` body (AEM107); None elsewhere.
         self._batch_param: Optional[str] = None
+        # Name of the observer method being visited (AEM109); nested
+        # defs inherit it — a closure runs in its handler's context.
+        self._observer_method: Optional[str] = None
 
     def flag(self, rule: str, node: ast.AST, message: str) -> None:
         self.found.append(
@@ -278,15 +308,19 @@ class _Checker(ast.NodeVisitor):
 
     def _visit_function(self, node) -> None:
         prev = self._batch_param
+        prev_method = self._observer_method
         if self._observer_depth > 0 and node.name == "on_batch":
             args = list(node.args.posonlyargs) + list(node.args.args)
             # Second positional parameter after self is the batch.
             if len(args) >= 2:
                 self._batch_param = args[1].arg
+        if self._observer_depth > 0 and prev_method is None:
+            self._observer_method = node.name
         # Nested defs inside on_batch inherit the batch name (closures can
         # retain too); leaving on_batch restores the previous state.
         self.generic_visit(node)
         self._batch_param = prev
+        self._observer_method = prev_method
 
     def _is_batch_ref(self, node: ast.expr) -> bool:
         """Is this expression the live batch or one of its column arrays?
@@ -419,7 +453,40 @@ class _Checker(ast.NodeVisitor):
                 "array) to its own state; the bus clears these buffers "
                 "in place after every flush — append a copy instead",
             )
+        self._check_span_discipline(node)
         self.generic_visit(node)
+
+    # -- AEM109 --------------------------------------------------------
+    def _check_span_discipline(self, node: ast.Call) -> None:
+        if self._observer_depth == 0:
+            return
+        func = node.func
+        tail = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if tail in _SPAN_MUTATORS:
+            self.flag(
+                "AEM109",
+                node,
+                f"observer mutates the ambient span machinery ({tail}); "
+                "span propagation belongs to the serving/engine layers — "
+                "observers receive their SpanContext at construction",
+            )
+        elif (
+            tail in _SPAN_READERS
+            and self._observer_method is not None
+            and self._observer_method not in _SANCTIONED_SPAN_HOOKS
+        ):
+            self.flag(
+                "AEM109",
+                node,
+                f"observer calls {tail}() inside a dispatched handler "
+                f"({self._observer_method}); batched dispatch defers "
+                "handlers, so the ambient context may belong to another "
+                "run — take the span in __init__/on_attach instead",
+            )
 
     def _check_observer_assign(self, target: ast.expr) -> None:
         if (

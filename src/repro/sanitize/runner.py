@@ -120,7 +120,68 @@ def run_trace_checks(*, log: Log = None) -> list[Violation]:
             f"{'clean' if not found else f'{len(found)} violation(s)'}",
         )
 
+    violations.extend(_flow_trace_check(log))
     return violations
+
+
+def _flow_trace_check(log: Log) -> list[Violation]:
+    """Serve one query and validate the end-to-end flow chain.
+
+    A live server with a telemetry dir must, on drain, write one
+    ``trace.json`` whose request-lane ``s``, engine-task ``t``, and
+    machine-segment ``f`` events chain per trace id and land on real
+    spans — exactly what :func:`repro.telemetry.validate_trace` checks.
+    """
+    import json
+    import tempfile
+
+    from ..serve import ServeConfig
+    from ..serve.testing import ServerThread
+    from ..telemetry import validate_trace
+
+    found: list[Violation] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        with ServerThread(
+            ServeConfig(port=0, counting=True, cache=False, telemetry_dir=tmp)
+        ) as srv:
+            resp = srv.post(
+                "/evaluate",
+                {"workload": "sort", "n": 256, "M": 64, "B": 8, "omega": 4},
+            )
+        trace_path = Path(tmp) / "trace.json"
+        if resp.status != 200:
+            found.append(
+                Violation("FLOW", f"served query failed: {resp.status}", "serve/flow")
+            )
+        elif not trace_path.is_file():
+            found.append(
+                Violation("FLOW", "drained server wrote no trace.json", "serve/flow")
+            )
+        else:
+            trace = json.loads(trace_path.read_text())
+            try:
+                validate_trace(trace)
+            except ValueError as exc:
+                found.append(Violation("FLOW", str(exc), "serve/flow"))
+            phases = {
+                e.get("ph")
+                for e in trace["traceEvents"]
+                if e.get("ph") in ("s", "t", "f")
+            }
+            if phases != {"s", "t", "f"}:
+                found.append(
+                    Violation(
+                        "FLOW",
+                        f"incomplete flow chain: saw phases {sorted(phases)}, "
+                        "expected s (serve), t (engine), f (machine)",
+                        "serve/flow",
+                    )
+                )
+    _say(
+        log,
+        f"  serve/flow: {'clean' if not found else f'{len(found)} violation(s)'}",
+    )
+    return found
 
 
 def default_lint_root() -> Path:

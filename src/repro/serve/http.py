@@ -135,17 +135,32 @@ def response_bytes(
     *,
     headers: Optional[Mapping[str, str]] = None,
 ) -> bytes:
-    """Serialize one ``Connection: close`` JSON response."""
-    body = b""
-    if payload is not None:
-        body = json.dumps(payload, sort_keys=True, default=_json_default).encode()
+    """Serialize one ``Connection: close`` response.
+
+    A ``str`` payload ships verbatim as ``text/plain`` (the Prometheus
+    exposition path); anything else serializes as JSON. A
+    ``content-type`` entry in ``headers`` replaces the default rather
+    than emitting a duplicate header line.
+    """
+    extra = {str(k).lower(): str(v) for k, v in (headers or {}).items()}
+    if isinstance(payload, str):
+        body = payload.encode("utf-8")
+        content_type = "text/plain; charset=utf-8"
+    else:
+        body = b""
+        if payload is not None:
+            body = json.dumps(
+                payload, sort_keys=True, default=_json_default
+            ).encode()
+        content_type = "application/json"
+    content_type = extra.pop("content-type", content_type)
     lines = [
         f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}",
-        "content-type: application/json",
+        f"content-type: {content_type}",
         f"content-length: {len(body)}",
         "connection: close",
     ]
-    for name, value in (headers or {}).items():
+    for name, value in extra.items():
         lines.append(f"{name}: {value}")
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
 

@@ -40,7 +40,16 @@ from typing import Any, Mapping, Optional
 from .. import api
 from ..engine.cache import ResultCache, default_cache_dir
 from ..engine.core import SweepEngine
-from ..telemetry import ChromeTraceBuilder, MetricsRegistry
+from ..telemetry import (
+    ChromeTraceBuilder,
+    EngineTelemetry,
+    MetricsRegistry,
+    SpanCollector,
+    SpanContext,
+    render_machine_segments,
+    set_collector,
+)
+from ..telemetry.spans import FLOW_CAT, FLOW_NAME
 from .http import ProtocolError, Request, read_request, response_bytes
 
 #: pid for serving-pipeline tracks in exported traces (machine tracks use
@@ -82,8 +91,10 @@ class ServeConfig:
         payload-free counting machines (a query's explicit ``counting``
         field always wins).
     telemetry_dir:
-        When set, shutdown writes ``serve_trace.json`` (the serving
-        pipeline as Perfetto spans) and appends a manifest record there.
+        When set, shutdown writes ``trace.json`` — the serving pipeline,
+        the engine's task lanes, and every machine run's phase spans as
+        one flow-linked Perfetto trace — and appends a manifest record
+        (including the served trace ids) there.
     """
 
     host: str = "127.0.0.1"
@@ -109,10 +120,16 @@ class ServeConfig:
 
 
 class _Task:
-    """One unique in-flight query: its future plus pipeline timestamps."""
+    """One unique in-flight query: its future plus pipeline timestamps.
+
+    Each task mints one root :class:`SpanContext` at admission — the
+    trace identity every downstream layer (engine task lane, machine
+    phase segments) links back to, and the id the ``/evaluate`` response
+    hands the caller.
+    """
 
     __slots__ = (
-        "key", "query", "future", "lane",
+        "key", "query", "future", "lane", "span",
         "t_admit", "t_dispatch", "t_engine_start", "t_engine_end",
     )
 
@@ -121,6 +138,7 @@ class _Task:
         self.query = query
         self.future = future
         self.lane = lane
+        self.span = SpanContext.root()
         self.t_admit = 0.0
         self.t_dispatch = 0.0
         self.t_engine_start = 0.0
@@ -165,6 +183,10 @@ class CostServer:
         )
         self.engine: Optional[SweepEngine] = None
         self._tracer: Optional[ChromeTraceBuilder] = None
+        self._engine_tel: Optional[EngineTelemetry] = None
+        self._collector: Optional[SpanCollector] = None
+        self._trace_ids: list[str] = []
+        self._flow_started: set[str] = set()
         self._t0 = 0.0
         self._seq = 0
         self._lanes_named: set[int] = set()
@@ -190,6 +212,15 @@ class CostServer:
         if cfg.telemetry_dir:
             self._tracer = ChromeTraceBuilder()
             self._tracer.process_name(SERVE_PID, "cost-oracle serving pipeline")
+            # Engine task lanes and machine segments share the server's
+            # trace clock: telemetry t0 is re-anchored to _t0, and the
+            # ambient collector catches every SpanPhaseRecorder export
+            # (worker-side segments included; the engine ships them back).
+            self._engine_tel = EngineTelemetry()
+            self._engine_tel.t0 = self._t0
+            self.engine.telemetry = self._engine_tel
+            self._collector = SpanCollector()
+            set_collector(self._collector)
         self._batcher = asyncio.ensure_future(self._batch_loop())
         self._server = await asyncio.start_server(
             self._handle_connection, cfg.host, cfg.port
@@ -222,6 +253,9 @@ class CostServer:
         if self._handlers:
             await asyncio.gather(*list(self._handlers), return_exceptions=True)
         self._flush_telemetry()
+        if self._collector is not None:
+            set_collector(None)
+            self._collector = None
         if self.engine is not None:
             self.engine.close()
         self._closed.set()
@@ -233,7 +267,13 @@ class CostServer:
         from ..telemetry import append_record, run_record
 
         if self._tracer is not None:
-            self._tracer.write(Path(cfg.telemetry_dir) / "serve_trace.json")
+            if self._engine_tel is not None and self._engine_tel.spans:
+                self._engine_tel.to_trace(self._tracer)
+            if self._collector is not None and len(self._collector):
+                render_machine_segments(
+                    self._tracer, self._collector.export(), t0=self._t0
+                )
+            self._tracer.write(Path(cfg.telemetry_dir) / "trace.json")
         append_record(
             cfg.telemetry_dir,
             run_record(
@@ -251,6 +291,12 @@ class CostServer:
                 wall_s=time.perf_counter() - self._t0,
                 engine=self.engine.stats.as_dict() if self.engine else None,
                 metrics=self.metrics.collect(),
+                extra={
+                    "traces": {
+                        "count": len(self._trace_ids),
+                        "trace_ids": self._trace_ids,
+                    }
+                },
             ),
         )
 
@@ -289,6 +335,8 @@ class CostServer:
         )
         self._inflight[key] = task
         self._inflight_gauge.set(len(self._inflight))
+        if self.config.telemetry_dir:
+            self._trace_ids.append(task.span.trace_id)
         self._queue.put_nowait(task)
         return task
 
@@ -331,10 +379,11 @@ class CostServer:
         self._batches.inc()
         self._batch_size.observe(len(batch))
         queries = [task.query for task in batch]
+        spans = [task.span for task in batch]
         engine = self.engine
         try:
             results = await loop.run_in_executor(
-                None, lambda: api.sweep(queries, engine=engine)
+                None, lambda: api.sweep(queries, engine=engine, spans=spans)
             )
         except Exception as exc:
             done = self._now()
@@ -373,7 +422,8 @@ class CostServer:
             if req is None:
                 return
             status, payload, headers = await self._dispatch(req)
-            self._requests.labels(endpoint=req.path, status=str(status)).inc()
+            endpoint = req.path.partition("?")[0]
+            self._requests.labels(endpoint=endpoint, status=str(status)).inc()
             writer.write(response_bytes(status, payload, headers=headers))
             await writer.drain()
         except (ConnectionError, OSError):
@@ -388,20 +438,46 @@ class CostServer:
                 pass
 
     async def _dispatch(self, req: Request) -> tuple[int, Any, Optional[dict]]:
-        route = (req.method, req.path)
+        path, _, query_string = req.path.partition("?")
+        route = (req.method, path)
         if route == ("GET", "/healthz"):
             return 200, {"ok": True, "draining": self._draining}, None
         if route == ("GET", "/metrics"):
-            return 200, self.metrics.collect(), None
+            return self._metrics_response(req, query_string)
         if route == ("GET", "/stats"):
             return 200, self.stats(), None
         if route == ("GET", "/workloads"):
             return 200, api.describe_workloads(), None
         if route == ("POST", "/evaluate"):
             return await self._evaluate(req)
-        if req.path in ("/healthz", "/metrics", "/stats", "/workloads", "/evaluate"):
-            return 405, {"error": f"method {req.method} not allowed on {req.path}"}, None
-        return 404, {"error": f"no route {req.method} {req.path}"}, None
+        if path in ("/healthz", "/metrics", "/stats", "/workloads", "/evaluate"):
+            return 405, {"error": f"method {req.method} not allowed on {path}"}, None
+        return 404, {"error": f"no route {req.method} {path}"}, None
+
+    def _metrics_response(
+        self, req: Request, query_string: str
+    ) -> tuple[int, Any, Optional[dict]]:
+        """`/metrics` content negotiation: JSON (default) or Prometheus text.
+
+        ``?format=prometheus|text`` wins; otherwise an ``Accept`` header
+        naming ``text/plain`` (and not JSON first) selects the text
+        exposition. ``?format=json`` forces JSON regardless of Accept.
+        """
+        from urllib.parse import parse_qs
+
+        fmt = (parse_qs(query_string).get("format") or [""])[0].lower()
+        if fmt in ("prometheus", "text"):
+            want_text = True
+        elif fmt == "json":
+            want_text = False
+        elif fmt:
+            return 400, {"error": f"unknown metrics format {fmt!r}"}, None
+        else:
+            accept = req.headers.get("accept", "")
+            want_text = "text/plain" in accept and "application/json" not in accept
+        if want_text:
+            return 200, self.metrics.render_prometheus(), None
+        return 200, self.metrics.collect(), None
 
     async def _evaluate(self, req: Request) -> tuple[int, Any, Optional[dict]]:
         t_arrive = self._now()
@@ -452,8 +528,16 @@ class CostServer:
         records = [dict(r) for r in results]
         keys = [t.key for t in tasks]
         if batched:
-            return 200, {"results": records, "keys": keys}, None
-        return 200, {"result": records[0], "key": keys[0]}, None
+            return 200, {
+                "results": records,
+                "keys": keys,
+                "spans": [t.span.as_dict() for t in tasks],
+            }, None
+        return 200, {
+            "result": records[0],
+            "key": keys[0],
+            "span": tasks[0].span.as_dict(),
+        }, None
 
     # ------------------------------------------------------------------
     # Introspection + tracing.
@@ -503,5 +587,20 @@ class CostServer:
             if end >= start:
                 self._tracer.complete(
                     name, start, end - start, pid=SERVE_PID, tid=tid,
-                    cat="serve", args={"key": task.key[:16]},
+                    cat="serve", args={
+                        "key": task.key[:16],
+                        "trace_id": task.span.trace_id,
+                        "span_id": task.span.span_id,
+                    },
                 )
+        # Flow origin: the 's' arrow leaves this lane's "engine" span and
+        # lands on the engine-task 't', then the machine segment's 'f'.
+        # Dedup-shared tasks reach here once per waiting request; a flow
+        # id must open exactly once.
+        flow_id = task.span.flow_id
+        if flow_id not in self._flow_started:
+            self._flow_started.add(flow_id)
+            self._tracer.flow_start(
+                FLOW_NAME, task.t_engine_start, id=flow_id,
+                pid=SERVE_PID, tid=tid, cat=FLOW_CAT,
+            )

@@ -18,6 +18,14 @@ diff, and load into other tools:
   :func:`validate_trace`): phases as duration spans, I/Os as counter
   tracks, rounds as instants, engine tasks as worker-lane spans, all in
   one ``trace.json`` loadable at ``ui.perfetto.dev``;
+* :mod:`~repro.telemetry.spans` — end-to-end trace propagation
+  (:class:`SpanContext`, :class:`SpanCollector`,
+  :class:`SpanPhaseRecorder`): one id minted per serve request, carried
+  through the engine into the machine, stitched back together as
+  Perfetto flow events;
+* :mod:`~repro.telemetry.profile` — :class:`CostProfiler`, the
+  I/O cost-attribution profiler (per-phase-path ``Qr``/``Qw``/``Q``
+  attribution, folded-stack and speedscope export);
 * :mod:`~repro.telemetry.manifest` — the JSONL run manifest every
   ``--telemetry-dir`` invocation appends to;
 * :mod:`~repro.telemetry.bench` — the ``BENCH_<stamp>.json`` benchmark
@@ -42,9 +50,30 @@ from .perfetto import (
     PerfettoObserver,
     validate_trace,
 )
+from .profile import (
+    WEIGHTS,
+    CostProfiler,
+    PathStats,
+    folded,
+    merge_paths,
+    render_table,
+    speedscope,
+)
+from .spans import (
+    SpanCollector,
+    SpanContext,
+    SpanPhaseRecorder,
+    current_collector,
+    current_span,
+    render_machine_segments,
+    set_collector,
+    use_collector,
+    use_span,
+)
 
 __all__ = [
     "ChromeTraceBuilder",
+    "CostProfiler",
     "Counter",
     "EngineTelemetry",
     "Gauge",
@@ -54,10 +83,25 @@ __all__ = [
     "MetricFamily",
     "MetricsObserver",
     "MetricsRegistry",
+    "PathStats",
     "PerfettoObserver",
+    "SpanCollector",
+    "SpanContext",
+    "SpanPhaseRecorder",
     "TaskSpan",
+    "WEIGHTS",
     "append_record",
+    "current_collector",
+    "current_span",
+    "folded",
+    "merge_paths",
     "read_manifest",
+    "render_machine_segments",
+    "render_table",
     "run_record",
+    "set_collector",
+    "speedscope",
+    "use_collector",
+    "use_span",
     "validate_trace",
 ]

@@ -33,12 +33,19 @@ from .perfetto import ENGINE_PID, ChromeTraceBuilder
 
 @dataclass(frozen=True)
 class TaskSpan:
-    """One engine-served measurement: wall-clock interval + provenance."""
+    """One engine-served measurement: wall-clock interval + provenance.
+
+    ``span`` is the optional :class:`~repro.telemetry.spans.SpanContext`
+    the task executed under (set when the caller threaded spans through
+    ``SweepEngine.map``); it links the task's trace slice into its
+    request's flow chain.
+    """
 
     label: str
     start: float
     end: float
     cache_hit: bool = False
+    span: Optional[object] = None
 
     @property
     def duration(self) -> float:
@@ -56,11 +63,17 @@ class EngineTelemetry:
     # The engine-facing surface (duck-typed; see SweepEngine.telemetry).
     # ------------------------------------------------------------------
     def record_task(
-        self, label: str, start: float, end: float, *, cache_hit: bool = False
+        self,
+        label: str,
+        start: float,
+        end: float,
+        *,
+        cache_hit: bool = False,
+        span=None,
     ) -> None:
         if end < start:
             raise ValueError(f"span for {label!r} ends before it starts")
-        self.spans.append(TaskSpan(label, start, end, cache_hit))
+        self.spans.append(TaskSpan(label, start, end, cache_hit, span))
 
     # ------------------------------------------------------------------
     # Readout.
@@ -129,15 +142,31 @@ class EngineTelemetry:
         for lane in range(len(lanes)):
             builder.thread_name(pid, lane + 1, f"worker lane {lane}")
         for span, lane in assignments:
+            args = {"cache_hit": span.cache_hit}
+            context = span.span
+            if context is not None:
+                args["trace_id"] = context.trace_id
+                args["span_id"] = context.span_id
+            ts = (span.start - self.t0) * 1e6
             builder.complete(
                 span.label,
-                (span.start - self.t0) * 1e6,
+                ts,
                 span.duration * 1e6,
                 pid=pid,
                 tid=lane + 1,
                 cat="engine",
-                args={"cache_hit": span.cache_hit},
+                args=args,
             )
+            if context is not None:
+                # The middle hop of the request flow chain: serving-lane
+                # 's' -> this engine-task 't' -> machine-segment 'f'
+                # (names/cat must match; see repro.telemetry.spans).
+                from .spans import FLOW_CAT, FLOW_NAME
+
+                builder.flow_step(
+                    FLOW_NAME, ts, id=context.flow_id,
+                    pid=pid, tid=lane + 1, cat=FLOW_CAT,
+                )
         return builder
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -231,5 +231,72 @@ class MetricsRegistry:
             for name, family in sorted(self._families.items())
         }
 
+    def render_prometheus(self) -> str:
+        """The registry in the Prometheus text exposition format.
+
+        Counters and gauges render one sample per label series;
+        histograms render as Prometheus *summaries* (one ``quantile``
+        series per default percentile, plus ``_sum``/``_count``), since
+        the exact-storage histogram answers rank statistics rather than
+        cumulative buckets. Label values are escaped per the exposition
+        spec (backslash, double quote, newline).
+        """
+        lines: list[str] = []
+        for name, family in sorted(self._families.items()):
+            prom_kind = "summary" if family.kind == "histogram" else family.kind
+            if family.help:
+                lines.append(f"# HELP {name} {_escape_help(family.help)}")
+            lines.append(f"# TYPE {name} {prom_kind}")
+            for labels, metric in family.series():
+                if family.kind == "histogram":
+                    for q in _DEFAULT_PERCENTILES:
+                        q_labels = {**labels, "quantile": f"{q:g}"}
+                        lines.append(
+                            f"{name}{_label_block(q_labels)} "
+                            f"{_format_value(metric.percentile(q))}"
+                        )
+                    lines.append(
+                        f"{name}_sum{_label_block(labels)} "
+                        f"{_format_value(metric.sum)}"
+                    )
+                    lines.append(
+                        f"{name}_count{_label_block(labels)} {metric.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{name}{_label_block(labels)} "
+                        f"{_format_value(metric.as_value())}"
+                    )
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"MetricsRegistry({len(self)} families)"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition helpers.
+# ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_block(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)

@@ -13,7 +13,10 @@ Emits the `Trace Event Format`_ JSON that ``ui.perfetto.dev`` (and
   summed costs), and round boundaries become instant markers.
 * :func:`validate_trace` — the structural checks the test suite (and the
   CLI, cheaply) run on every exported trace: required keys, monotonic
-  timestamps, matched ``B``/``E`` nesting per thread.
+  timestamps, matched ``B``/``E`` nesting per thread, and flow-event
+  integrity (every ``s``/``t``/``f`` flow lands on a real slice and
+  forms a well-ordered chain per id; see
+  :meth:`ChromeTraceBuilder.flow_start`).
 
 The simulator has no wall clock of its own, so the machine timeline uses
 a *logical* clock: one microsecond per I/O event. That makes span widths
@@ -115,6 +118,69 @@ class ChromeTraceBuilder:
         return self._event(
             name=name, ph="i", ts=ts, pid=pid, tid=tid, s=scope, args=args
         )
+
+    def _flow(
+        self,
+        ph: str,
+        name: str,
+        ts: float,
+        *,
+        id: str,
+        pid: int,
+        tid: int,
+        cat: str,
+    ) -> dict:
+        fields = dict(name=name, ph=ph, ts=ts, pid=pid, tid=tid, cat=cat, id=id)
+        if ph == "f":
+            # Bind the termination to its enclosing slice (not the next
+            # slice to start), matching how s/t bind.
+            fields["bp"] = "e"
+        return self._event(**fields)
+
+    def flow_start(
+        self,
+        name: str,
+        ts: float,
+        *,
+        id: str,
+        pid: int = MACHINE_PID,
+        tid: int = 1,
+        cat: str = "flow",
+    ) -> dict:
+        """Open a flow (``ph="s"``); must land inside a slice on (pid, tid).
+
+        Flow events stitch slices on different tracks into one causal
+        chain: the viewer draws an arrow from each flow event to the
+        next one carrying the same ``name``/``cat``/``id``. Exactly one
+        ``s`` starts a chain; ``t`` steps continue it; ``f`` ends it.
+        """
+        return self._flow("s", name, ts, id=id, pid=pid, tid=tid, cat=cat)
+
+    def flow_step(
+        self,
+        name: str,
+        ts: float,
+        *,
+        id: str,
+        pid: int = MACHINE_PID,
+        tid: int = 1,
+        cat: str = "flow",
+    ) -> dict:
+        """Continue a flow (``ph="t"``) on another slice."""
+        return self._flow("t", name, ts, id=id, pid=pid, tid=tid, cat=cat)
+
+    def flow_end(
+        self,
+        name: str,
+        ts: float,
+        *,
+        id: str,
+        pid: int = MACHINE_PID,
+        tid: int = 1,
+        cat: str = "flow",
+    ) -> dict:
+        """Terminate a flow (``ph="f"``, bound to the enclosing slice)."""
+        return self._flow("f", name, ts, id=id, pid=pid, tid=tid, cat=cat)
 
     def process_name(self, pid: int, name: str) -> dict:
         return self._event(
@@ -301,13 +367,19 @@ def validate_trace(trace: Mapping) -> None:
     list; every event carrying :data:`REQUIRED_EVENT_KEYS` with sane
     types; per-``(pid, tid)`` non-decreasing timestamps; strictly
     matched, properly nested ``B``/``E`` pairs; non-negative ``X``
-    durations; counter samples with numeric values.
+    durations; counter samples with numeric values; flow-event
+    integrity — every ``s``/``t``/``f`` carries an ``id``, lands inside
+    a real slice on its track, and each flow id forms a well-ordered
+    chain (exactly one ``s``, opening the chain; at most one ``f``,
+    closing it; one flow name throughout).
     """
     events = trace.get("traceEvents")
     if not isinstance(events, list):
         raise ValueError("trace must carry a 'traceEvents' list")
     last_ts: dict = {}
-    stacks: dict = {}
+    stacks: dict = {}  # track -> [(name, begin ts), ...] open B events
+    slices: dict = {}  # track -> [(start, end), ...] closed B/E + X spans
+    flows: list = []  # (event index, event)
     for i, ev in enumerate(events):
         for key in REQUIRED_EVENT_KEYS:
             if key not in ev:
@@ -324,25 +396,77 @@ def validate_trace(trace: Mapping) -> None:
             )
         last_ts[track] = ev["ts"]
         if ev["ph"] == "B":
-            stacks.setdefault(track, []).append(ev["name"])
+            stacks.setdefault(track, []).append((ev["name"], ev["ts"]))
         elif ev["ph"] == "E":
             stack = stacks.get(track) or []
             if not stack:
                 raise ValueError(f"event {i}: 'E' {ev['name']!r} with no open 'B'")
-            top = stack.pop()
+            top, begin_ts = stack.pop()
             if top != ev["name"]:
                 raise ValueError(
                     f"event {i}: 'E' {ev['name']!r} closes open 'B' {top!r}"
                 )
+            slices.setdefault(track, []).append((begin_ts, ev["ts"]))
         elif ev["ph"] == "X":
             if ev.get("dur", -1) < 0:
                 raise ValueError(f"event {i}: 'X' span needs a dur >= 0: {ev}")
+            slices.setdefault(track, []).append((ev["ts"], ev["ts"] + ev["dur"]))
         elif ev["ph"] == "C":
             args = ev.get("args", {})
             if not args or not all(
                 isinstance(v, (int, float)) for v in args.values()
             ):
                 raise ValueError(f"event {i}: counter needs numeric args: {ev}")
+        elif ev["ph"] in ("s", "t", "f"):
+            if "id" not in ev:
+                raise ValueError(f"event {i}: flow event needs an 'id': {ev}")
+            flows.append((i, ev))
     for track, stack in stacks.items():
         if stack:
-            raise ValueError(f"track {track} has unclosed 'B' events: {stack}")
+            raise ValueError(
+                f"track {track} has unclosed 'B' events: "
+                f"{[name for name, _ in stack]}"
+            )
+    _validate_flows(flows, slices)
+
+
+def _validate_flows(flows: list, slices: Mapping) -> None:
+    """Flow integrity: every flow lands on a real span, chains are sane."""
+    chains: dict = {}
+    for i, ev in flows:
+        track = (ev["pid"], ev["tid"])
+        ts = ev["ts"]
+        if not any(
+            start <= ts <= end for start, end in slices.get(track, ())
+        ):
+            raise ValueError(
+                f"event {i}: flow '{ev['ph']}' (id {ev['id']!r}) at ts {ts} "
+                f"lands on no slice of track {track}"
+            )
+        chains.setdefault(ev["id"], []).append((ts, i, ev))
+    for flow_id, chain in chains.items():
+        chain.sort(key=lambda item: item[:2])
+        starts = [item for item in chain if item[2]["ph"] == "s"]
+        ends = [item for item in chain if item[2]["ph"] == "f"]
+        if len(starts) != 1:
+            raise ValueError(
+                f"flow id {flow_id!r} has {len(starts)} 's' events (need 1)"
+            )
+        if chain[0][2]["ph"] != "s":
+            raise ValueError(
+                f"flow id {flow_id!r} does not open with its 's' event"
+            )
+        if len(ends) > 1:
+            raise ValueError(
+                f"flow id {flow_id!r} has {len(ends)} 'f' events (max 1)"
+            )
+        if ends and chain[-1][2]["ph"] != "f":
+            raise ValueError(
+                f"flow id {flow_id!r} continues past its 'f' event"
+            )
+        names = {item[2]["name"] for item in chain}
+        if len(names) != 1:
+            raise ValueError(
+                f"flow id {flow_id!r} mixes names {sorted(names)}; viewers "
+                "bind flows by (name, cat, id)"
+            )

@@ -355,6 +355,89 @@ class TestAEM108:
 
 
 # ----------------------------------------------------------------------
+# AEM109: observers keep their hands off the ambient span machinery.
+# ----------------------------------------------------------------------
+class TestAEM109:
+    def test_observer_reading_span_in_handler_fires(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def on_read(self, addr, items, cost):
+                self.span = current_span()
+        """
+        found = lint(src)
+        assert rules(found) == {"AEM109"}
+        assert "current_span" in found[0].message
+
+    def test_observer_reading_collector_in_handler_fires(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def on_batch(self, batch):
+                current_collector().extend([])
+        """
+        assert rules(lint(src)) == {"AEM109"}
+
+    def test_observer_mutating_span_stack_fires(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def on_phase_enter(self, name):
+                with use_span(self.ctx):
+                    pass
+        """
+        assert rules(lint(src)) == {"AEM109"}
+
+    def test_observer_installing_collector_fires(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def on_detach(self, core):
+                set_collector(None)
+        """
+        assert rules(lint(src)) == {"AEM109"}
+
+    def test_read_in_init_is_sanctioned(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def __init__(self):
+                self.span = current_span()
+        """
+        assert lint(src) == []
+
+    def test_read_in_on_attach_is_sanctioned(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def on_attach(self, core):
+                self.collector = current_collector()
+        """
+        assert lint(src) == []
+
+    def test_mutators_banned_even_in_sanctioned_hooks(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def __init__(self):
+                install_span_observer_factory(lambda: None)
+        """
+        assert rules(lint(src)) == {"AEM109"}
+
+    def test_non_observer_class_unconstrained(self):
+        src = """
+        class Renderer:
+            def on_read(self):
+                return current_span()
+        """
+        assert lint(src) == []
+
+    def test_module_level_code_unconstrained(self):
+        assert lint("span = current_span()") == []
+
+    def test_line_disable_works(self):
+        src = """
+        class MyObserver(MachineObserver):
+            def on_write(self, addr, items, cost):
+                self.span = current_span()  # lint: disable=AEM109
+        """
+        assert lint(src) == []
+
+
+# ----------------------------------------------------------------------
 # Escape hatches and the shipped tree.
 # ----------------------------------------------------------------------
 class TestDisables:

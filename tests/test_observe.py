@@ -308,6 +308,54 @@ class TestFlashEvents:
         assert wear.counts == {addr: 2}
 
 
+class TestPhaseStack:
+    def test_enter_exit_mirrors_nesting(self):
+        from repro.observe import PhaseStack
+
+        stack = PhaseStack()
+        assert stack.current == () and stack.depth == 0
+        stack.enter("sort")
+        stack.enter("merge")
+        assert stack.current == ("sort", "merge")
+        assert stack.render() == "sort/merge"
+        stack.exit("merge")
+        assert stack.current == ("sort",)
+        stack.exit("sort")
+        assert stack.current == () and stack.render() == "-"
+
+    def test_paths_record_first_seen_order(self):
+        from repro.observe import PhaseStack
+
+        stack = PhaseStack()
+        stack.enter("a")
+        stack.enter("b")
+        stack.exit()
+        stack.enter("b")  # re-entry: same path, not re-recorded
+        stack.exit()
+        stack.exit()
+        stack.enter("c")
+        stack.exit()
+        assert stack.paths == [("a",), ("a", "b"), ("c",)]
+        assert stack.render_paths() == "a,a/b,c"
+        assert stack.render_paths(limit=2) == "a,a/b,+1 more"
+
+    def test_exit_with_nothing_open_is_ignored(self):
+        from repro.observe import PhaseStack
+
+        stack = PhaseStack()
+        stack.exit("ghost")  # aborted run: never raises
+        assert stack.current == ()
+
+    def test_len_and_iter(self):
+        from repro.observe import PhaseStack
+
+        stack = PhaseStack()
+        stack.enter("x")
+        stack.enter("y")
+        assert len(stack) == 2
+        assert list(stack) == ["x", "y"]
+
+
 class TestProgressObserver:
     def test_renders_counts_and_phase(self):
         buf = io.StringIO()
@@ -350,8 +398,25 @@ class TestProgressObserver:
         assert buf.getvalue() == ""  # no \r frames while running
         prog.close()
         out = buf.getvalue()
-        assert out == "[run] Qr=1 Qw=1 phase=-\n"  # one final line, no \r
+        # One final line, no \r; the visited (not current) phases.
+        assert out == "[run] Qr=1 Qw=1 phase=- phases=scan\n"
         assert prog.reads == 1 and prog.writes == 1  # counting continued
+
+    def test_nested_phases_render_full_paths(self):
+        """Regression: inner phases used to overwrite the outer name."""
+        buf = io.StringIO()
+        prog = ProgressObserver(buf, every=1, label="run", live=True)
+        machine = AEMMachine(P, observers=[prog])
+        with machine.phase("sort"):
+            with machine.phase("merge"):
+                machine.acquire(2)
+                a = machine.write_fresh([1, 2])
+                machine.release(machine.read(a))
+            machine.flush()
+            assert prog.phases.current == ("sort",)
+        assert "phase=sort/merge" in buf.getvalue()
+        prog.close()
+        assert "phases=sort,sort/merge" in buf.getvalue()
 
     def test_env_forces_live_frames(self, monkeypatch):
         monkeypatch.setenv("REPRO_PROGRESS", "1")

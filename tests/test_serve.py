@@ -68,6 +68,52 @@ class TestEndpoints:
         assert stats["engine"]["measurements"] >= 1
         assert stats["requests"]["latency_ms"]["count"] >= 1
 
+    def test_metrics_prometheus_via_query_param(self, server):
+        server.post("/evaluate", QUERY)
+        resp = server.get("/metrics?format=prometheus")
+        assert resp.status == 200
+        assert resp.headers["content-type"].startswith("text/plain")
+        text = resp.body.decode("utf-8")
+        assert "# TYPE serve_requests_total counter" in text
+        assert "serve_requests_total{" in text
+        with pytest.raises(json.JSONDecodeError):
+            json.loads(text)
+
+    def test_metrics_prometheus_via_accept_header(self, server):
+        import http.client
+
+        conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+        try:
+            conn.request("GET", "/metrics", headers={"Accept": "text/plain"})
+            resp = conn.getresponse()
+            body = resp.read().decode("utf-8")
+        finally:
+            conn.close()
+        assert resp.status == 200
+        assert resp.headers["Content-Type"].startswith("text/plain")
+        assert "# TYPE" in body
+
+    def test_metrics_format_json_forces_json(self, server):
+        resp = server.get("/metrics?format=json")
+        assert resp.status == 200
+        assert resp.headers["content-type"] == "application/json"
+        assert "serve_requests_total" in resp.json()
+
+    def test_metrics_unknown_format_400(self, server):
+        resp = server.get("/metrics?format=xml")
+        assert resp.status == 400
+        assert "unknown metrics format" in resp.json()["error"]
+
+    def test_evaluate_response_carries_span(self, server):
+        resp = server.post("/evaluate", QUERY)
+        assert resp.status == 200
+        span = resp.json()["span"]
+        assert span["trace_id"] and span["span_id"]
+        batched = server.post("/evaluate", {"queries": [QUERY, QUERY]})
+        spans = batched.json()["spans"]
+        assert len(spans) == 2
+        assert all(s["trace_id"] for s in spans)
+
     def test_unknown_route_404(self, server):
         assert server.post("/nope", {}).status == 404
 
@@ -258,7 +304,7 @@ class TestDrain:
             if proc.poll() is None:
                 proc.kill()
         # The drain flushed serving telemetry: a trace + a manifest line.
-        assert (tmp_path / "serve_trace.json").exists()
+        assert (tmp_path / "trace.json").exists()
         record = json.loads((tmp_path / "manifest.jsonl").read_text().splitlines()[-1])
         assert record["command"] == "serve"
 
@@ -297,7 +343,7 @@ class TestServeBench:
         config = serve_config(telemetry_dir=str(tmp_path))
         with ServerThread(config) as srv:
             srv.post("/evaluate", QUERY)
-        trace = json.loads((tmp_path / "serve_trace.json").read_text())
+        trace = json.loads((tmp_path / "trace.json").read_text())
         validate_trace(trace)
         names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
         assert {"admission", "batch window", "engine", "respond"} <= names

@@ -119,6 +119,61 @@ class TestMetricsRegistry:
         assert out["h"]["series"][0]["value"]["count"] == 1
 
 
+class TestPrometheusRender:
+    def test_counter_and_gauge_samples(self):
+        reg = MetricsRegistry()
+        reg.counter("requests_total", "Requests served.").labels().inc(3)
+        reg.gauge("in_flight").labels().set(2)
+        text = reg.render_prometheus()
+        assert "# HELP requests_total Requests served." in text
+        assert "# TYPE requests_total counter" in text
+        assert "requests_total 3" in text
+        assert "# TYPE in_flight gauge" in text
+        assert "in_flight 2" in text
+        assert text.endswith("\n")
+
+    def test_labeled_series_render_label_blocks(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("hits", labels=("endpoint", "status"))
+        fam.labels(endpoint="/evaluate", status="200").inc(5)
+        fam.labels(endpoint="/stats", status="200").inc()
+        text = reg.render_prometheus()
+        assert 'hits{endpoint="/evaluate",status="200"} 5' in text
+        assert 'hits{endpoint="/stats",status="200"} 1' in text
+
+    def test_histogram_renders_as_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", "ms").labels()
+        for v in range(1, 101):
+            h.observe(v)
+        text = reg.render_prometheus()
+        assert "# TYPE latency summary" in text
+        assert 'latency{quantile="0.5"} 51' in text  # nearest-rank
+        assert 'latency{quantile="0.9"} 90' in text
+        assert 'latency{quantile="0.99"} 99' in text
+        assert "latency_sum 5050" in text
+        assert "latency_count 100" in text
+        assert "# TYPE latency histogram" not in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("c", labels=("path",))
+        fam.labels(path='a"b\\c\nd').inc()
+        text = reg.render_prometheus()
+        assert 'c{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+    def test_integral_floats_render_without_fraction(self):
+        reg = MetricsRegistry()
+        reg.counter("c").labels().inc(2.0)
+        reg.gauge("g").labels().set(2.5)
+        text = reg.render_prometheus()
+        assert "c 2\n" in text
+        assert "g 2.5" in text
+
+
 class TestMetricsObserver:
     def test_totals_match_machine_counters(self):
         obs = MetricsObserver()
