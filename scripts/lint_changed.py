@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Pre-commit hook driver: run the AEM source lint on changed files only.
+
+pre-commit passes the staged filenames as argv; anything outside
+``src/repro`` is skipped. Module context — which package a file belongs
+to, the thing rules like AEM102/AEM108 key on — is derived from the
+path relative to ``src/repro``, exactly as ``repro-aem check --lint``
+derives it for the whole tree, so a file lints identically both ways.
+
+The whole-tree lint, the dataflow analysis, and the trace battery stay
+in CI; this hook only keeps the per-file feedback loop fast.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sanitize.lint import lint_source  # noqa: E402
+
+PKG_ROOT = REPO / "src" / "repro"
+
+
+def main(argv: list[str]) -> int:
+    failures = 0
+    for name in argv:
+        path = Path(name)
+        if path.suffix != ".py":
+            continue
+        try:
+            rel = path.resolve().relative_to(PKG_ROOT)
+        except ValueError:
+            continue
+        parts = rel.with_suffix("").parts
+        violations = lint_source(
+            path.read_text(encoding="utf-8"),
+            rel=str(path),
+            module_parts=parts,
+        )
+        for v in violations:
+            print(f"  [FAIL] {v.render()}", file=sys.stderr)
+        failures += len(violations)
+    if failures:
+        print(f"aem-lint: {failures} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

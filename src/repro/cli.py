@@ -562,30 +562,72 @@ def cmd_inspect(args) -> int:
 
 
 def cmd_check(args) -> int:
-    """Run the model sanitizers and/or the source lint pass."""
-    from .sanitize import run_lint_checks, run_trace_checks
+    """Run the model sanitizers, the source lint, and/or the analysis."""
+    from .sanitize import run_analysis_checks, run_lint_checks, run_trace_checks
 
-    run_traces = args.traces or args.all or not (args.traces or args.lint)
-    run_lint = args.lint or args.all or not (args.traces or args.lint)
+    selected = args.traces or args.lint or getattr(args, "analysis", False)
+    run_traces = args.traces or args.all or not selected
+    run_lint = args.lint or args.all or not selected
+    run_analysis = getattr(args, "analysis", False) or args.all or not selected
+    fmt = getattr(args, "format", "text")
+    # Machine-readable formats own stdout; progress moves to stderr.
+    say = print if fmt == "text" else (lambda *a, **kw: print(*a, file=sys.stderr, **kw))
+
+    if getattr(args, "update_baseline", False):
+        from .sanitize import analyze_project, load_baseline, write_baseline
+        from .sanitize.runner import default_baseline_path, default_lint_root
+
+        baseline_path = (
+            Path(args.baseline)
+            if args.baseline
+            else default_baseline_path(default_lint_root())
+        )
+        findings = analyze_project(default_lint_root())
+        write_baseline(
+            baseline_path, findings, previous=load_baseline(baseline_path)
+        )
+        say(
+            f"baseline written: {baseline_path} "
+            f"({len(findings)} finding(s) accepted)"
+        )
+        return 0
 
     failures = 0
+    reportable = []  # lint violations + new analysis findings for --format
     if run_traces:
-        print("trace sanitizers (live runs + Lemma 4.1 / Lemma 4.3):")
-        violations = run_trace_checks(log=print)
+        say("trace sanitizers (live runs + Lemma 4.1 / Lemma 4.3):")
+        violations = run_trace_checks(log=say)
         for v in violations:
             print(f"  [FAIL] {v.render()}", file=sys.stderr)
         failures += len(violations)
     if run_lint:
-        print("source lint (rules AEM101-AEM109):")
-        lint_violations = run_lint_checks(log=print)
+        say("source lint (rules AEM101-AEM109):")
+        lint_violations = run_lint_checks(log=say)
         for lv in lint_violations:
             print(f"  [FAIL] {lv.render()}", file=sys.stderr)
         failures += len(lint_violations)
+        reportable.extend(lint_violations)
+    suppressed_count = 0
+    if run_analysis:
+        say("dataflow analysis (rules AEM201-AEM204):")
+        new, suppressed = run_analysis_checks(
+            baseline=getattr(args, "baseline", None), log=say
+        )
+        for f in new:
+            print(f"  [FAIL] {f.render()}", file=sys.stderr)
+        failures += len(new)
+        suppressed_count = len(suppressed)
+        reportable.extend(new)
+
+    if fmt != "text":
+        from .sanitize import as_findings, render
+
+        print(render(as_findings(reportable), fmt, suppressed=suppressed_count))
 
     if failures:
         print(f"check FAILED: {failures} violation(s)", file=sys.stderr)
         return 1
-    print("check passed: all invariants hold")
+    say("check passed: all invariants hold")
     return 0
 
 
@@ -838,7 +880,8 @@ def build_parser() -> argparse.ArgumentParser:
     chk = sub.add_parser(
         "check",
         help="verify model invariants: sanitizers on real traces "
-        "(--traces), the AEM source lint (--lint), or both (--all, "
+        "(--traces), the AEM source lint (--lint), the dataflow "
+        "analysis AEM201-AEM204 (--analysis), or everything (--all, "
         "the default)",
     )
     chk.add_argument(
@@ -850,7 +893,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--lint", action="store_true", help="run the AEM source lint rules"
     )
     chk.add_argument(
-        "--all", action="store_true", help="run both halves (the default)"
+        "--analysis",
+        action="store_true",
+        help="run the CFG/dataflow rules (AEM201-AEM204) with the "
+        "committed baseline",
+    )
+    chk.add_argument(
+        "--all", action="store_true", help="run every check (the default)"
+    )
+    chk.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="lint/analysis finding output: human text (default), JSON, "
+        "or SARIF 2.1.0 on stdout (exit codes unchanged)",
+    )
+    chk.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="analysis baseline file (default: .aem-baseline.json at the "
+        "repository root, when present)",
+    )
+    chk.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current analysis findings "
+        "and exit 0",
     )
     chk.set_defaults(fn=cmd_check)
 

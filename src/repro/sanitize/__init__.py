@@ -7,14 +7,24 @@ Two halves (see ``docs/sanitizers.md``):
   (``Q = Qr + omega*Qw`` recomputed from raw events), provenance (no
   teleported data), round form (Lemma 4.1), flash-reduction volume
   (Lemma 4.3);
-* **source lint** — AST rules AEM101-AEM108 enforcing the layering that
-  keeps the model honest (:mod:`repro.sanitize.lint`).
+* **source lint** — per-file, alias-aware AST rules AEM101-AEM109
+  enforcing the layering that keeps the model honest
+  (:mod:`repro.sanitize.lint`);
+* **dataflow analysis** — whole-program rules AEM201-AEM204 (phase
+  balance, counting-safety inference, batch escape, async safety) built
+  on the CFG/fixpoint engine in :mod:`repro.sanitize.flow` and the
+  import/alias-resolving semantic model in
+  :mod:`repro.sanitize.semantic`, with a committed fingerprint baseline
+  and SARIF output (:mod:`repro.sanitize.analysis`,
+  :mod:`repro.sanitize.report`).
 
-Entry points: ``repro-aem check [--traces|--lint|--all]``, the
-``sanitized_machine`` pytest fixture, ``REPRO_SANITIZE=1`` global test
-mode, and :func:`attach_sanitizers` for ad-hoc use.
+Entry points: ``repro-aem check [--traces|--lint|--analysis|--all]
+[--format text|json|sarif]``, the ``sanitized_machine`` pytest fixture,
+``REPRO_SANITIZE=1`` global test mode, and :func:`attach_sanitizers`
+for ad-hoc use.
 """
 
+from .analysis import RULES, Finding, analyze_project, infer_counting_safe
 from .base import (
     MAX_VIOLATIONS,
     Sanitizer,
@@ -28,10 +38,29 @@ from .lint import LintViolation, lint_paths, lint_source
 from .provenance import ProgramProvenanceSanitizer, ProvenanceSanitizer
 from .reduction import ReductionSanitizer
 from .rounds import RoundFormProgramSanitizer, RoundFormSanitizer, check_round_form
-from .runner import run_lint_checks, run_trace_checks
+from .report import (
+    apply_baseline,
+    as_findings,
+    load_baseline,
+    render,
+    render_sarif,
+    write_baseline,
+)
+from .runner import run_analysis_checks, run_lint_checks, run_trace_checks
 from .suite import SanitizerSuite, attach_sanitizers
 
 __all__ = [
+    "RULES",
+    "Finding",
+    "analyze_project",
+    "infer_counting_safe",
+    "apply_baseline",
+    "as_findings",
+    "load_baseline",
+    "render",
+    "render_sarif",
+    "write_baseline",
+    "run_analysis_checks",
     "MAX_VIOLATIONS",
     "Sanitizer",
     "SanitizerError",

@@ -1,0 +1,440 @@
+"""Control-flow graphs and a forward-dataflow fixpoint engine.
+
+The single-pass ``ast.NodeVisitor`` lint (:mod:`repro.sanitize.lint`)
+answers "does this syntax occur?"; the rules in
+:mod:`repro.sanitize.analysis` need to answer "does this happen *on every
+path*?" (phase balance) or "can this value *reach* that sink?" (batch
+escape, counting-mode payload reads). Both questions are classic
+dataflow problems, so this module provides the two generic pieces they
+share:
+
+* :func:`build_cfg` — a per-function control-flow graph covering the
+  statement forms the tree actually uses: ``if``/``elif``/``else``,
+  ``while``/``for`` (with ``else`` and ``break``/``continue``),
+  ``try``/``except``/``else``/``finally``, ``with``, ``match``,
+  ``return``/``raise``. One node per simple statement; compound
+  statements contribute a header node (the branch point) plus their
+  bodies. Edges carry labels (``"true"``/``"false"``/``"body"``/...)
+  so analyses can refine state per branch — e.g. "inside this edge,
+  ``machine.counting`` is known false".
+* :func:`fixpoint` — a worklist solver for any
+  :class:`ForwardAnalysis`: states join at merge points and the
+  transfer function is applied until nothing changes. Lattices are the
+  analysis's own business; the solver only needs ``join``, ``transfer``
+  and equality.
+
+Exception edges are *explicit-control-flow only*: a ``raise`` statement
+jumps to the innermost enclosing handler/finally (or the function's
+exit), and every statement inside a ``try`` body may jump to that
+``try``'s handlers — but an ordinary call outside any ``try`` is not
+treated as a potential exit. Treating every expression as may-raise
+would make "on all paths" vacuously false everywhere, which is exactly
+the noise a balance rule cannot afford. ``finally`` bodies are built
+once and wired to every way their ``try`` can be left (normal fall-off,
+``return``/``break``/``continue``/``raise``), so the canonical
+
+    enter_phase(name)
+    try:
+        yield
+    finally:
+        exit_phase(name)
+
+pattern is recognized as balanced on every path, including the
+exceptional ones.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Generic, Iterator, List, Optional, Sequence, Tuple, TypeVar, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Edge labels a branch header emits. Plain sequencing uses ``""``.
+TRUE, FALSE = "true", "false"
+LOOP_BODY, LOOP_EXIT = "body", "exit"
+
+
+@dataclass
+class CFGNode:
+    """One statement (or branch header) in a function's control flow."""
+
+    index: int
+    stmt: Optional[ast.stmt]
+    kind: str  # "entry" | "exit" | "stmt" | "branch" | "loop" | "with" | "except" | "match"
+    succs: List[Tuple[int, str]] = field(default_factory=list)
+    preds: List[Tuple[int, str]] = field(default_factory=list)
+
+    @property
+    def line(self) -> int:
+        return getattr(self.stmt, "lineno", 0) if self.stmt is not None else 0
+
+
+class CFG:
+    """A function's control-flow graph. ``nodes[0]`` is the entry,
+    ``nodes[1]`` the (unique) exit every path converges to."""
+
+    def __init__(self) -> None:
+        self.nodes: List[CFGNode] = []
+        self.entry = self._new(None, "entry")
+        self.exit = self._new(None, "exit")
+
+    def _new(self, stmt: Optional[ast.stmt], kind: str) -> CFGNode:
+        node = CFGNode(index=len(self.nodes), stmt=stmt, kind=kind)
+        self.nodes.append(node)
+        return node
+
+    def connect(self, src: CFGNode, dst: CFGNode, label: str = "") -> None:
+        if (dst.index, label) not in src.succs:
+            src.succs.append((dst.index, label))
+            dst.preds.append((src.index, label))
+
+    def successors(self, node: CFGNode) -> Iterator[Tuple[CFGNode, str]]:
+        for idx, label in node.succs:
+            yield self.nodes[idx], label
+
+
+# A frontier is the set of dangling (node, edge-label) pairs still
+# waiting for their successor while the builder walks a statement list.
+Frontier = List[Tuple[CFGNode, str]]
+
+
+@dataclass
+class _TryFrame:
+    """Wiring state for one ``try`` while its body is being built."""
+
+    handler_entries: List[CFGNode] = field(default_factory=list)
+    finally_entry: Optional[CFGNode] = None
+    # Abrupt continuations registered by return/break/continue/raise that
+    # must run after this frame's ``finally`` body.
+    pending: List[CFGNode] = field(default_factory=list)
+    # Nodes created inside the try body (implicit may-raise sources).
+    body_nodes: List[CFGNode] = field(default_factory=list)
+
+
+class _Builder:
+    def __init__(self) -> None:
+        self.cfg = CFG()
+        # (break target pending-lists, continue target) per open loop —
+        # targets are resolved lazily because the loop's exit node set is
+        # only known after its body is built.
+        self._loop_breaks: List[List[CFGNode]] = []
+        self._loop_heads: List[CFGNode] = []
+        # Open try frames, innermost last.
+        self._tries: List[_TryFrame] = []
+
+    # -- plumbing ------------------------------------------------------
+    def _connect_frontier(self, frontier: Frontier, node: CFGNode) -> None:
+        for src, label in frontier:
+            self.cfg.connect(src, node, label)
+
+    def _record_body_node(self, node: CFGNode) -> None:
+        for frame in self._tries:
+            frame.body_nodes.append(node)
+
+    def _innermost_finallies(self, upto: Optional[_TryFrame] = None) -> List[_TryFrame]:
+        """Open frames with a ``finally``, innermost first, stopping at
+        (and excluding) ``upto``."""
+        out: List[_TryFrame] = []
+        for frame in reversed(self._tries):
+            if frame is upto:
+                break
+            if frame.finally_entry is not None:
+                out.append(frame)
+        return out
+
+    def _route_abrupt(self, node: CFGNode, target: CFGNode) -> None:
+        """Route an abrupt exit through every intervening ``finally``."""
+        chain = self._innermost_finallies()
+        if not chain:
+            self.cfg.connect(node, target)
+            return
+        self.cfg.connect(node, chain[0].finally_entry or target)
+        for inner, outer in zip(chain, chain[1:]):
+            entry = outer.finally_entry
+            if entry is not None and entry not in inner.pending:
+                inner.pending.append(entry)
+        if target not in chain[-1].pending:
+            chain[-1].pending.append(target)
+
+    def _raise_target(self) -> Optional[CFGNode]:
+        """Where an explicit ``raise`` lands: innermost handler or
+        finally, else the function exit (``None`` means exit)."""
+        for frame in reversed(self._tries):
+            if frame.handler_entries:
+                return frame.handler_entries[0]
+            if frame.finally_entry is not None:
+                return frame.finally_entry
+        return None
+
+    # -- statement walk ------------------------------------------------
+    def build(self, body: Sequence[ast.stmt]) -> CFG:
+        frontier = self.seq(body, [(self.cfg.entry, "")])
+        self._connect_frontier(frontier, self.cfg.exit)
+        return self.cfg
+
+    def seq(self, stmts: Sequence[ast.stmt], frontier: Frontier) -> Frontier:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(self, stmt: ast.stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, frontier)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self.cfg._new(stmt, "stmt")
+            self._connect_frontier(frontier, node)
+            self._record_body_node(node)
+            self._route_abrupt(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Raise):
+            node = self.cfg._new(stmt, "stmt")
+            self._connect_frontier(frontier, node)
+            self._record_body_node(node)
+            target = self._raise_target()
+            if target is None:
+                self._route_abrupt(node, self.cfg.exit)
+            else:
+                self.cfg.connect(node, target)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.cfg._new(stmt, "stmt")
+            self._connect_frontier(frontier, node)
+            self._record_body_node(node)
+            if self._loop_breaks:
+                self._loop_breaks[-1].append(node)
+            else:  # malformed code; treat as function exit
+                self._route_abrupt(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg._new(stmt, "stmt")
+            self._connect_frontier(frontier, node)
+            self._record_body_node(node)
+            if self._loop_heads:
+                self._route_abrupt(node, self._loop_heads[-1])
+            else:
+                self._route_abrupt(node, self.cfg.exit)
+            return []
+        # Simple statement (assignments, expressions, nested defs, ...).
+        node = self.cfg._new(stmt, "stmt")
+        self._connect_frontier(frontier, node)
+        self._record_body_node(node)
+        return [(node, "")]
+
+    def _if(self, stmt: ast.If, frontier: Frontier) -> Frontier:
+        header = self.cfg._new(stmt, "branch")
+        self._connect_frontier(frontier, header)
+        self._record_body_node(header)
+        out = self.seq(stmt.body, [(header, TRUE)])
+        if stmt.orelse:
+            out = out + self.seq(stmt.orelse, [(header, FALSE)])
+        else:
+            out = out + [(header, FALSE)]
+        return out
+
+    @staticmethod
+    def _always_true(test: ast.expr) -> bool:
+        return isinstance(test, ast.Constant) and bool(test.value)
+
+    def _while(self, stmt: ast.While, frontier: Frontier) -> Frontier:
+        header = self.cfg._new(stmt, "loop")
+        self._connect_frontier(frontier, header)
+        self._record_body_node(header)
+        breaks: List[CFGNode] = []
+        self._loop_breaks.append(breaks)
+        self._loop_heads.append(header)
+        body_out = self.seq(stmt.body, [(header, TRUE)])
+        self._connect_frontier(body_out, header)  # loop back
+        self._loop_breaks.pop()
+        self._loop_heads.pop()
+        out: Frontier = []
+        if not self._always_true(stmt.test):
+            if stmt.orelse:
+                out = self.seq(stmt.orelse, [(header, FALSE)])
+            else:
+                out = [(header, FALSE)]
+        out = out + [(n, "") for n in breaks]
+        return out
+
+    def _for(self, stmt: Union[ast.For, ast.AsyncFor], frontier: Frontier) -> Frontier:
+        header = self.cfg._new(stmt, "loop")
+        self._connect_frontier(frontier, header)
+        self._record_body_node(header)
+        breaks: List[CFGNode] = []
+        self._loop_breaks.append(breaks)
+        self._loop_heads.append(header)
+        body_out = self.seq(stmt.body, [(header, LOOP_BODY)])
+        self._connect_frontier(body_out, header)
+        self._loop_breaks.pop()
+        self._loop_heads.pop()
+        if stmt.orelse:
+            out = self.seq(stmt.orelse, [(header, LOOP_EXIT)])
+        else:
+            out = [(header, LOOP_EXIT)]
+        return out + [(n, "") for n in breaks]
+
+    def _with(self, stmt: Union[ast.With, ast.AsyncWith], frontier: Frontier) -> Frontier:
+        header = self.cfg._new(stmt, "with")
+        self._connect_frontier(frontier, header)
+        self._record_body_node(header)
+        return self.seq(stmt.body, [(header, "")])
+
+    def _match(self, stmt: ast.Match, frontier: Frontier) -> Frontier:
+        header = self.cfg._new(stmt, "match")
+        self._connect_frontier(frontier, header)
+        self._record_body_node(header)
+        out: Frontier = []
+        for i, case in enumerate(stmt.cases):
+            out = out + self.seq(case.body, [(header, f"case{i}")])
+        return out + [(header, "nomatch")]
+
+    def _try(self, stmt: ast.Try, frontier: Frontier) -> Frontier:
+        frame = _TryFrame()
+        for handler in stmt.handlers:
+            node = self.cfg._new(handler, "except")  # type: ignore[arg-type]
+            frame.handler_entries.append(node)
+        if stmt.finalbody:
+            frame.finally_entry = self.cfg._new(stmt, "stmt")
+        self._tries.append(frame)
+
+        body_out = self.seq(stmt.body, frontier)
+        if stmt.orelse:
+            body_out = self.seq(stmt.orelse, body_out)
+
+        # Any statement inside the try body may raise into each handler
+        # (and, with no matching handler, straight into the finally).
+        for node in frame.body_nodes:
+            for entry in frame.handler_entries:
+                self.cfg.connect(node, entry, "raise")
+            if frame.finally_entry is not None:
+                self.cfg.connect(node, frame.finally_entry, "raise")
+
+        self._tries.pop()
+
+        handler_out: Frontier = []
+        for handler, entry in zip(stmt.handlers, frame.handler_entries):
+            handler_out = handler_out + self.seq(handler.body, [(entry, "")])
+
+        normal_out = body_out + handler_out
+        if frame.finally_entry is None:
+            return normal_out
+
+        self._connect_frontier(normal_out, frame.finally_entry)
+        # The finally body runs outside the frame (its own aborts route to
+        # enclosing frames), between the entry marker and the targets.
+        fin_out = self.seq(stmt.finalbody, [(frame.finally_entry, "")])
+        for target in frame.pending:
+            self._connect_frontier(fin_out, target)
+        # Uncaught-exception continuation: the finally may also re-raise
+        # outward; that path leaves the function (or reaches the next
+        # enclosing handler). Model the leave-the-function leg only when
+        # an explicit raise routed through this finally (covered by
+        # ``pending``); plain fall-off continues normally.
+        return fin_out
+
+
+def build_cfg(func: Union[FunctionNode, ast.Module]) -> CFG:
+    """Build the control-flow graph of one function (or module) body."""
+    return _Builder().build(func.body)
+
+
+def iter_functions(
+    tree: ast.AST, *, prefix: str = ""
+) -> Iterator[Tuple[str, FunctionNode]]:
+    """Yield ``(qualname, def)`` for every function in ``tree``, including
+    methods and nested defs (``outer.<locals>.inner`` style dotted names,
+    without the ``<locals>`` noise: just ``outer.inner``)."""
+    for node in ast.iter_child_nodes(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}{node.name}"
+            yield qual, node
+            yield from iter_functions(node, prefix=f"{qual}.")
+        elif isinstance(node, ast.ClassDef):
+            yield from iter_functions(node, prefix=f"{prefix}{node.name}.")
+        elif isinstance(node, (ast.If, ast.Try, ast.With, ast.AsyncWith,
+                               ast.For, ast.AsyncFor, ast.While)):
+            # Defs can hide under conditional/guarded blocks at any level.
+            yield from iter_functions(node, prefix=prefix)
+
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """A forward dataflow problem: states flow along CFG edges.
+
+    Subclasses define the lattice (``join`` + equality via ``==``) and
+    the transfer function. ``transfer_edge`` optionally refines the
+    post-state per outgoing edge label — the hook branch-sensitive
+    analyses (counting-mode guards) use.
+    """
+
+    def initial_state(self) -> S:
+        raise NotImplementedError
+
+    def transfer(self, node: CFGNode, state: S) -> S:
+        raise NotImplementedError
+
+    def transfer_edge(self, node: CFGNode, label: str, state: S) -> Optional[S]:
+        """Refine ``state`` along the edge ``label``; ``None`` kills the
+        edge (statically unreachable under this state)."""
+        return state
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+
+def fixpoint(cfg: CFG, analysis: ForwardAnalysis[S]) -> Dict[int, S]:
+    """Solve the analysis over the CFG; returns IN-state per node index.
+
+    Nodes never reached keep no entry. The worklist loops until states
+    stabilize, so lattices must have finite height (analyses with
+    unbounded state — e.g. phase stacks — cap it themselves).
+    """
+    in_states: Dict[int, S] = {cfg.entry.index: analysis.initial_state()}
+    work: List[int] = [cfg.entry.index]
+    while work:
+        idx = work.pop()
+        node = cfg.nodes[idx]
+        out = analysis.transfer(node, in_states[idx])
+        for succ, label in node.succs:
+            edge_state = analysis.transfer_edge(node, label, out)
+            if edge_state is None:
+                continue
+            if succ not in in_states:
+                in_states[succ] = edge_state
+                work.append(succ)
+            else:
+                joined = analysis.join(in_states[succ], edge_state)
+                if joined != in_states[succ]:
+                    in_states[succ] = joined
+                    work.append(succ)
+    return in_states
+
+
+def exit_states(cfg: CFG, analysis: ForwardAnalysis[S]) -> List[Tuple[CFGNode, S]]:
+    """Solve and return the states flowing into the function exit, one
+    per predecessor (return statements and the fall-off tail)."""
+    in_states = fixpoint(cfg, analysis)
+    out: List[Tuple[CFGNode, S]] = []
+    for idx, label in cfg.exit.preds:
+        if idx in in_states:
+            node = cfg.nodes[idx]
+            state = analysis.transfer(node, in_states[idx])
+            refined = analysis.transfer_edge(node, label, state)
+            if refined is not None:
+                out.append((node, refined))
+    return out

@@ -13,6 +13,17 @@ has an ID, a docstring, and an escape hatch::
 
 Run via ``repro-aem check --lint`` or :func:`lint_paths`.
 
+The lint is the *syntactic* tier of the static-analysis stack: each file
+is checked in isolation, against a :class:`~repro.sanitize.semantic
+.ModuleModel` of its own imports so aliased references (``from
+repro.machine.aem import AEMMachine as AM``, ``import repro.machine.aem
+as aem``, local ``M = AEMMachine`` rebinds) resolve to the same rule
+hits as direct names. Whole-program questions — phase balance on every
+path, counting-safety of a sorter's call graph, batch refs escaping
+through aliases — live in :mod:`repro.sanitize.analysis` (rules
+AEM201-AEM204) on the CFG/dataflow engine in
+:mod:`repro.sanitize.flow`.
+
 Rules
 -----
 AEM101
@@ -78,6 +89,7 @@ from pathlib import Path
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..observe.base import EVENTS
+from .semantic import ModuleModel, is_machine_class, local_rebinds
 
 #: Packages holding *algorithms* — code that runs on a machine and must
 #: move data exclusively through the machine API (rule AEM102).
@@ -145,8 +157,8 @@ _SPAN_READERS = {"current_span", "current_collector"}
 
 _SANCTIONED_SPAN_HOOKS = {"__init__", "on_attach", "on_detach"}
 
-_DISABLE_LINE = re.compile(r"#\s*lint:\s*disable=([A-Z0-9,\s]+)")
-_DISABLE_FILE = re.compile(r"#\s*lint:\s*disable-file=([A-Z0-9,\s]+)")
+_DISABLE_LINE = re.compile(r"#\s*lint:\s*disable\s*=\s*([A-Z0-9,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*lint:\s*disable-file\s*=\s*([A-Z0-9,\s]+)")
 
 
 @dataclass(frozen=True)
@@ -205,14 +217,28 @@ def _is_observer_class(node: ast.ClassDef) -> bool:
 class _Checker(ast.NodeVisitor):
     """One file's AST walk, collecting violations for every rule."""
 
-    def __init__(self, path: Path, rel: str, module_parts: tuple[str, ...]):
+    def __init__(
+        self,
+        path: Path,
+        rel: str,
+        module_parts: tuple[str, ...],
+        model: Optional[ModuleModel] = None,
+    ):
         self.rel = rel
+        self.model = model
         self.in_machine_pkg = "machine" in module_parts
         self.in_algorithm_pkg = any(p in module_parts for p in ALGORITHM_PACKAGES)
         self.in_cost_module = module_parts[-2:] == ("machine", "cost")
         self.in_serve_pkg = "serve" in module_parts
         self.found: list[LintViolation] = []
+        #: End line of each violation's statement, parallel to ``found`` —
+        #: a ``# lint: disable=`` on any line of a multi-line statement
+        #: suppresses it.
+        self.spans: list[int] = []
         self._observer_depth = 0
+        # Function-local names rebound to machine classes (AEM108), one
+        # alias map per enclosing function, innermost last.
+        self._machine_rebinds: list[dict[str, str]] = []
         # Name of the batch parameter while inside an observer's
         # ``on_batch`` body (AEM107); None elsewhere.
         self._batch_param: Optional[str] = None
@@ -221,9 +247,9 @@ class _Checker(ast.NodeVisitor):
         self._observer_method: Optional[str] = None
 
     def flag(self, rule: str, node: ast.AST, message: str) -> None:
-        self.found.append(
-            LintViolation(rule, self.rel, getattr(node, "lineno", 0), message)
-        )
+        line = getattr(node, "lineno", 0)
+        self.found.append(LintViolation(rule, self.rel, line, message))
+        self.spans.append(getattr(node, "end_lineno", None) or line)
 
     # -- AEM101 / AEM102 / AEM106 ------------------------------------
     def visit_Attribute(self, node: ast.Attribute) -> None:
@@ -309,6 +335,13 @@ class _Checker(ast.NodeVisitor):
     def _visit_function(self, node) -> None:
         prev = self._batch_param
         prev_method = self._observer_method
+        if self.in_serve_pkg and self.model is not None:
+            rebinds = {
+                name: qual
+                for name, qual in local_rebinds(node, self.model).items()
+                if is_machine_class(qual)
+            }
+            self._machine_rebinds.append(rebinds)
         if self._observer_depth > 0 and node.name == "on_batch":
             args = list(node.args.posonlyargs) + list(node.args.args)
             # Second positional parameter after self is the batch.
@@ -319,6 +352,8 @@ class _Checker(ast.NodeVisitor):
         # Nested defs inside on_batch inherit the batch name (closures can
         # retain too); leaving on_batch restores the previous state.
         self.generic_visit(node)
+        if self.in_serve_pkg and self.model is not None:
+            self._machine_rebinds.pop()
         self._batch_param = prev
         self._observer_method = prev_method
 
@@ -393,12 +428,31 @@ class _Checker(ast.NodeVisitor):
         )
 
     # -- AEM108 --------------------------------------------------------
+    def _resolve_machine_ref(self, expr: ast.expr) -> Optional[str]:
+        """Resolve an expression to a machine class through the module's
+        import aliases and any function-local rebinds (``AM = AEMMachine``),
+        returning the class name it denotes."""
+        if self.model is None:
+            return None
+        locals_map: dict[str, str] = {}
+        for rebinds in self._machine_rebinds:
+            locals_map.update(rebinds)
+        qual = self.model.resolve(expr, locals_map or None)
+        if qual is not None and is_machine_class(qual):
+            return qual.rsplit(".", 1)[-1]
+        if isinstance(expr, ast.Name) and expr.id in locals_map:
+            return locals_map[expr.id].rsplit(".", 1)[-1]
+        return None
+
     def _machine_construction(self, func: ast.expr) -> Optional[str]:
         """The machine class this call constructs, if any.
 
         Matches bare names (``AEMMachine(...)``), qualified references
-        (``aem.AEMMachine(...)``), and the ``for_algorithm`` classmethod
-        constructors (``AEMMachine.for_algorithm(...)``).
+        (``aem.AEMMachine(...)``), the ``for_algorithm`` classmethod
+        constructors (``AEMMachine.for_algorithm(...)``), and — through
+        the module's semantic model — import aliases (``from
+        repro.machine.aem import AEMMachine as AM``) and local rebinds
+        (``M = AEMMachine; M(...)``).
         """
         if isinstance(func, ast.Name) and func.id in _MACHINE_CLASSES:
             return func.id
@@ -414,6 +468,12 @@ class _Checker(ast.NodeVisitor):
                 )
                 if tail in _MACHINE_CLASSES:
                     return f"{tail}.for_algorithm"
+                aliased_base = self._resolve_machine_ref(base)
+                if aliased_base is not None:
+                    return f"{aliased_base}.for_algorithm"
+        aliased = self._resolve_machine_ref(func)
+        if aliased is not None:
+            return aliased
         return None
 
     def visit_Call(self, node: ast.Call) -> None:
@@ -522,14 +582,18 @@ class _Checker(ast.NodeVisitor):
 def lint_source(source: str, *, rel: str, module_parts: tuple[str, ...]) -> list[LintViolation]:
     """Lint one file's source text; returns surviving violations."""
     tree = ast.parse(source, filename=rel)
-    checker = _Checker(Path(rel), rel, module_parts)
+    model = ModuleModel(".".join(module_parts) or rel, tree, path=rel)
+    checker = _Checker(Path(rel), rel, module_parts, model)
     checker.visit(tree)
     per_line, per_file = _parse_disables(source)
     out = []
-    for v in checker.found:
+    for v, end_line in zip(checker.found, checker.spans):
         if v.rule in per_file:
             continue
-        if v.rule in per_line.get(v.line, ()):
+        # A disable comment anywhere on the flagged statement counts —
+        # multi-line calls often carry the comment on their closing line.
+        span = range(v.line, max(v.line, end_line) + 1)
+        if any(v.rule in per_line.get(line, ()) for line in span):
             continue
         out.append(v)
     return out

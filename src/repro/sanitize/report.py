@@ -1,0 +1,218 @@
+"""Rendering and baselines for lint violations and analysis findings.
+
+One output pipeline serves both checkers: legacy
+:class:`~repro.sanitize.lint.LintViolation` rows are lifted into
+:class:`~repro.sanitize.analysis.Finding` (empty symbol) and everything
+downstream — text, JSON, SARIF 2.1.0, the baseline file — speaks
+``Finding``.
+
+The baseline is a committed JSON file of fingerprints (see
+``Finding.fingerprint``: rule + path + symbol + digit-stripped message,
+deliberately line-free). ``repro-aem check --analysis`` fails only on
+findings *not* in the baseline, so a rule can land before the last
+legacy offender is fixed; each suppression carries a human ``reason``
+so the debt stays visible. ``--update-baseline`` rewrites the file from
+the current findings.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .analysis import RULES, Finding
+from .lint import LintViolation
+
+BASELINE_VERSION = 1
+
+#: Default baseline location, relative to the repository root.
+BASELINE_FILENAME = ".aem-baseline.json"
+
+
+def from_violation(v: LintViolation) -> Finding:
+    """Lift a legacy lint violation into the common ``Finding`` shape."""
+    return Finding(rule=v.rule, path=v.path, line=v.line, symbol="", message=v.message)
+
+
+def as_findings(
+    rows: Iterable[Union[Finding, LintViolation]]
+) -> List[Finding]:
+    return [r if isinstance(r, Finding) else from_violation(r) for r in rows]
+
+
+# ----------------------------------------------------------------------
+# Rendering.
+# ----------------------------------------------------------------------
+def render_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(f.render() for f in findings)
+
+
+def _finding_payload(f: Finding) -> Dict[str, object]:
+    return {
+        "rule": f.rule,
+        "path": f.path,
+        "line": f.line,
+        "symbol": f.symbol,
+        "message": f.message,
+        "fingerprint": f.fingerprint,
+    }
+
+
+def render_json(
+    findings: Sequence[Finding], *, suppressed: int = 0
+) -> str:
+    doc = {
+        "version": 1,
+        "tool": "repro-aem",
+        "findings": [_finding_payload(f) for f in findings],
+        "summary": {
+            "total": len(findings),
+            "suppressed_by_baseline": suppressed,
+            "by_rule": _counts_by_rule(findings),
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _counts_by_rule(findings: Sequence[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        counts[f.rule] = counts.get(f.rule, 0) + 1
+    return counts
+
+
+def render_sarif(findings: Sequence[Finding]) -> str:
+    """SARIF 2.1.0 — one run, one rule entry per catalog rule, one
+    result per finding. GitHub code scanning ingests this directly."""
+    rules = [
+        {
+            "id": rule_id,
+            "name": rule_id,
+            "shortDescription": {"text": short},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule_id, short in sorted(RULES.items())
+    ]
+    rule_index = {rule_id: i for i, rule_id in enumerate(sorted(RULES))}
+    results = []
+    for f in findings:
+        result: Dict[str, object] = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {"startLine": max(1, f.line)},
+                    },
+                    **(
+                        {"logicalLocations": [{"fullyQualifiedName": f.symbol}]}
+                        if f.symbol
+                        else {}
+                    ),
+                }
+            ],
+            "partialFingerprints": {"aemFingerprint/v1": f.fingerprint},
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    doc = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-aem",
+                        "informationUri": "https://example.invalid/repro-aem",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def render(findings: Sequence[Finding], fmt: str, *, suppressed: int = 0) -> str:
+    if fmt == "text":
+        return render_text(findings)
+    if fmt == "json":
+        return render_json(findings, suppressed=suppressed)
+    if fmt == "sarif":
+        return render_sarif(findings)
+    raise ValueError(f"unknown output format {fmt!r}")
+
+
+# ----------------------------------------------------------------------
+# Baseline.
+# ----------------------------------------------------------------------
+def load_baseline(path: Union[str, Path]) -> Dict[str, Dict[str, str]]:
+    """Fingerprint -> suppression entry; empty when the file is absent."""
+    p = Path(path)
+    if not p.exists():
+        return {}
+    doc = json.loads(p.read_text(encoding="utf-8"))
+    out: Dict[str, Dict[str, str]] = {}
+    for entry in doc.get("suppressions", []):
+        fp = entry.get("fingerprint")
+        if isinstance(fp, str) and fp:
+            out[fp] = {k: str(v) for k, v in entry.items()}
+    return out
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, Dict[str, str]]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, suppressed-by-baseline)``."""
+    new: List[Finding] = []
+    suppressed: List[Finding] = []
+    for f in findings:
+        (suppressed if f.fingerprint in baseline else new).append(f)
+    return new, suppressed
+
+
+def write_baseline(
+    path: Union[str, Path],
+    findings: Sequence[Finding],
+    *,
+    reason: str = "baselined pre-existing finding",
+    previous: Optional[Dict[str, Dict[str, str]]] = None,
+) -> None:
+    """Write the baseline for ``findings``; keeps reasons from ``previous``
+    where fingerprints persist."""
+    prior = previous or {}
+    suppressions = []
+    for f in sorted(findings, key=lambda f: (f.path, f.rule, f.symbol)):
+        kept = prior.get(f.fingerprint, {})
+        suppressions.append(
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "symbol": f.symbol,
+                "reason": kept.get("reason", reason),
+            }
+        )
+    doc = {
+        "version": BASELINE_VERSION,
+        "tool": "repro-aem",
+        "comment": (
+            "Accepted findings from `repro-aem check --analysis`. Each entry "
+            "suppresses one fingerprint (line-number independent); remove "
+            "entries as the underlying code is fixed. Regenerate with "
+            "`repro-aem check --analysis --update-baseline`."
+        ),
+        "suppressions": suppressions,
+    }
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n", encoding="utf-8")

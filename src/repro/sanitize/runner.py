@@ -23,6 +23,7 @@ import numpy as np
 
 from ..atoms.atom import Atom
 from ..core.params import AEMParams
+from .analysis import Finding
 from .base import Sanitizer, Violation
 from .capacity import CapacitySanitizer
 from .cost import CostSanitizer
@@ -201,3 +202,47 @@ def run_lint_checks(
         f"{'clean' if not found else f'{len(found)} violation(s)'}",
     )
     return found
+
+
+def default_baseline_path(root: Optional[Path] = None) -> Path:
+    """Where the committed analysis baseline lives for a package root.
+
+    For the in-repo layout (``<repo>/src/repro``) that is
+    ``<repo>/.aem-baseline.json``; for an installed package the file
+    simply does not exist and the baseline is empty.
+    """
+    pkg_root = root if root is not None else default_lint_root()
+    from .report import BASELINE_FILENAME
+
+    return pkg_root.parent.parent / BASELINE_FILENAME
+
+
+def run_analysis_checks(
+    root: Optional[Path | str] = None,
+    *,
+    baseline: Optional[Path | str] = None,
+    log: Log = None,
+) -> tuple[list[Finding], list[Finding]]:
+    """Run the dataflow rules (AEM201-AEM204) over the package tree.
+
+    Returns ``(new, suppressed)``: findings not covered by the baseline
+    (these should fail the check) and the baselined ones. ``baseline``
+    defaults to ``.aem-baseline.json`` at the repository root when
+    present.
+    """
+    from .analysis import analyze_project
+    from .report import apply_baseline, load_baseline
+
+    pkg_root = Path(root) if root is not None else default_lint_root()
+    findings = analyze_project(pkg_root)
+    baseline_path = (
+        Path(baseline) if baseline is not None else default_baseline_path(pkg_root)
+    )
+    new, suppressed = apply_baseline(findings, load_baseline(baseline_path))
+    _say(
+        log,
+        f"  analysis over {pkg_root}: "
+        f"{'clean' if not new else f'{len(new)} finding(s)'}"
+        + (f", {len(suppressed)} baselined" if suppressed else ""),
+    )
+    return new, suppressed

@@ -48,6 +48,13 @@ SORTERS: Dict[str, Sorter] = {
 #: decisions on tokens). The rest silently run on a full machine when
 #: counting is requested — their costs are identical, just slower to
 #: simulate.
+#:
+#: This allow-list is cross-checked by static analysis: rule AEM202
+#: (``repro.sanitize.analysis``) infers which sorters can reach a
+#: payload operation while ``machine.counting`` may be true and flags
+#: drift in either direction; ``repro-aem check --analysis`` and
+#: ``tests/test_static_analysis.py`` both fail if this set and the code
+#: disagree.
 COUNTING_SORTERS = frozenset({"aem_mergesort", "pointer_mergesort", "em_mergesort"})
 
 

@@ -1,0 +1,1 @@
+"""Fixture package root — parsed by the analyzer, never imported."""

@@ -1,0 +1,89 @@
+"""Injected AEM201 phase-balance violations, plus the clean patterns.
+
+Every raw ``enter_phase`` must be matched by ``exit_phase`` on *all*
+CFG paths; the ``with machine.phase(...)`` context manager and the
+observer mirror hooks are exempt.
+"""
+
+
+def unclosed_on_branch(machine, work):  # aem-expect: AEM201 (path conflict)
+    machine.enter_phase("scan")
+    if work:
+        machine.exit_phase("scan")
+    return work
+
+
+def unclosed_on_early_return(machine, n):
+    machine.enter_phase("probe")  # aem-expect: AEM201
+    if n == 0:
+        return None
+    machine.exit_phase("probe")
+    return n
+
+
+def exit_without_enter(machine):
+    machine.exit_phase("io")  # aem-expect: AEM201
+    return machine
+
+
+def mismatched_names(machine):
+    machine.enter_phase("alpha")
+    machine.exit_phase("beta")  # aem-expect: AEM201
+    return machine
+
+
+def enter_inside_loop(machine, items):
+    for item in items:
+        machine.enter_phase("chunk")
+    machine.exit_phase("chunk")  # aem-expect: AEM201
+    return items
+
+
+def suppressed_unclosed(machine):
+    machine.enter_phase("quiet")  # lint: disable=AEM201
+    return machine
+
+
+def balanced_straightline(machine, items):
+    machine.enter_phase("sum")
+    total = sum(items)
+    machine.exit_phase("sum")
+    return total
+
+
+def balanced_try_finally(machine, items):
+    machine.enter_phase("scan")
+    try:
+        total = sum(items)
+    finally:
+        machine.exit_phase("scan")
+    return total
+
+
+def balanced_both_branches(machine, fast, items):
+    machine.enter_phase("route")
+    if fast:
+        out = list(items)
+        machine.exit_phase("route")
+    else:
+        out = sorted(items)
+        machine.exit_phase("route")
+    return out
+
+
+def context_manager_is_exempt(machine, items):
+    with machine.phase("managed"):
+        return sum(items)
+
+
+class MirrorObserver:
+    """The observer mirror hooks are exempt by name."""
+
+    def __init__(self, counter):
+        self._counter = counter
+
+    def on_phase_enter(self, name):
+        self._counter.enter_phase(name)
+
+    def on_phase_exit(self, name):
+        self._counter.exit_phase(name)

@@ -1,0 +1,6 @@
+"""Stub sweep engine so serve fixtures can alias it."""
+
+
+class SweepEngine:
+    def map(self, configs):
+        return list(configs)

@@ -1,0 +1,6 @@
+"""Stub observer base so fixture classes have a recognisable base."""
+
+
+class MachineObserver:
+    def on_batch(self, batch):
+        pass

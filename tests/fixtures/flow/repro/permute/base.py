@@ -1,0 +1,7 @@
+"""Fixture permuter registry: ``permute_leaky`` reads payloads, so the
+registry line draws an AEM202 finding (permuters must run in counting
+mode)."""
+
+from .leaky import permute_leaky
+
+PERMUTERS = {"leaky": permute_leaky}  # aem-expect: AEM202

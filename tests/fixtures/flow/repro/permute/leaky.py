@@ -1,0 +1,9 @@
+"""A permuter that reads atom payloads with no counting guard."""
+
+
+def permute_leaky(machine, addrs, perm, params):
+    atoms = []
+    for addr in addrs:
+        for atom in machine.read(addr):
+            atoms.append(atom.uid)
+    return atoms

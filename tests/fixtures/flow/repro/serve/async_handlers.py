@@ -1,0 +1,42 @@
+"""Injected AEM204 async-safety violations: blocking calls inside
+``async def`` bodies in a serve module."""
+
+import asyncio
+import subprocess
+import time
+from socket import create_connection
+
+from ..engine.core import SweepEngine
+
+
+async def bad_sleep(duration):
+    time.sleep(duration)  # aem-expect: AEM204
+    return duration
+
+
+async def bad_socket(host, port):
+    return create_connection((host, port))  # aem-expect: AEM204
+
+
+async def bad_subprocess(cmd):
+    return subprocess.run(cmd, check=False)  # aem-expect: AEM204
+
+
+async def bad_engine_map(configs):
+    engine = SweepEngine()
+    return engine.map(configs)  # aem-expect: AEM204
+
+
+async def good_sleep(duration):
+    await asyncio.sleep(duration)
+    return duration
+
+
+async def good_executor(configs):
+    loop = asyncio.get_running_loop()
+    return await loop.run_in_executor(None, time.sleep, 0.01)
+
+
+def sync_helper_may_block(duration):
+    time.sleep(duration)
+    return duration

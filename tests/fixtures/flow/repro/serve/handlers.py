@@ -1,0 +1,26 @@
+"""Injected AEM108 violations: machine construction inside serve code,
+laundered through import aliases, attribute rebinding, and deferred
+imports — exactly the forms a textual grep misses."""
+
+from ..machine import aem as machine_mod
+from ..machine.aem import AEMMachine as AM
+
+
+def build_direct():
+    return AM(64, 8, 4)  # aem-expect-lint: AEM108
+
+
+def build_rebound():
+    Machine = machine_mod.AEMMachine
+    return Machine.for_algorithm("sort")  # aem-expect-lint: AEM108
+
+
+def build_deferred():
+    from ..machine import aem as deferred
+
+    return deferred.AEMMachine(64, 8, 4)  # aem-expect-lint: AEM108
+
+
+def describe_machine(machine):
+    """Clean: *using* a machine handed in by the engine is fine."""
+    return {"counting": machine.counting}

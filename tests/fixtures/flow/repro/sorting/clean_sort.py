@@ -1,0 +1,11 @@
+"""A sorter that never touches atom payloads: counting-safe, but
+deliberately *missing* from the fixture ``COUNTING_SORTERS`` so AEM202
+flags the under-claim direction."""
+
+
+def clean_sort(machine, addrs, params):
+    out = []
+    for addr in addrs:
+        out.extend(machine.read(addr))
+    out.sort()
+    return out

@@ -1,0 +1,12 @@
+"""A sorter that reads atom payloads unconditionally, yet is
+deliberately *listed* in the fixture ``COUNTING_SORTERS`` so AEM202
+flags the over-claim direction."""
+
+
+def dirty_sort(machine, addrs, params):
+    atoms = []
+    for addr in addrs:
+        for atom in machine.read(addr):
+            atoms.append((atom.sort_token(), atom))
+    atoms.sort()
+    return [pair[1] for pair in atoms]

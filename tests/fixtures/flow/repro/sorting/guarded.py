@@ -1,0 +1,21 @@
+"""A correctly guarded sorter: the payload read is only reachable on
+``not counting`` edges (including through a helper call), so the
+inference must classify it counting-safe — no AEM202 finding."""
+
+
+def guarded_sort(machine, addrs, params):
+    counting = machine.counting
+    out = []
+    for addr in addrs:
+        blk = machine.read(addr)
+        if counting:
+            out.extend(blk)
+        else:
+            _merge_full(out, blk)
+    out.sort()
+    return out
+
+
+def _merge_full(out, blk):
+    for atom in blk:
+        out.append((atom.sort_token(), atom))

@@ -316,3 +316,106 @@ class TestCheckCommand:
         monkeypatch.setenv("REPRO_DEBUG", "1")
         with pytest.raises(RuntimeError, match="battery exploded"):
             main(["check", "--traces"])
+
+
+class TestCheckAnalysis:
+    """The dataflow half of ``check``: --analysis, --format, baselines."""
+
+    def _plant(self, monkeypatch, findings, suppressed=()):
+        import repro.sanitize
+
+        monkeypatch.setattr(
+            repro.sanitize,
+            "run_analysis_checks",
+            lambda baseline=None, log=None: (list(findings), list(suppressed)),
+        )
+
+    def _finding(self):
+        from repro.sanitize import Finding
+
+        return Finding("AEM201", "repro/x.py", 3, "f", "planted imbalance")
+
+    def test_parser_wired(self):
+        args = build_parser().parse_args(
+            ["check", "--analysis", "--format", "sarif", "--baseline", "b.json"]
+        )
+        assert args.analysis and not args.lint and not args.traces
+        assert args.format == "sarif" and args.baseline == "b.json"
+
+    def test_format_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--format", "xml"])
+
+    def test_analysis_clean_tree_passes(self, capsys):
+        assert main(["check", "--analysis"]) == 0
+        assert "check passed" in capsys.readouterr().out
+
+    def test_analysis_findings_mean_nonzero_exit(self, capsys, monkeypatch):
+        self._plant(monkeypatch, [self._finding()])
+        assert main(["check", "--analysis"]) == 1
+        err = capsys.readouterr().err
+        assert "planted imbalance" in err and "FAILED" in err
+
+    def test_json_format_owns_stdout(self, capsys, monkeypatch):
+        self._plant(monkeypatch, [self._finding()], suppressed=[self._finding()])
+        assert main(["check", "--analysis", "--format", "json"]) == 1
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert doc["summary"] == {
+            "total": 1,
+            "suppressed_by_baseline": 1,
+            "by_rule": {"AEM201": 1},
+        }
+        assert doc["findings"][0]["message"] == "planted imbalance"
+        # progress and failures stay off the machine-readable stream
+        assert "FAILED" in captured.err
+
+    def test_clean_json_run_keeps_stdout_machine_readable(self, capsys, monkeypatch):
+        self._plant(monkeypatch, [])
+        assert main(["check", "--analysis", "--format", "json"]) == 0
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["findings"] == []
+        assert "check passed" in captured.err
+
+    def test_sarif_format_lifts_lint_violations(self, capsys, monkeypatch):
+        import repro.sanitize
+        from repro.sanitize import LintViolation
+
+        monkeypatch.setattr(
+            repro.sanitize,
+            "run_lint_checks",
+            lambda log=None: [LintViolation("AEM104", "repro/y.py", 7, "planted")],
+        )
+        assert main(["check", "--lint", "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        (result,) = doc["runs"][0]["results"]
+        assert result["ruleId"] == "AEM104"
+        assert result["locations"][0]["physicalLocation"]["region"]["startLine"] == 7
+
+    def test_update_baseline_writes_file(self, tmp_path, capsys, monkeypatch):
+        import repro.sanitize
+
+        planted = self._finding()
+        monkeypatch.setattr(
+            repro.sanitize, "analyze_project", lambda root: [planted]
+        )
+        path = tmp_path / "baseline.json"
+        assert main(
+            ["check", "--analysis", "--update-baseline", "--baseline", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        assert [s["fingerprint"] for s in doc["suppressions"]] == [
+            planted.fingerprint
+        ]
+        assert "baseline written" in capsys.readouterr().out
+
+    def test_baseline_flag_reaches_runner(self, tmp_path, capsys):
+        from repro.sanitize import write_baseline
+
+        planted = self._finding()
+        path = tmp_path / "baseline.json"
+        write_baseline(path, [planted])
+        # baseline only suppresses matching fingerprints; the real tree is
+        # clean so the run still passes and reports the suppression count.
+        assert main(["check", "--analysis", "--baseline", str(path)]) == 0

@@ -1,0 +1,330 @@
+"""Unit tests for the CFG builder and the forward-dataflow solver
+(:mod:`repro.sanitize.flow`)."""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import FrozenSet, Optional
+
+from repro.sanitize.flow import (
+    CFG,
+    FALSE,
+    LOOP_BODY,
+    LOOP_EXIT,
+    TRUE,
+    CFGNode,
+    ForwardAnalysis,
+    build_cfg,
+    exit_states,
+    fixpoint,
+    iter_functions,
+)
+
+
+def cfg_of(src: str) -> CFG:
+    tree = ast.parse(textwrap.dedent(src))
+    func = tree.body[0]
+    assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+    return build_cfg(func)
+
+
+def node_at(cfg: CFG, line: int) -> CFGNode:
+    hits = [n for n in cfg.nodes if n.line == line]
+    assert hits, f"no CFG node at line {line}"
+    return hits[0]
+
+
+def succ_labels(cfg: CFG, node: CFGNode) -> set:
+    return {label for _, label in node.succs}
+
+
+# ----------------------------------------------------------------------
+# CFG construction.
+# ----------------------------------------------------------------------
+def test_linear_sequence_chains_entry_to_exit() -> None:
+    cfg = cfg_of(
+        """
+        def f():
+            a = 1
+            b = 2
+        """
+    )
+    a, b = node_at(cfg, 3), node_at(cfg, 4)
+    assert (a.index, "") in [(i, l) for i, l in cfg.entry.succs]
+    assert (b.index, "") in a.succs
+    assert (cfg.exit.index, "") in b.succs
+
+
+def test_if_else_labels_and_merge() -> None:
+    cfg = cfg_of(
+        """
+        def f(c):
+            if c:
+                x = 1
+            else:
+                y = 2
+            z = 3
+        """
+    )
+    header = node_at(cfg, 3)
+    assert header.kind == "branch"
+    assert succ_labels(cfg, header) == {TRUE, FALSE}
+    merge = node_at(cfg, 7)
+    assert len(merge.preds) == 2  # both branches converge on z = 3
+
+
+def test_if_without_else_falls_through_on_false() -> None:
+    cfg = cfg_of(
+        """
+        def f(c):
+            if c:
+                x = 1
+            z = 3
+        """
+    )
+    header, after = node_at(cfg, 3), node_at(cfg, 5)
+    assert (after.index, FALSE) in header.succs
+
+
+def test_while_true_has_no_false_exit() -> None:
+    cfg = cfg_of(
+        """
+        def f():
+            while True:
+                x = 1
+        """
+    )
+    header = node_at(cfg, 3)
+    assert FALSE not in succ_labels(cfg, header)
+    assert not cfg.exit.preds  # nothing ever reaches the exit
+
+
+def test_while_break_reaches_following_statement() -> None:
+    cfg = cfg_of(
+        """
+        def f():
+            while True:
+                break
+            tail = 1
+        """
+    )
+    brk, tail = node_at(cfg, 4), node_at(cfg, 5)
+    assert (tail.index, "") in brk.succs
+
+
+def test_for_loop_body_and_exit_labels() -> None:
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                x = item
+            tail = 1
+        """
+    )
+    header = node_at(cfg, 3)
+    assert header.kind == "loop"
+    assert succ_labels(cfg, header) == {LOOP_BODY, LOOP_EXIT}
+    body = node_at(cfg, 4)
+    assert (header.index, "") in body.succs  # loop back edge
+
+
+def test_continue_routes_to_loop_header() -> None:
+    cfg = cfg_of(
+        """
+        def f(items):
+            for item in items:
+                if item:
+                    continue
+                x = item
+        """
+    )
+    header, cont = node_at(cfg, 3), node_at(cfg, 5)
+    assert (header.index, "") in cont.succs
+
+
+def test_return_in_try_routes_through_finally() -> None:
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                return 1
+            finally:
+                cleanup = 2
+        """
+    )
+    ret, fin = node_at(cfg, 4), node_at(cfg, 6)
+    # return does NOT go straight to exit: its successor chain passes
+    # through the finally body first.
+    direct = [i for i, _ in ret.succs]
+    assert cfg.exit.index not in direct
+    # finally entry marker sits between; the cleanup stmt reaches exit.
+    assert (cfg.exit.index, "") in fin.succs
+    # and the exit's only incoming path is via the finally body.
+    assert [i for i, _ in cfg.exit.preds] == [fin.index]
+
+
+def test_raise_targets_matching_handler() -> None:
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                raise ValueError()
+            except ValueError:
+                handled = 1
+        """
+    )
+    rse = node_at(cfg, 4)
+    handler_entries = [n for n in cfg.nodes if n.kind == "except"]
+    assert len(handler_entries) == 1
+    assert (handler_entries[0].index, "") in rse.succs
+
+
+def test_try_body_statements_get_raise_edges_to_handler() -> None:
+    cfg = cfg_of(
+        """
+        def f():
+            try:
+                work = 1
+            except Exception:
+                handled = 1
+        """
+    )
+    work = node_at(cfg, 4)
+    handler = next(n for n in cfg.nodes if n.kind == "except")
+    assert (handler.index, "raise") in work.succs
+
+
+def test_unreachable_code_after_return_is_dropped() -> None:
+    cfg = cfg_of(
+        """
+        def f():
+            return 1
+            dead = 2
+        """
+    )
+    assert all(n.line != 4 for n in cfg.nodes)
+
+
+def test_iter_functions_finds_methods_nested_and_guarded_defs() -> None:
+    tree = ast.parse(
+        textwrap.dedent(
+            """
+            def top():
+                def inner():
+                    pass
+
+            class C:
+                def method(self):
+                    pass
+
+            if True:
+                def guarded():
+                    pass
+            """
+        )
+    )
+    names = {qual for qual, _ in iter_functions(tree)}
+    assert names == {"top", "top.inner", "C.method", "guarded"}
+
+
+# ----------------------------------------------------------------------
+# Fixpoint solving.
+# ----------------------------------------------------------------------
+State = Optional[FrozenSet[str]]
+
+
+class MustAssigned(ForwardAnalysis):
+    """Names assigned on *every* path (intersection at merges)."""
+
+    def __init__(self, kill_false_edges: bool = False) -> None:
+        self.kill_false_edges = kill_false_edges
+
+    def initial_state(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def transfer(self, node: CFGNode, state: FrozenSet[str]) -> FrozenSet[str]:
+        stmt = node.stmt
+        if isinstance(stmt, ast.Assign):
+            names = {t.id for t in stmt.targets if isinstance(t, ast.Name)}
+            return state | frozenset(names)
+        return state
+
+    def transfer_edge(
+        self, node: CFGNode, label: str, state: FrozenSet[str]
+    ) -> Optional[FrozenSet[str]]:
+        if self.kill_false_edges and label == FALSE:
+            return None
+        return state
+
+    def join(self, a: FrozenSet[str], b: FrozenSet[str]) -> FrozenSet[str]:
+        return a & b
+
+
+def test_fixpoint_joins_at_merge_points() -> None:
+    cfg = cfg_of(
+        """
+        def f(c):
+            if c:
+                x = 1
+                y = 1
+            else:
+                x = 2
+            z = x
+        """
+    )
+    states = fixpoint(cfg, MustAssigned())
+    merge = node_at(cfg, 8)
+    # x assigned on both branches, y only on one.
+    assert states[merge.index] == frozenset({"x"})
+
+
+def test_fixpoint_converges_on_loops() -> None:
+    cfg = cfg_of(
+        """
+        def f(items):
+            total = 0
+            for item in items:
+                total = total
+                extra = 1
+            tail = total
+        """
+    )
+    states = fixpoint(cfg, MustAssigned())
+    tail = node_at(cfg, 6)
+    # ``extra`` is not assigned on the zero-iteration path.
+    assert states[tail.index] == frozenset({"total"})
+
+
+def test_transfer_edge_none_kills_paths() -> None:
+    cfg = cfg_of(
+        """
+        def f(c):
+            if c:
+                x = 1
+            else:
+                y = 1
+            z = 1
+        """
+    )
+    states = fixpoint(cfg, MustAssigned(kill_false_edges=True))
+    dead = node_at(cfg, 6)  # the else branch is statically unreachable
+    assert dead.index not in states
+    merge = node_at(cfg, 7)
+    assert states[merge.index] == frozenset({"x"})
+
+
+def test_exit_states_one_per_function_exit() -> None:
+    cfg = cfg_of(
+        """
+        def f(c):
+            a = 1
+            if c:
+                return 1
+            b = 2
+        """
+    )
+    results = exit_states(cfg, MustAssigned())
+    by_line = {node.line: state for node, state in results}
+    assert by_line[5] == frozenset({"a"})  # the early return
+    assert by_line[6] == frozenset({"a", "b"})  # the fall-off tail

@@ -460,6 +460,55 @@ class TestDisables:
         """
         assert lint(src) == []
 
+    # Regression: the original regex only accepted a single bare rule id
+    # glued to the ``=`` — comma lists and extra whitespace silently
+    # failed to suppress.
+    def test_line_disable_comma_list_with_spaces(self):
+        src = "rec = {'Qr': store._blocks, 'Qw': w}  # lint: disable=AEM101, AEM104"
+        assert lint(src) == []
+
+    def test_line_disable_arbitrary_spacing(self):
+        assert lint("n = store._blocks[3]  #lint:disable = AEM101") == []
+        assert lint("n = store._blocks[3]  #  lint:  disable=  AEM101  ") == []
+
+    def test_file_disable_comma_list_with_spaces(self):
+        src = """
+        # lint: disable-file = AEM101 , AEM104
+        a = {'Qr': 1, 'Qw': 2}
+        n = store._blocks[3]
+        """
+        assert lint(src) == []
+
+    def test_parse_disables_directly(self):
+        from repro.sanitize.lint import _parse_disables
+
+        per_line, per_file = _parse_disables(
+            "x = 1  # lint: disable=AEM101 ,AEM104,  AEM107\n"
+            "# lint: disable-file=AEM108,AEM109\n"
+        )
+        assert per_line == {1: {"AEM101", "AEM104", "AEM107"}}
+        assert per_file == {"AEM108", "AEM109"}
+
+    def test_disable_anywhere_in_multiline_statement_span(self):
+        """A violation reports the statement's first line, but the
+        suppression comment may sit on any line the statement spans."""
+        src = """
+        rec = {
+            'Qr': qr,
+            'Qw': qw,  # lint: disable=AEM104
+        }
+        """
+        assert lint(src) == []
+
+    def test_multiline_span_wrong_rule_still_fires(self):
+        src = """
+        rec = {
+            'Qr': qr,
+            'Qw': qw,  # lint: disable=AEM101
+        }
+        """
+        assert rules(lint(src)) == {"AEM104"}
+
 
 def test_shipped_tree_is_clean():
     assert run_lint_checks() == []
