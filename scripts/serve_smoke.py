@@ -30,6 +30,15 @@ QUERIES = [
     {"workload": "sort", "n": 512, "M": 64, "B": 8, "omega": 4},
     {"workload": "permute", "n": 256, "M": 64, "B": 8, "omega": 4},
     {"workload": "spmxv", "n": 64, "delta": 2, "M": 64, "B": 8, "omega": 4},
+    {"workload": "index_build", "n": 400, "M": 64, "B": 8, "omega": 4},
+    {
+        "workload": "search_query",
+        "n": 400,
+        "n_queries": 20,
+        "M": 64,
+        "B": 8,
+        "omega": 4,
+    },
 ]
 
 
@@ -110,8 +119,29 @@ def check_bench() -> None:
         fail("bench saw a zero dedup hit-rate on zipfian traffic")
 
 
+def check_search() -> None:
+    """The search workloads on a tiny corpus: counting==full parity.
+
+    The server boots in counting mode, so the parity loop in
+    :func:`check_parity_and_dedup` already pins served-vs-direct
+    bit-identity for ``index_build`` and ``search_query``; this check
+    adds the other leg — the counting machine's CostRecord must equal
+    the full machine's for the same corpus and query stream.
+    """
+    for query in QUERIES:
+        if query["workload"] not in ("index_build", "search_query"):
+            continue
+        full = dict(api.evaluate(query["workload"], query, counting=False))
+        fast = dict(api.evaluate(query["workload"], query, counting=True))
+        if full != fast:
+            fail(f"counting/full cost divergence for {query}:\n"
+                 f"  full:     {full}\n  counting: {fast}")
+    print("search counting parity OK: index_build + search_query")
+
+
 def main() -> int:
     check_parity_and_dedup()
+    check_search()
     check_bench()
     print("serve smoke passed")
     return 0

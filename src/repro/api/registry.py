@@ -33,6 +33,7 @@ from ..core.params import AEMParams
 from ..engine.cache import cache_key
 from ..permute.base import PERMUTERS
 from ..sorting.base import SORTERS
+from ..workloads.search import measures as search_measures
 from . import measures
 
 
@@ -202,6 +203,50 @@ register_workload(
             QueryField("family", _coerce_str, default="random"),
         ),
         help="sparse-matrix dense-vector multiply (N x N, delta nnz/row)",
+    )
+)
+
+#: Corpus-shape fields shared by the two search workloads. The ``None``
+#: defaults stay *out* of the config when a query omits them, so the
+#: measure functions' own derived defaults apply (and cache keys stay
+#: identical between "omitted" and "explicitly derived" spellings only
+#: when the caller spells them the same way).
+_CORPUS_FIELDS: Tuple[QueryField, ...] = (
+    QueryField("n_docs", _coerce_int, default=None),
+    QueryField("n_terms", _coerce_int, default=None),
+    QueryField("zipf_a", _coerce_float, default=1.4),
+    QueryField("fanin", _coerce_int, default=None),
+    QueryField(
+        "sorter",
+        _coerce_str,
+        default="aem_mergesort",
+        choices=tuple(sorted(SORTERS)),
+    ),
+)
+
+register_workload(
+    WorkloadSpec(
+        name="index_build",
+        measure=search_measures.measure_index_build,
+        fields=(QueryField("n", _coerce_int),) + _CORPUS_FIELDS,
+        help="build a blocked inverted index over an N-posting corpus",
+    )
+)
+
+register_workload(
+    WorkloadSpec(
+        name="search_query",
+        measure=search_measures.measure_search_query,
+        fields=(
+            QueryField("n", _coerce_int),
+            QueryField("n_queries", _coerce_int, default=64),
+            QueryField("k", _coerce_int, default=8),
+            QueryField("mode", _coerce_str, default="and", choices=("and", "or")),
+            QueryField("terms_per_query", _coerce_int, default=2),
+        )
+        + _CORPUS_FIELDS,
+        help="serve DAAT top-k queries over a freshly built index "
+        "(cost of the query phase only)",
     )
 )
 

@@ -428,6 +428,106 @@ def cmd_spmxv(args) -> int:
     return 0
 
 
+def _corpus_query_fields(args) -> dict:
+    """The optional corpus-shape fields, omitted when left at None so the
+    registry's derived defaults (and cache identity) apply."""
+    out = {"zipf_a": args.zipf_a, "sorter": args.sorter}
+    for name in ("n_docs", "n_terms", "fanin"):
+        value = getattr(args, name)
+        if value is not None:
+            out[name] = value
+    return out
+
+
+def cmd_index(args) -> int:
+    p = _params(args)
+    observers = _run_observers(args)
+    tel_observers, tel = _telemetry_observers(args)
+    extra = _corpus_query_fields(args)
+    t0 = time.perf_counter()
+    rec = api.evaluate(
+        "index_build",
+        n=args.n,
+        M=p.M,
+        B=p.B,
+        omega=p.omega,
+        seed=args.seed,
+        counting=args.counting,
+        observers=observers + tel_observers,
+        **extra,
+    )
+    _close_observers(observers)
+    config = {
+        "n": args.n,
+        **extra,
+        "seed": args.seed,
+        "counting": args.counting,
+        "params": {"M": p.M, "B": p.B, "omega": p.omega},
+    }
+    _finish_run_telemetry(
+        args, tel, config=config, cost=rec, wall_s=time.perf_counter() - t0
+    )
+    if args.json:
+        _emit_json({"command": "index", **config, **rec})
+        return 0
+    print(f"index build over N={args.n} postings, {p.describe()}")
+    print(
+        f"  Qr={rec['Qr']}  Qw={rec['Qw']}  Q={rec['Q']:g}  "
+        f"T={rec['T']}  peak-mem={rec['peak_mem']}"
+    )
+    return 0
+
+
+def cmd_search(args) -> int:
+    p = _params(args)
+    observers = _run_observers(args)
+    tel_observers, tel = _telemetry_observers(args)
+    extra = _corpus_query_fields(args)
+    t0 = time.perf_counter()
+    rec = api.evaluate(
+        "search_query",
+        n=args.n,
+        n_queries=args.queries,
+        k=args.k,
+        mode=args.mode,
+        terms_per_query=args.terms,
+        M=p.M,
+        B=p.B,
+        omega=p.omega,
+        seed=args.seed,
+        counting=args.counting,
+        observers=observers + tel_observers,
+        **extra,
+    )
+    _close_observers(observers)
+    config = {
+        "n": args.n,
+        "n_queries": args.queries,
+        "k": args.k,
+        "mode": args.mode,
+        "terms_per_query": args.terms,
+        **extra,
+        "seed": args.seed,
+        "counting": args.counting,
+        "params": {"M": p.M, "B": p.B, "omega": p.omega},
+    }
+    _finish_run_telemetry(
+        args, tel, config=config, cost=rec, wall_s=time.perf_counter() - t0
+    )
+    if args.json:
+        _emit_json({"command": "search", **config, **rec})
+        return 0
+    print(
+        f"search: {args.queries} {args.mode}-mode top-{args.k} queries over "
+        f"an N={args.n} index, {p.describe()}"
+    )
+    print(
+        f"  query phase only: Qr={rec['Qr']}  Qw={rec['Qw']}  Q={rec['Q']:g}  "
+        f"T={rec['T']}"
+    )
+    return 0
+
+
 def _profile_query(args) -> dict:
     """The workload query dict a ``profile <workload>`` target prices."""
     p = _params(args)
@@ -769,7 +869,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = ap.add_subparsers(dest="command", required=True)
 
-    exp = sub.add_parser("exp", help="run experiments (e1..e17, a1..a3, or 'all')")
+    exp = sub.add_parser("exp", help="run experiments (e1..e19, a1..a3, or 'all')")
     exp.add_argument("id", help=f"experiment id: {sorted(REGISTRY)} or 'all'")
     exp.add_argument("--full", action="store_true", help="full-size sweeps")
     exp.add_argument(
@@ -829,6 +929,51 @@ def build_parser() -> argparse.ArgumentParser:
     _add_machine_args(sp)
     _add_run_args(sp)
     sp.set_defaults(fn=cmd_spmxv)
+
+    def _add_corpus_args(parser) -> None:
+        parser.add_argument(
+            "--n-docs", type=int, default=None, help="documents (default n/8)"
+        )
+        parser.add_argument(
+            "--n-terms", type=int, default=None, help="terms (default n/16)"
+        )
+        parser.add_argument(
+            "--zipf-a", type=float, default=1.4, help="zipf exponent for terms"
+        )
+        parser.add_argument(
+            "--fanin",
+            type=int,
+            default=None,
+            help="merge fan-in per layer (default and cap: omega*m)",
+        )
+        parser.add_argument(
+            "--sorter",
+            choices=sorted(SORTERS),
+            default="aem_mergesort",
+            help="run-generation sorter",
+        )
+
+    idx = sub.add_parser(
+        "index", help="build a blocked inverted index over a synthetic corpus"
+    )
+    idx.add_argument("--n", type=int, default=8_000, help="corpus postings")
+    _add_corpus_args(idx)
+    _add_machine_args(idx)
+    _add_run_args(idx)
+    idx.set_defaults(fn=cmd_index)
+
+    sch = sub.add_parser(
+        "search", help="serve DAAT top-k queries (prices the query phase only)"
+    )
+    sch.add_argument("--n", type=int, default=4_000, help="corpus postings")
+    sch.add_argument("--queries", type=int, default=64, help="queries to serve")
+    sch.add_argument("--k", type=int, default=8, help="results per query")
+    sch.add_argument("--mode", choices=["and", "or"], default="and")
+    sch.add_argument("--terms", type=int, default=2, help="terms per query")
+    _add_corpus_args(sch)
+    _add_machine_args(sch)
+    _add_run_args(sch)
+    sch.set_defaults(fn=cmd_search)
 
     from .telemetry.profile import WEIGHTS
 

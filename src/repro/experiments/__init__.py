@@ -28,6 +28,8 @@ from . import (  # noqa: F401 — importing registers each experiment
     e15_memory_scaling,
     e16_write_endurance,
     e17_transpose_structure,
+    e18_index_build,
+    e19_query_serving,
 )
 from .common import (
     REGISTRY,

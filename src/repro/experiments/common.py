@@ -114,7 +114,7 @@ def natural_key(eid: str) -> tuple:
 
 
 def experiment_order() -> list[str]:
-    """Registered experiment ids in natural order (a1..a3, e1..e17)."""
+    """Registered experiment ids in natural order (a1..a3, e1..e19)."""
     return sorted(REGISTRY, key=natural_key)
 
 
@@ -149,7 +149,7 @@ def run_experiment(
     *,
     quick: Optional[bool] = None,
 ) -> ExperimentResult:
-    """Run one experiment by id (``"e1"``..``"e17"``, ``"a1"``..``"a3"``).
+    """Run one experiment by id (``"e1"``..``"e19"``, ``"a1"``..``"a3"``).
 
     ``config`` carries the execution policy (budget, jobs, cache, seed,
     observers); the keyword ``quick=`` is a deprecated alias for

@@ -1,0 +1,183 @@
+"""E19 — per-query serving cost vs k, posting lengths, omega (ISSUE E17).
+
+The query path is the read-heavy half of the search engine: DAAT top-k
+evaluation touches lexicon, skip, and postings blocks but never writes.
+Empirically:
+
+* every measured query phase has ``Qw == 0`` — serving is pure reads;
+* because of that, the per-query cost is *invariant in omega*: the same
+  index layout is traversed read-for-read whatever the write premium;
+* conjunctive evaluation (rarest-term driver + skip-to-block probes) is
+  never costlier than disjunctive evaluation of the same queries, and
+  longer queries (more terms) cost more;
+* counting and full machines agree bit-for-bit — including on the
+  *results*, since ranking works on scheduling tokens — which is what
+  makes the million-query record affordable.
+"""
+
+from __future__ import annotations
+
+from ..analysis.sweep import sweep_map
+from ..analysis.tables import format_table
+from ..core.params import AEMParams
+from ..workloads.search.measures import measure_search_query
+from .common import ExperimentConfig, ExperimentResult, register
+
+
+@register("e19")
+def run(config: ExperimentConfig) -> ExperimentResult:
+    quick = config.quick
+    base = AEMParams(M=128, B=16, omega=8)
+    N = 2_500 if quick else 20_000
+    n_queries = 30 if quick else 200
+    ks = [1, 8] if quick else [1, 4, 16]
+    tpqs = [2] if quick else [2, 3]
+    omegas = [1.0, 8.0] if quick else [1.0, 8.0, 64.0]
+    res = ExperimentResult(
+        eid="E19",
+        title="Query serving: per-query cost vs k, query shape, omega",
+        claim=(
+            "DAAT serving reads lexicon/skip/postings blocks and writes "
+            "nothing, so its cost is omega-invariant — reads are the "
+            "cheap currency of the AEM   [Sec. 1 asymmetry]"
+        ),
+    )
+
+    points = [
+        (mode, k, tpq)
+        for mode in ("and", "or")
+        for k in ks
+        for tpq in tpqs
+    ]
+    recs = sweep_map(
+        measure_search_query,
+        [
+            {
+                "N": N,
+                "params": base,
+                "n_queries": n_queries,
+                "k": k,
+                "mode": mode,
+                "terms_per_query": tpq,
+                "seed": 5,
+            }
+            for mode, k, tpq in points
+        ],
+    )
+    costs: dict[tuple, dict] = {}
+    for (mode, k, tpq), rec in zip(points, recs):
+        costs[(mode, k, tpq)] = rec
+        res.records.append(
+            {
+                "N": N,
+                "n_queries": n_queries,
+                "mode": mode,
+                "k": k,
+                "terms_per_query": tpq,
+                **rec,
+            }
+        )
+
+    res.tables.append(
+        format_table(
+            ["mode", "terms/query"] + [f"k={k}" for k in ks],
+            [
+                [mode, tpq] + [costs[(mode, k, tpq)]["Q"] for k in ks]
+                for mode in ("and", "or")
+                for tpq in tpqs
+            ],
+            title=f"E19a: query-phase cost Q for {n_queries} queries, "
+            f"N={N}, {base.describe()}",
+        )
+    )
+
+    # Omega sweep at a fixed query shape: layout and traversal are
+    # decided by the data alone, so reads (and hence Q: Qw == 0) match.
+    omega_recs = sweep_map(
+        measure_search_query,
+        [
+            {
+                "N": N,
+                "params": AEMParams(M=base.M, B=base.B, omega=om),
+                "n_queries": n_queries,
+                "k": ks[-1],
+                "mode": "and",
+                "seed": 5,
+            }
+            for om in omegas
+        ],
+    )
+    res.tables.append(
+        format_table(
+            ["omega", "Qr", "Qw", "Q", "T"],
+            [
+                [om, r["Qr"], r["Qw"], r["Q"], r["T"]]
+                for om, r in zip(omegas, omega_recs)
+            ],
+            title="E19b: the same queries under different write premiums",
+        )
+    )
+    for om, r in zip(omegas, omega_recs):
+        res.records.append(
+            {"N": N, "n_queries": n_queries, "omega": om, "mode": "and", **r}
+        )
+
+    res.check(
+        "every query phase performs zero writes (Qw == 0)",
+        all(r["Qw"] == 0 for r in recs + omega_recs),
+    )
+    res.check(
+        "conjunctive evaluation never costs more than disjunctive",
+        all(
+            costs[("and", k, tpq)]["Q"] <= costs[("or", k, tpq)]["Q"]
+            for k in ks
+            for tpq in tpqs
+        ),
+    )
+    res.check(
+        "per-query cost is omega-invariant (identical Qr/Qw/T across omega)",
+        len(
+            {
+                (r["Qr"], r["Qw"], r["T"], r["Q"])
+                for r in omega_recs
+            }
+        )
+        == 1,
+    )
+
+    # Counting-vs-full parity, asserted directly (outside the engine);
+    # measure_search_query verifies *results* against the reference in
+    # both modes, so this pairs costs and rankings at once.
+    pair_cfg = dict(N=1_200, params=base, n_queries=25, k=4, seed=9)
+    full = dict(measure_search_query(**pair_cfg, counting=False))
+    fast = dict(measure_search_query(**pair_cfg, counting=True))
+    res.check("counting and full costs are bit-identical (paired config)", full == fast)
+
+    if not quick:
+        big = measure_search_query(
+            100_000,
+            AEMParams(M=4096, B=64, omega=8),
+            n_queries=1_000_000,
+            zipf_a=1.05,
+            seed=0,
+            verify=False,
+            counting=True,
+        )
+        res.records.append(
+            {
+                "N": 100_000,
+                "n_queries": 1_000_000,
+                "mode": "and",
+                "counting": True,
+                **big,
+            }
+        )
+        res.notes.append(
+            f"million-query serve (counting mode): Q={big.Q:.0f}, "
+            f"Qr={big.Qr}, Qw={big.Qw}"
+        )
+        res.check(
+            "million-query serve produced a write-free record",
+            big.Qr > 0 and big.Qw == 0,
+        )
+    return res

@@ -201,7 +201,14 @@ def _parse_response(raw: bytes) -> Response:
     except ValueError:
         raise ProtocolError(f"bad status code: {status!r}") from None
     length = _content_length(headers)
-    return Response(status=code, headers=headers, body=rest[:length] or rest)
+    if "content-length" in headers:
+        # Trust the declared framing — including an explicit 0, which
+        # must yield an *empty* body, not fall back to the whole buffer.
+        body = rest[:length]
+    else:
+        # No Content-Length: read-to-EOF framing (Connection: close).
+        body = rest
+    return Response(status=code, headers=headers, body=body)
 
 
 def request(

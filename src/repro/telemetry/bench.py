@@ -109,6 +109,30 @@ def _spmxv_case(
     )
 
 
+def _index_case(
+    n: int, params: AEMParams, *, counting: bool = False
+) -> BenchCase:
+    from ..workloads.search.measures import measure_index_build
+
+    return BenchCase(
+        f"index/build/n{n}" + ("/counting" if counting else ""),
+        lambda: measure_index_build(n, params, counting=counting, verify=False),
+    )
+
+
+def _search_case(
+    n: int, queries: int, params: AEMParams, *, counting: bool = False
+) -> BenchCase:
+    from ..workloads.search.measures import measure_search_query
+
+    return BenchCase(
+        f"search/and/n{n}q{queries}" + ("/counting" if counting else ""),
+        lambda: measure_search_query(
+            n, params, n_queries=queries, counting=counting, verify=False
+        ),
+    )
+
+
 def _scan_case(
     B: int,
     n: int,
@@ -186,6 +210,10 @@ def default_suite() -> Tuple[BenchCase, ...]:
         _permute_case("naive", 8192, _P),
         _spmxv_case("sort_based", 1024, 4, _P),
         _spmxv_case("sort_based", 1024, 4, _P, counting=True),
+        _index_case(8000, _P),
+        _index_case(8000, _P, counting=True),
+        _search_case(4000, 128, _P),
+        _search_case(4000, 128, _P, counting=True),
         _scan_case(128, 200_000),
         _scan_case(128, 200_000, counting=True),
         _scan_case(128, 200_000, dispatch="events"),

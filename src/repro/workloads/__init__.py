@@ -1,5 +1,6 @@
-"""Seeded workload generators for sorting, permuting and SpMxV."""
+"""Seeded workload generators and the search-engine workload family."""
 
+from . import search
 from .generators import (
     CONFORMATION_FAMILIES,
     KEY_DISTRIBUTIONS,
@@ -19,6 +20,7 @@ from .generators import (
 )
 
 __all__ = [
+    "search",
     "CONFORMATION_FAMILIES",
     "KEY_DISTRIBUTIONS",
     "PERMUTATION_FAMILIES",

@@ -1,0 +1,53 @@
+"""The search-engine workload family (ROADMAP item 1).
+
+An external-memory search engine priced end to end on the
+:class:`~repro.machine.aem.AEMMachine`:
+
+* **corpus** — seeded synthetic corpora with a zipfian term distribution
+  (:mod:`repro.workloads.search.corpus`);
+* **index build** — sorted-run generation through the sorter registry,
+  a layered fan-in merge mapped onto the Section 3.1
+  :func:`~repro.sorting.merge.multiway_merge`, and a blocked binary
+  postings layout plus lexicon (:mod:`repro.workloads.search.index`);
+* **query serving** — document-at-a-time top-k conjunctive/disjunctive
+  evaluation with skip-to-block (:mod:`repro.workloads.search.query`).
+
+The build is write-heavy (every posting lands on disk at cost ``omega``),
+the query path is read-only — exactly the asymmetry the paper studies.
+Everything is counting-mode safe: decisions are made on scheduling
+tokens, so million-posting/million-query instances run affordably on a
+payload-free machine with bit-identical costs.
+"""
+
+from .corpus import (
+    FREQ_CAP,
+    Corpus,
+    corpus_postings,
+    decode_posting,
+    encode_posting,
+    posting_atoms,
+    posting_tokens,
+    query_stream,
+)
+from .index import PostingsList, SearchIndex, build_index, generate_runs, verify_index
+from .measures import measure_index_build, measure_search_query
+from .query import run_queries
+
+__all__ = [
+    "FREQ_CAP",
+    "Corpus",
+    "PostingsList",
+    "SearchIndex",
+    "build_index",
+    "corpus_postings",
+    "decode_posting",
+    "encode_posting",
+    "generate_runs",
+    "measure_index_build",
+    "measure_search_query",
+    "posting_atoms",
+    "posting_tokens",
+    "query_stream",
+    "run_queries",
+    "verify_index",
+]

@@ -1,0 +1,293 @@
+"""DAAT top-k query serving over the blocked index.
+
+Document-at-a-time evaluation with skip-to-block:
+
+* **Conjunctive** (``mode="and"``): the rarest term (smallest df) drives;
+  its postings are streamed block by block, and every candidate doc is
+  probed in the other terms through :class:`_TermCursor`, which holds one
+  skip block and one postings block resident and advances monotonically —
+  each skip/postings block of a term is read at most once per query.
+* **Disjunctive** (``mode="or"``): a doc-ordered multiway merge over all
+  terms' postings streams, summing the frequencies of equal-doc heads.
+
+Scores are frequency sums decoded from the packed keys, so ranking works
+on scheduling tokens and the *results* — not just the costs — are
+bit-identical between full and counting machines. The query path issues
+no writes at all: serving is the read-heavy half of the asymmetry story,
+and its cost is ``omega``-invariant by construction (experiment e19
+asserts both).
+
+Result delivery is cost-free (like
+:meth:`~repro.machine.aem.AEMMachine.collect_output`): the engine hands
+the top-k to the caller rather than writing it back to the store.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left
+from typing import Sequence
+
+from ...core.params import AEMParams
+from ...machine.aem import AEMMachine
+from ...machine.phantom import token_of
+from ...machine.streams import BlockReader
+from .corpus import FREQ_CAP, Corpus
+from .index import PostingsList, SearchIndex, reference_index
+
+
+class _TermCursor:
+    """Monotone skip-to-block cursor over one term's postings.
+
+    Holds at most one skip block (B last-doc words) and one postings
+    block (B packed keys) resident. ``advance(doc)`` walks the skip run
+    forward to the first postings block that can contain ``doc``, swaps
+    that block in, and bisects for the doc — every block is read at most
+    once per query because ``doc`` only grows.
+    """
+
+    def __init__(self, machine: AEMMachine, plist: PostingsList, n_docs: int):
+        self.machine = machine
+        self.plist = plist
+        self.n_docs = n_docs
+        self._skip_idx = -1  # index of the resident skip block
+        self._skip: list[int] = []
+        self._blk_idx = -1  # global index of the resident postings block
+        self._keys: list[int] = []
+        self._exhausted = not plist.addrs
+
+    @property
+    def exhausted(self) -> bool:
+        return self._exhausted
+
+    def _load_skip(self, idx: int) -> None:
+        if self._skip:
+            self.machine.release(len(self._skip))
+        blk = self.machine.read(self.plist.skip_addrs[idx])
+        self._skip = [token_of(w) for w in blk]
+        self._skip_idx = idx
+
+    def _load_block(self, idx: int) -> None:
+        if self._keys:
+            self.machine.release(len(self._keys))
+        blk = self.machine.read(self.plist.addrs[idx])
+        self.machine.touch(len(blk))  # key-extraction scan
+        self._keys = [token_of(item)[0] for item in blk]
+        self._blk_idx = idx
+
+    def advance(self, doc: int):
+        """Frequency of ``doc`` in this term, or ``None`` if absent.
+
+        Monotone: callers must probe docs in ascending order. Sets
+        :attr:`exhausted` once the term has no postings at or past
+        ``doc``.
+        """
+        if self._exhausted:
+            return None
+        B = self.machine.params.B
+        if self._skip_idx < 0:
+            self._load_skip(0)
+        # Walk skip blocks until one ends at or past the target doc.
+        while self._skip[-1] < doc:
+            self.machine.touch()
+            if self._skip_idx + 1 >= len(self.plist.skip_addrs):
+                self._exhausted = True
+                return None
+            self._load_skip(self._skip_idx + 1)
+        # First postings block whose last doc is >= doc.
+        self.machine.touch()
+        blk_idx = self._skip_idx * B + bisect_left(self._skip, doc)
+        if blk_idx > self._blk_idx or self._blk_idx < 0:
+            self._load_block(blk_idx)
+        lo = (self.plist.term * self.n_docs + doc) * FREQ_CAP
+        self.machine.touch()
+        pos = bisect_left(self._keys, lo)
+        if pos < len(self._keys) and self._keys[pos] < lo + FREQ_CAP:
+            return self._keys[pos] - lo
+        return None
+
+    def close(self) -> None:
+        held = len(self._skip) + len(self._keys)
+        if held:
+            self.machine.release(held)
+        self._skip = []
+        self._keys = []
+
+
+class _TopK:
+    """A k-entry min-heap of ``(score, -doc)`` with honest slot accounting."""
+
+    def __init__(self, machine: AEMMachine, k: int):
+        self.machine = machine
+        self.k = k
+        self.heap: list[tuple[int, int]] = []
+
+    def offer(self, doc: int, score: int) -> None:
+        self.machine.touch()
+        entry = (score, -doc)
+        if len(self.heap) < self.k:
+            self.machine.acquire(1, "top-k entry")
+            heapq.heappush(self.heap, entry)
+        elif entry > self.heap[0]:
+            heapq.heapreplace(self.heap, entry)
+
+    def close(self) -> list[tuple[int, int]]:
+        """Drain to ``[(doc, score), ...]``, score desc then doc asc."""
+        out = [
+            (-neg_doc, score)
+            for score, neg_doc in sorted(
+                self.heap, key=lambda e: (-e[0], -e[1])
+            )
+        ]
+        if self.heap:
+            self.machine.release(len(self.heap))
+        self.heap = []
+        return out
+
+
+def _doc_of(key: int, n_docs: int) -> int:
+    return (key // FREQ_CAP) % n_docs
+
+
+def _query_and(
+    machine: AEMMachine,
+    plists: list[PostingsList],
+    n_docs: int,
+    k: int,
+) -> list[tuple[int, int]]:
+    """Conjunctive DAAT: rarest term drives, others are probed via skips."""
+    plists = sorted(plists, key=lambda p: (p.df, p.term))
+    driver, rest = plists[0], plists[1:]
+    cursors = [_TermCursor(machine, p, n_docs) for p in rest]
+    reader = BlockReader(machine, driver.addrs)
+    topk = _TopK(machine, k)
+    try:
+        for item in reader:
+            machine.release(1)  # taken key inspected, not kept
+            key = token_of(item)[0]
+            doc = _doc_of(key, n_docs)
+            score = key % FREQ_CAP
+            dead = False
+            for cur in cursors:
+                freq = cur.advance(doc)
+                if cur.exhausted:
+                    dead = True
+                    break
+                if freq is None:
+                    score = -1
+                    break
+                score += freq
+            if dead:
+                break
+            if score >= 0:
+                topk.offer(doc, score)
+    finally:
+        reader.close()
+        for cur in cursors:
+            cur.close()
+    return topk.close()
+
+
+def _query_or(
+    machine: AEMMachine,
+    plists: list[PostingsList],
+    n_docs: int,
+    k: int,
+) -> list[tuple[int, int]]:
+    """Disjunctive DAAT: doc-ordered merge of all streams, summing freqs."""
+    readers = [BlockReader(machine, p.addrs) for p in plists]
+    topk = _TopK(machine, k)
+    try:
+        while True:
+            best_doc = None
+            for r in readers:
+                machine.touch()
+                head = r.peek()
+                if head is None:
+                    continue
+                doc = _doc_of(token_of(head)[0], n_docs)
+                if best_doc is None or doc < best_doc:
+                    best_doc = doc
+            if best_doc is None:
+                break
+            score = 0
+            for r in readers:
+                head = r.peek()
+                if head is None:
+                    continue
+                key = token_of(head)[0]
+                if _doc_of(key, n_docs) == best_doc:
+                    score += key % FREQ_CAP
+                    r.drop()
+            topk.offer(best_doc, score)
+    finally:
+        for r in readers:
+            r.close()
+    return topk.close()
+
+
+def run_queries(
+    machine: AEMMachine,
+    index: SearchIndex,
+    queries: Sequence[tuple[int, ...]],
+    params: AEMParams,
+    *,
+    k: int = 8,
+    mode: str = "and",
+) -> list[list[tuple[int, int]]]:
+    """Evaluate ``queries`` against ``index``; one top-k list per query.
+
+    Each query is a tuple of term ids. Phases: ``query/lookup`` (one peek
+    per distinct lexicon block of the query's present terms) and
+    ``query/match`` (the DAAT evaluation proper). The path performs reads
+    only — the cost delta it produces has ``Qw == 0``.
+    """
+    if mode not in ("and", "or"):
+        raise ValueError(f"unknown query mode {mode!r}")
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    results: list[list[tuple[int, int]]] = []
+    for terms in queries:
+        with machine.phase("query/lookup"):
+            present = [t for t in terms if t in index.lexicon]
+            # One read per distinct lexicon block: the term -> df lookup a
+            # real engine performs before planning the evaluation.
+            for addr in sorted({index.lex_block_of[t] for t in present}):
+                machine.peek(addr)
+        with machine.phase("query/match"):
+            plists = [index.lexicon[t] for t in present]
+            if not plists or (mode == "and" and len(present) < len(terms)):
+                results.append([])
+            elif mode == "and":
+                results.append(_query_and(machine, plists, index.n_docs, k))
+            else:
+                results.append(_query_or(machine, plists, index.n_docs, k))
+    return results
+
+
+def reference_search(
+    corpus: Corpus,
+    queries: Sequence[tuple[int, ...]],
+    *,
+    k: int = 8,
+    mode: str = "and",
+) -> list[list[tuple[int, int]]]:
+    """Plain-Python reference evaluation (the referee's answer key)."""
+    ref = reference_index(corpus)
+    out: list[list[tuple[int, int]]] = []
+    for terms in queries:
+        scores: dict[int, int] = {}
+        if mode == "and":
+            if all(t in ref for t in terms):
+                sets = [dict(ref[t]) for t in terms]
+                common = set(sets[0])
+                for s in sets[1:]:
+                    common &= set(s)
+                scores = {d: sum(s[d] for s in sets) for d in common}
+        else:
+            for t in terms:
+                for doc, freq in ref.get(t, ()):
+                    scores[doc] = scores.get(doc, 0) + freq
+        ranked = sorted(scores.items(), key=lambda e: (-e[1], e[0]))[:k]
+        out.append(ranked)
+    return out

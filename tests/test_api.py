@@ -50,6 +50,17 @@ class TestNormalize:
         with pytest.raises(api.QueryError, match="unknown workload"):
             normalize({"workload": "qsort", "n": 10})
 
+    def test_unknown_workload_message_lists_registered_names(self):
+        # The 400 must tell the caller what IS available — including the
+        # search workloads, so typos are self-correcting at the client.
+        with pytest.raises(api.QueryError) as exc:
+            normalize({"workload": "qsort", "n": 10})
+        msg = str(exc.value)
+        assert api.workload_names(), "registry unexpectedly empty"
+        for name in api.workload_names():
+            assert name in msg
+        assert "index_build" in msg and "search_query" in msg
+
     def test_missing_workload_rejected(self):
         with pytest.raises(api.QueryError, match="missing the 'workload'"):
             normalize({"n": 10})
@@ -80,7 +91,14 @@ class TestNormalize:
 
     def test_describe_workloads_is_json_able(self):
         desc = api.describe_workloads()
-        assert set(desc) == {"permute", "sort", "spmxv"}
+        assert set(desc) == {
+            "index_build",
+            "permute",
+            "search_query",
+            "sort",
+            "spmxv",
+        }
+        assert desc["search_query"]["fields"]["mode"]["choices"] == ["and", "or"]
         assert desc["sort"]["fields"]["n"]["required"] is True
         assert desc["sort"]["fields"]["sorter"]["default"] == "aem_mergesort"
         json.dumps(desc)  # must not raise

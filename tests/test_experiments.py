@@ -19,7 +19,7 @@ QUICK = ExperimentConfig(budget="quick")
 
 
 def test_registry_has_all_experiments_and_ablations():
-    expected = {f"e{i}" for i in range(1, 18)} | {"a1", "a2", "a3"}
+    expected = {f"e{i}" for i in range(1, 20)} | {"a1", "a2", "a3"}
     assert set(ALL_IDS) == expected
 
 
@@ -30,7 +30,7 @@ def test_unknown_experiment_rejected():
 
 def test_experiment_order_is_natural():
     assert experiment_order() == (
-        ["a1", "a2", "a3"] + [f"e{i}" for i in range(1, 18)]
+        ["a1", "a2", "a3"] + [f"e{i}" for i in range(1, 20)]
     )
 
 

@@ -7,6 +7,7 @@ from repro.atoms.atom import Atom, make_atoms
 from repro.core.params import AEMParams
 from repro.machine.aem import AEMMachine
 from repro.machine.errors import CapacityError
+from repro.observe.base import MachineObserver
 from repro.sorting.base import verify_sorted_output
 from repro.sorting.merge import (
     EXHAUSTED,
@@ -213,3 +214,69 @@ class TestTheorem32:
             multiway_merge(m, runs, p)
             writes.append(m.writes)
         assert writes[1] <= 1.5 * writes[0]
+
+
+class PointerLogMeter(MachineObserver):
+    """Counts "pointer log" word acquisitions synchronously.
+
+    ``needs_events = True`` opts out of batched replay-with-placeholders
+    so the ``what`` labels arrive exact and in order.
+    """
+
+    needs_events = True
+
+    def __init__(self):
+        self.words = 0
+        self.events = 0
+
+    def on_acquire(self, k, what):
+        if what == "pointer log":
+            self.words += k
+            self.events += 1
+
+
+class TestPointerLogAccounting:
+    """Phase B/E pointer-log budget: the merge logs (block, max) pairs for
+    pointer advancement and must release every word in Phase E — total
+    acquisitions stay O(n) words, the paper's pointer-write budget.
+    Catches double-acquire drift at the two Phase B sites and the Phase C
+    site in src/repro/sorting/merge.py."""
+
+    @pytest.mark.parametrize("fanin", [2, 4, 8])
+    def test_budget_and_balance_across_fanin_sweep(self, fanin):
+        p = AEMParams(M=32, B=4, omega=8)
+        meter = PointerLogMeter()
+        m = AEMMachine.for_algorithm(p, observers=[meter])
+        runs, atoms = build_runs(m, [60] * fanin, seed=fanin)
+        out = multiway_merge(m, runs, p)
+        m.flush()
+        total = sum(r.length for r in runs)
+        n_blocks = sum(r.blocks for r in runs)
+        rounds = -(-total // p.M)  # ceil
+        # Every log entry is 2 words; Phase B adds at most 2 entries per
+        # active run (<= m of them) per round, Phase C one entry per data
+        # block read. Each data block contributes O(1) entries overall.
+        budget = 4 * n_blocks + 8 * p.m * rounds
+        assert meter.words > 0, "merge never logged a pointer entry"
+        assert meter.words <= budget, (
+            f"pointer log acquired {meter.words} words, budget {budget} "
+            f"(fanin={fanin}, blocks={n_blocks}, rounds={rounds})"
+        )
+        # Balance: Phase E released everything (no leaked log words).
+        assert m.mem.occupancy == 0
+        verify_sorted_output(m, atoms, list(out.addrs))
+
+    def test_log_words_scale_linearly_not_quadratically(self):
+        p = AEMParams(M=32, B=4, omega=8)
+        words = []
+        for scale in (1, 2, 4):
+            meter = PointerLogMeter()
+            m = AEMMachine.for_algorithm(p, observers=[meter])
+            runs, _ = build_runs(m, [60 * scale] * 4, seed=9)
+            multiway_merge(m, runs, p)
+            m.flush()
+            words.append(meter.words)
+        # Doubling the data at fixed fan-in should roughly double the log
+        # traffic — allow 3x slack per doubling, far below quadratic.
+        assert words[1] <= 3 * words[0]
+        assert words[2] <= 3 * words[1]

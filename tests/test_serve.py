@@ -370,3 +370,37 @@ class TestHttpPlumbing:
             sock.sendall(b"NOT A REQUEST\r\n\r\n")
             data = sock.recv(65536)
         assert b"400" in data.split(b"\r\n", 1)[0]
+
+    def test_explicit_content_length_zero_yields_empty_body(self):
+        # Regression: `rest[:0] or rest` used to hand back the *entire*
+        # trailing buffer when the server declared an empty body.
+        import repro.serve.http as http
+
+        raw = (
+            b"HTTP/1.1 204 No Content\r\n"
+            b"content-length: 0\r\n"
+            b"connection: close\r\n\r\n"
+            b"trailing junk that must not become the body"
+        )
+        resp = http._parse_response(raw)
+        assert resp.status == 204
+        assert resp.body == b""
+        assert resp.json() is None
+
+    def test_declared_content_length_truncates_to_framing(self):
+        import repro.serve.http as http
+
+        raw = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"content-length: 4\r\n\r\n"
+            b"bodyEXTRA"
+        )
+        assert http._parse_response(raw).body == b"body"
+
+    def test_missing_content_length_reads_to_eof(self):
+        # Legacy framing (Connection: close without a length header) must
+        # keep returning the whole remaining buffer.
+        import repro.serve.http as http
+
+        raw = b"HTTP/1.1 200 OK\r\nconnection: close\r\n\r\nwhole body"
+        assert http._parse_response(raw).body == b"whole body"

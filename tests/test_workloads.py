@@ -5,8 +5,10 @@ import pytest
 
 from repro.workloads.generators import (
     CONFORMATION_FAMILIES,
+    DEFAULT_SEED,
     KEY_DISTRIBUTIONS,
     PERMUTATION_FAMILIES,
+    _rng,
     conformation,
     ksorted_keys,
     natural_runs_keys,
@@ -14,7 +16,32 @@ from repro.workloads.generators import (
     permutation,
     sort_input,
     spmxv_instance,
+    uniform_keys,
 )
+
+
+class TestSeedlessDeterminism:
+    """Regression: ``_rng(None)`` used to hand back an *unseeded*
+    ``default_rng``, silently breaking the module's reproducibility
+    promise on every call site that omitted a seed."""
+
+    def test_rng_none_is_deterministic(self):
+        a = _rng(None).integers(0, 1 << 30, size=16).tolist()
+        b = _rng(None).integers(0, 1 << 30, size=16).tolist()
+        assert a == b
+
+    def test_rng_none_equals_default_seed(self):
+        a = _rng(None).integers(0, 1 << 30, size=16).tolist()
+        b = _rng(DEFAULT_SEED).integers(0, 1 << 30, size=16).tolist()
+        assert a == b
+
+    def test_seedless_generator_calls_reproduce(self):
+        assert uniform_keys(64) == uniform_keys(64)
+        assert sort_input(64) == sort_input(64)
+
+    def test_generator_instances_pass_through(self):
+        gen = np.random.default_rng(123)
+        assert _rng(gen) is gen
 
 
 class TestKeys:
